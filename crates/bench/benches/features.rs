@@ -1,0 +1,29 @@
+//! Feature-map extraction cost (the contest's CSV-generation step).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lmmir_features::{effective_distance_map, pdn_density_map, resistance_map, FeatureStack};
+use lmmir_pdn::{CaseKind, CaseSpec};
+use std::hint::black_box;
+
+fn bench_features(c: &mut Criterion) {
+    let case = CaseSpec::new("feat", 64, 64, 9, CaseKind::Real).generate();
+    let dbu = case.tech.dbu_per_um;
+    let mut group = c.benchmark_group("features");
+    group.sample_size(10);
+    group.bench_function("extended_stack_64", |b| {
+        b.iter(|| black_box(FeatureStack::extended(black_box(&case))));
+    });
+    group.bench_function("effective_distance_64", |b| {
+        b.iter(|| black_box(effective_distance_map(&case.netlist, 64, 64, dbu)));
+    });
+    group.bench_function("pdn_density_64", |b| {
+        b.iter(|| black_box(pdn_density_map(&case.netlist, 64, 64, dbu)));
+    });
+    group.bench_function("resistance_64", |b| {
+        b.iter(|| black_box(resistance_map(&case.netlist, 64, 64, dbu)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! LNT scaling benchmark: encode cost vs netlist point count.
+//!
+//! Backs the paper's claim that the point-cloud + chunked-attention design
+//! handles large netlists: cost grows ~linearly in tokens (block-diagonal
+//! attention), not quadratically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmm_ir::{Lnt, LntConfig, PointCloud};
+use lmmir_pdn::{CaseKind, CaseSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_lnt(c: &mut Criterion) {
+    let case = CaseSpec::new("pc", 64, 64, 5, CaseKind::Fake).generate();
+    let cloud = PointCloud::from_netlist(&case.netlist, case.tech.dbu_per_um, 64.0, 64.0);
+    let mut group = c.benchmark_group("lnt_encode");
+    group.sample_size(10);
+    for max_points in [128usize, 256, 512, 1024] {
+        let mut cfg = LntConfig::quick();
+        cfg.max_points = max_points;
+        cfg.chunk = 128;
+        let lnt = Lnt::new(cfg, &mut StdRng::seed_from_u64(1));
+        group.bench_with_input(
+            BenchmarkId::new("tokens", max_points),
+            &cloud,
+            |b, cloud| {
+                b.iter(|| {
+                    let t = lnt.encode_cloud(black_box(cloud)).expect("encodes");
+                    black_box(t.to_tensor());
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Subsampling itself on the full (unbounded) cloud.
+    let mut group = c.benchmark_group("pointcloud");
+    group.sample_size(10);
+    group.bench_function("from_netlist", |b| {
+        b.iter(|| {
+            black_box(PointCloud::from_netlist(
+                black_box(&case.netlist),
+                case.tech.dbu_per_um,
+                64.0,
+                64.0,
+            ))
+        });
+    });
+    group.bench_function("subsample_512", |b| {
+        b.iter(|| black_box(cloud.subsample(512)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lnt);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Golden-solver cost vs chip size — the simulation burden (paper §I) that
+//! motivates learned IR-drop prediction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmmir_pdn::{CaseKind, CaseSpec};
+use lmmir_solver::{solve_ir_drop, CgConfig};
+use std::hint::black_box;
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("golden_solver");
+    group.sample_size(10);
+    for side in [16usize, 32, 48] {
+        let case = CaseSpec::new(format!("s{side}"), side, side, 7, CaseKind::Fake).generate();
+        let nodes = case.stats().nodes;
+        group.bench_with_input(
+            BenchmarkId::new("solve_ir_drop", format!("{side}um_{nodes}nodes")),
+            &case,
+            |b, case| {
+                b.iter(|| {
+                    let ir = solve_ir_drop(black_box(&case.netlist), CgConfig::default())
+                        .expect("solvable");
+                    black_box(ir.worst_drop());
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Design-choice ablation: Jacobi preconditioning on/off.
+    let mut group = c.benchmark_group("cg_preconditioner");
+    group.sample_size(10);
+    let case = CaseSpec::new("precond", 32, 32, 7, CaseKind::Fake).generate();
+    for (label, jacobi) in [("jacobi", true), ("none", false)] {
+        let cfg = CgConfig {
+            jacobi,
+            ..CgConfig::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let ir = solve_ir_drop(black_box(&case.netlist), cfg).expect("solvable");
+                black_box(ir.worst_drop());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

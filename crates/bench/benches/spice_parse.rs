@@ -1,0 +1,27 @@
+//! SPICE parse/serialize throughput on generated contest-style netlists.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lmmir_pdn::{CaseKind, CaseSpec};
+use lmmir_spice::Netlist;
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    let case = CaseSpec::new("parse", 64, 64, 3, CaseKind::Fake).generate();
+    let text = case.netlist.to_spice();
+    let mut group = c.benchmark_group("spice");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function(format!("parse_{}_elements", case.netlist.len()), |b| {
+        b.iter(|| black_box(Netlist::parse_str(black_box(&text)).expect("parses")));
+    });
+    group.bench_function("serialize", |b| {
+        b.iter(|| black_box(case.netlist.to_spice()));
+    });
+    group.bench_function("stats", |b| {
+        b.iter(|| black_box(case.netlist.stats()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

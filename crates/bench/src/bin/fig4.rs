@@ -1,0 +1,97 @@
+//! Regenerates Fig. 4: ablation study of the proposed techniques.
+//!
+//! Trains the five configurations (EC, W-Att, W-LNT, W-Aug, United) under
+//! one budget and reports average F1 / MAE over the hidden suite next to
+//! the paper's bars.
+
+use lmm_ir::{average, evaluate, train, AblationVariant, LmmIr};
+use lmmir_bench::Harness;
+use std::time::Instant;
+
+fn main() {
+    let h = Harness::from_env();
+    eprintln!(
+        "[fig4] scale {:.4}, input {}, {} fake + {} real train cases, {} epochs",
+        h.scale, h.lmm.input_size, h.n_fake, h.n_real, h.train.epochs
+    );
+    let train_set = h.build_training().expect("training set generates and solves");
+    let hidden = h.build_hidden().expect("hidden suite generates and solves");
+    eprintln!(
+        "[fig4] data ready: {} train / {} hidden",
+        train_set.len(),
+        hidden.len()
+    );
+
+    let header = format!(
+        "{:<8} {:>9} {:>9} {:>12} {:>12}",
+        "Config", "F1", "MAE(e-4)", "paper F1", "paper MAE"
+    );
+    println!("\nFig. 4: Ablation study on the generated contest-style dataset.");
+    lmmir_bench::rule(&header);
+    println!("{header}");
+    lmmir_bench::rule(&header);
+
+    let mut measured = Vec::new();
+    for variant in AblationVariant::all() {
+        let mut cfg = variant.model_config(&h.lmm);
+        cfg.seed = h.seed ^ 0x5EED;
+        let tcfg = variant.train_config(&h.train);
+        let model = LmmIr::new(cfg);
+        let t = Instant::now();
+        train(&model, &train_set, &tcfg).expect("training succeeds");
+        let rows = evaluate(&model, &hidden).expect("evaluation succeeds");
+        let avg = average(&rows);
+        eprintln!(
+            "[fig4] {} done in {:.1}s (F1 {:.2}, MAE {:.2})",
+            variant.label(),
+            t.elapsed().as_secs_f64(),
+            avg.f1,
+            avg.mae_e4
+        );
+        println!(
+            "{:<8} {:>9.2} {:>9.2} {:>12.2} {:>12.2}",
+            variant.label(),
+            avg.f1,
+            avg.mae_e4,
+            variant.paper_f1(),
+            variant.paper_mae_e4()
+        );
+        measured.push((variant, avg));
+    }
+    lmmir_bench::rule(&header);
+
+    let get = |v: AblationVariant| {
+        measured
+            .iter()
+            .find(|(m, _)| *m == v)
+            .map(|(_, a)| (a.f1, a.mae_e4))
+            .expect("variant measured")
+    };
+    let united = get(AblationVariant::United);
+    println!("\nShape checks:");
+    for (name, v) in [
+        ("EC", AblationVariant::EncoderDecoder),
+        ("W-Att", AblationVariant::WithoutAttention),
+        ("W-LNT", AblationVariant::WithoutLnt),
+        ("W-Aug", AblationVariant::WithoutAugmentation),
+    ] {
+        let m = get(v);
+        println!(
+            "  United F1 >= {name} F1: {} ({:.2} vs {:.2})",
+            if united.0 >= m.0 { "PASS" } else { "FAIL" },
+            united.0,
+            m.0
+        );
+    }
+    let best_mae = measured
+        .iter()
+        .filter(|(v, _)| *v != AblationVariant::United)
+        .map(|(_, a)| a.mae_e4)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "  United lowest MAE: {} ({:.2} vs best ablation {:.2})",
+        if united.1 <= best_mae { "PASS" } else { "FAIL" },
+        united.1,
+        best_mae
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table I: qualitative capability matrix of IR-drop models.
+
+use lmm_ir::table1;
+
+fn main() {
+    let header = format!(
+        "{:<16} {:>22} {:>18} {:>15} {:>26}",
+        "Methods", "Fully handle Netlist", "Multimodal Fusion", "Extra Features", "Global attention mechanism"
+    );
+    println!("Table I: Comparison among different IR drop models.");
+    lmmir_bench::rule(&header);
+    println!("{header}");
+    lmmir_bench::rule(&header);
+    let mark = |b: bool| if b { "yes" } else { "no" };
+    for row in table1() {
+        println!(
+            "{:<16} {:>22} {:>18} {:>15} {:>26}",
+            row.name,
+            mark(row.fully_handles_netlist),
+            mark(row.multimodal_fusion),
+            mark(row.extra_features),
+            mark(row.global_attention),
+        );
+    }
+    lmmir_bench::rule(&header);
+}

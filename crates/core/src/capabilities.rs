@@ -1,0 +1,83 @@
+//! Table I: qualitative capability matrix of the compared models.
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelCapabilities {
+    /// Model name.
+    pub name: &'static str,
+    /// Processes the raw netlist losslessly ("Fully handle Netlist").
+    pub fully_handles_netlist: bool,
+    /// Fuses multiple modalities.
+    pub multimodal_fusion: bool,
+    /// Uses features beyond the basic three maps.
+    pub extra_features: bool,
+    /// Employs a global attention mechanism.
+    pub global_attention: bool,
+}
+
+/// The capability matrix of Table I.
+#[must_use]
+pub fn table1() -> Vec<ModelCapabilities> {
+    vec![
+        ModelCapabilities {
+            name: "1st Place",
+            fully_handles_netlist: false,
+            multimodal_fusion: false,
+            extra_features: true,
+            global_attention: true,
+        },
+        ModelCapabilities {
+            name: "2nd Place",
+            fully_handles_netlist: false,
+            multimodal_fusion: false,
+            extra_features: true,
+            global_attention: true,
+        },
+        ModelCapabilities {
+            name: "IREDGe",
+            fully_handles_netlist: false,
+            multimodal_fusion: false,
+            extra_features: false,
+            global_attention: false,
+        },
+        ModelCapabilities {
+            name: "IRPnet",
+            fully_handles_netlist: false,
+            multimodal_fusion: false,
+            extra_features: false,
+            global_attention: false,
+        },
+        ModelCapabilities {
+            name: "LMM-IR (Ours)",
+            fully_handles_netlist: true,
+            multimodal_fusion: true,
+            extra_features: true,
+            global_attention: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_ours_is_multimodal() {
+        let t = table1();
+        assert_eq!(t.len(), 5);
+        let ours: Vec<_> = t.iter().filter(|m| m.multimodal_fusion).collect();
+        assert_eq!(ours.len(), 1);
+        assert_eq!(ours[0].name, "LMM-IR (Ours)");
+        assert!(ours[0].fully_handles_netlist);
+    }
+
+    #[test]
+    fn iredge_and_irpnet_have_no_extras() {
+        for m in table1() {
+            if m.name == "IREDGe" || m.name == "IRPnet" {
+                assert!(!m.extra_features);
+                assert!(!m.global_attention);
+            }
+        }
+    }
+}

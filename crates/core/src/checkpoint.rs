@@ -1,0 +1,104 @@
+//! Saving and restoring trained predictors.
+//!
+//! Parameter order is defined by each model's `parameters()` and is
+//! deterministic for a fixed architecture, so checkpoints restore exactly
+//! into a freshly constructed model with the same configuration.
+
+use crate::model::IrPredictor;
+use lmmir_tensor::{io, Result, Tensor, TensorError};
+use std::path::Path;
+
+/// Serializes a predictor's parameters to the binary checkpoint format.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Io`] on filesystem failure.
+pub fn save_predictor(model: &dyn IrPredictor, path: impl AsRef<Path>) -> Result<()> {
+    let entries: Vec<(String, Tensor)> = model
+        .parameters()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (format!("param.{i}"), p.to_tensor()))
+        .collect();
+    io::save(path, &entries)
+}
+
+/// Restores a predictor's parameters from a checkpoint file.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Io`] when the file cannot be read or the
+/// parameter count differs, and [`TensorError::ShapeMismatch`] when a
+/// tensor's shape disagrees with the model architecture.
+pub fn load_predictor(model: &dyn IrPredictor, path: impl AsRef<Path>) -> Result<()> {
+    let entries = io::load(path)?;
+    let params = model.parameters();
+    if entries.len() != params.len() {
+        return Err(TensorError::Io(format!(
+            "checkpoint has {} tensors but model has {} parameters",
+            entries.len(),
+            params.len()
+        )));
+    }
+    for (p, (_, t)) in params.iter().zip(&entries) {
+        if p.value().dims() != t.dims() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: p.value().dims().to_vec(),
+                rhs: t.dims().to_vec(),
+                op: "load_predictor",
+            });
+        }
+    }
+    for (p, (_, t)) in params.iter().zip(entries) {
+        p.set_value(t);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{iredge, irpnet};
+    use crate::model::IrPredictor;
+    use lmmir_tensor::{Tensor, Var};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("lmmir_core_ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let a = iredge(16, 1);
+        let path = tmp("iredge.lmmt");
+        save_predictor(&a, &path).unwrap();
+        let b = iredge(16, 2); // different seed => different weights
+        let x = Var::constant(Tensor::ones(&[1, 3, 16, 16]));
+        a.set_training(false);
+        b.set_training(false);
+        let ya = a.forward(&x, None).unwrap().to_tensor();
+        let yb_before = b.forward(&x, None).unwrap().to_tensor();
+        assert_ne!(ya.data(), yb_before.data());
+        load_predictor(&b, &path).unwrap();
+        let yb_after = b.forward(&x, None).unwrap().to_tensor();
+        assert_eq!(ya.data(), yb_after.data());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_wrong_architecture() {
+        let a = iredge(16, 1);
+        let path = tmp("mismatch.lmmt");
+        save_predictor(&a, &path).unwrap();
+        let other = irpnet(16, 1);
+        assert!(load_predictor(&other, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let a = iredge(16, 1);
+        assert!(load_predictor(&a, tmp("does_not_exist.lmmt")).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! Dataset assembly: generated cases → model-ready samples.
+//!
+//! A [`Sample`] bundles everything one training/evaluation step needs:
+//! both feature stacks (basic 3-channel and extended 6-channel) adjusted to
+//! the training size, the netlist point cloud, the adjusted target and the
+//! original-resolution ground truth for faithful evaluation.
+
+use crate::pointcloud::PointCloud;
+use lmmir_features::{
+    ir_drop_map, spatial::spatial_restore, FeatureStack, Raster, SpatialInfo,
+};
+use lmmir_pdn::{CaseKind, CaseSpec};
+use lmmir_solver::SolveIrDropError;
+use lmmir_tensor::{Tensor, Var};
+
+/// Fixed factor applied to IR targets during training (predictions are
+/// divided by it on restore). Golden drops are ~10 mV on the standard
+/// stack; scaling to ~0.2 V conditions the MSE regression without touching
+/// the physics or the reported metrics.
+pub const TARGET_SCALE: f32 = 20.0;
+
+/// One model-ready data point.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Case id (e.g. `testcase10`).
+    pub id: String,
+    /// Split membership (drives over-sampling).
+    pub kind: CaseKind,
+    /// Basic 3-channel images `[3, S, S]`, adjusted + normalized.
+    pub images_basic: Tensor,
+    /// Extended 6-channel images `[6, S, S]`, adjusted + normalized.
+    pub images_extended: Tensor,
+    /// Netlist point cloud (full; models subsample to their budget).
+    pub cloud: PointCloud,
+    /// Adjusted ground-truth IR map `[1, S, S]`, in volts × [`TARGET_SCALE`].
+    pub target: Tensor,
+    /// How the maps were spatially adjusted (for restoring predictions).
+    pub info: SpatialInfo,
+    /// Original-resolution ground truth (volts).
+    pub truth: Raster,
+    /// Supply voltage.
+    pub vdd: f64,
+    /// Wall-clock seconds the golden solver took (the cost the predictor
+    /// amortizes — the motivation of the whole paper).
+    pub golden_seconds: f64,
+    /// Node count of the netlist (Table II statistic).
+    pub nodes: usize,
+}
+
+impl Sample {
+    /// Images matching a model's expected channel count, as a `[1, C, S, S]`
+    /// constant variable.
+    ///
+    /// `1` selects the current map alone (IRPnet's physics-window input),
+    /// `3` the basic stack, `6` the extended stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics for channel counts other than 1, 3 or 6.
+    #[must_use]
+    pub fn images_for(&self, channels: usize) -> Var {
+        let t = match channels {
+            1 => {
+                let d = self.images_basic.dims().to_vec();
+                let current = self
+                    .images_basic
+                    .reshape(&[d[0], d[1] * d[2]])
+                    .and_then(|t| t.slice_axis(0, 0, 1))
+                    .expect("basic stack has a current channel");
+                return Var::constant(
+                    current
+                        .reshape(&[1, 1, d[1], d[2]])
+                        .expect("slice keeps spatial numel"),
+                );
+            }
+            3 => &self.images_basic,
+            6 => &self.images_extended,
+            other => panic!("no feature stack with {other} channels"),
+        };
+        let d = t.dims();
+        Var::constant(
+            t.reshape(&[1, d[0], d[1], d[2]])
+                .expect("adding batch axis preserves numel"),
+        )
+    }
+
+    /// Target as a `[1, 1, S, S]` constant variable.
+    #[must_use]
+    pub fn target_var(&self) -> Var {
+        let d = self.target.dims();
+        Var::constant(
+            self.target
+                .reshape(&[1, d[0], d[1], d[2]])
+                .expect("adding batch axis preserves numel"),
+        )
+    }
+
+    /// Restores a model prediction `[1, 1, S, S]` to the original chip
+    /// resolution and to volts (undoing [`TARGET_SCALE`]) for metric
+    /// computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pred` does not have the adjusted sample shape.
+    #[must_use]
+    pub fn restore_prediction(&self, pred: &Tensor) -> Raster {
+        let d = pred.dims();
+        assert_eq!(d.len(), 4, "prediction must be [1,1,S,S]");
+        let flat = pred
+            .reshape(&[d[2], d[3]])
+            .expect("squeeze batch/channel axes")
+            .scale(1.0 / TARGET_SCALE);
+        spatial_restore(&Raster::from_tensor(&flat), self.info)
+    }
+}
+
+/// Builds a sample from a case spec: generates the PDN, runs the golden
+/// solver, extracts features and adjusts everything to `input_size`.
+///
+/// # Errors
+///
+/// Returns [`SolveIrDropError`] when the golden solve fails.
+pub fn build_sample(spec: &CaseSpec, input_size: usize) -> Result<Sample, SolveIrDropError> {
+    let case = spec.generate();
+    let t0 = std::time::Instant::now();
+    let ir = case.solve()?;
+    let golden_seconds = t0.elapsed().as_secs_f64();
+    let (w, h) = (case.power.width(), case.power.height());
+    let dbu = case.tech.dbu_per_um;
+
+    let truth = ir_drop_map(&ir, &case.netlist, w, h, dbu);
+    let (truth_adj, info) = lmmir_features::spatial::spatial_adjust(&truth, input_size);
+
+    let extended = FeatureStack::extended(&case);
+    let (ext_adj, _) = extended.adjusted_normalized(input_size);
+    let basic = FeatureStack::basic(&case);
+    let (basic_adj, _) = basic.adjusted_normalized(input_size);
+
+    let cloud = PointCloud::from_netlist(&case.netlist, dbu, w as f64, h as f64);
+    let target = truth_adj
+        .to_tensor()
+        .scale(TARGET_SCALE)
+        .reshape(&[1, input_size, input_size])
+        .expect("adjusted truth is input_size²");
+
+    Ok(Sample {
+        id: spec.id.clone(),
+        kind: spec.kind,
+        images_basic: basic_adj.to_tensor(),
+        images_extended: ext_adj.to_tensor(),
+        cloud,
+        target,
+        info,
+        truth,
+        vdd: case.tech.vdd,
+        golden_seconds,
+        nodes: case.stats().nodes,
+    })
+}
+
+/// Builds samples for a list of specs.
+///
+/// # Errors
+///
+/// Returns the first golden-solve failure.
+pub fn build_dataset(
+    specs: &[CaseSpec],
+    input_size: usize,
+) -> Result<Vec<Sample>, SolveIrDropError> {
+    specs.iter().map(|s| build_sample(s, input_size)).collect()
+}
+
+/// Over-sampled index list following the paper's recipe (§IV-A): each fake
+/// case appears `fake_times`, each real case `real_times`. Hidden cases are
+/// never included in training.
+#[must_use]
+pub fn oversample_indices(samples: &[Sample], fake_times: usize, real_times: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, s) in samples.iter().enumerate() {
+        let times = match s.kind {
+            CaseKind::Fake => fake_times,
+            CaseKind::Real => real_times,
+            CaseKind::Hidden => 0,
+        };
+        out.extend(std::iter::repeat(i).take(times));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmmir_pdn::CaseKind;
+
+    fn sample() -> Sample {
+        build_sample(&CaseSpec::new("t", 20, 20, 6, CaseKind::Fake), 32).unwrap()
+    }
+
+    #[test]
+    fn sample_shapes_are_consistent() {
+        let s = sample();
+        assert_eq!(s.images_basic.dims(), &[3, 32, 32]);
+        assert_eq!(s.images_extended.dims(), &[6, 32, 32]);
+        assert_eq!(s.target.dims(), &[1, 32, 32]);
+        assert_eq!(s.truth.width(), 20);
+        assert!(s.nodes > 0);
+        assert!(s.golden_seconds > 0.0);
+        assert!(!s.cloud.is_empty());
+    }
+
+    #[test]
+    fn images_for_adds_batch_axis() {
+        let s = sample();
+        assert_eq!(s.images_for(3).dims(), vec![1, 3, 32, 32]);
+        assert_eq!(s.images_for(6).dims(), vec![1, 6, 32, 32]);
+        assert_eq!(s.target_var().dims(), vec![1, 1, 32, 32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no feature stack")]
+    fn images_for_rejects_odd_channels() {
+        let _ = sample().images_for(4);
+    }
+
+    #[test]
+    fn restore_prediction_round_trips_target() {
+        let s = sample();
+        // Feeding the adjusted target back must reproduce the original truth
+        // exactly for padded samples.
+        let pred = s
+            .target
+            .reshape(&[1, 1, 32, 32])
+            .unwrap();
+        let restored = s.restore_prediction(&pred);
+        assert_eq!(restored.width(), 20);
+        for (a, b) in restored.data().iter().zip(s.truth.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn oversampling_respects_kinds() {
+        let mut samples = vec![sample()];
+        samples.push(Sample {
+            kind: CaseKind::Real,
+            ..samples[0].clone()
+        });
+        samples.push(Sample {
+            kind: CaseKind::Hidden,
+            ..samples[0].clone()
+        });
+        let ix = oversample_indices(&samples, 2, 5);
+        assert_eq!(ix.iter().filter(|&&i| i == 0).count(), 2);
+        assert_eq!(ix.iter().filter(|&&i| i == 1).count(), 5);
+        assert_eq!(ix.iter().filter(|&&i| i == 2).count(), 0);
+    }
+
+    #[test]
+    fn scaled_sample_restores_to_original_size() {
+        // A case larger than the input size gets scaled, not padded.
+        let s = build_sample(&CaseSpec::new("big", 40, 40, 7, CaseKind::Fake), 32).unwrap();
+        assert!(matches!(
+            s.info,
+            SpatialInfo::Scaled { width: 40, height: 40 }
+        ));
+        let pred = s.target.reshape(&[1, 1, 32, 32]).unwrap();
+        let restored = s.restore_prediction(&pred);
+        assert_eq!(restored.width(), 40);
+    }
+}

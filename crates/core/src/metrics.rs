@@ -1,0 +1,232 @@
+//! Evaluation metrics: F1 at the 90 %-of-max threshold, MAE, TAT.
+//!
+//! Definitions follow §II-D of the paper (and the ICCAD-2023 contest):
+//! pixels whose *true* IR drop exceeds 90 % of the map's maximum true drop
+//! are positive; predictions are classified against 90 % of the *predicted*
+//! maximum, so a model is judged on whether it localizes its own hotspots
+//! where the real ones are.
+
+use lmmir_features::Raster;
+
+/// Confusion counts for hotspot classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Precision (`tp / (tp + fp)`; 0 when undefined).
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        let d = self.tp + self.fp;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Recall (`tp / (tp + fn)`; 0 when undefined).
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        let d = self.tp + self.fn_;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// F1 = harmonic mean of precision and recall (0 when undefined).
+    #[must_use]
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Computes the hotspot confusion matrix at a relative threshold
+/// (`thr_frac` of each map's own maximum; the paper uses 0.9).
+///
+/// # Panics
+///
+/// Panics when the rasters differ in size.
+#[must_use]
+pub fn confusion(pred: &Raster, truth: &Raster, thr_frac: f32) -> Confusion {
+    assert_eq!(
+        (pred.width(), pred.height()),
+        (truth.width(), truth.height()),
+        "prediction/truth raster size mismatch"
+    );
+    let thr_t = truth.max() * thr_frac;
+    let thr_p = pred.max() * thr_frac;
+    let mut c = Confusion::default();
+    for (p, t) in pred.data().iter().zip(truth.data()) {
+        let pp = *p >= thr_p && pred.max() > 0.0;
+        let tt = *t >= thr_t && truth.max() > 0.0;
+        match (pp, tt) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, true) => c.fn_ += 1,
+            (false, false) => c.tn += 1,
+        }
+    }
+    c
+}
+
+/// F1 score at the paper's 90 % threshold.
+#[must_use]
+pub fn f1_score(pred: &Raster, truth: &Raster) -> f64 {
+    confusion(pred, truth, 0.9).f1()
+}
+
+/// Mean absolute error in volts.
+///
+/// # Panics
+///
+/// Panics when the rasters differ in size.
+#[must_use]
+pub fn mae(pred: &Raster, truth: &Raster) -> f64 {
+    assert_eq!(
+        (pred.width(), pred.height()),
+        (truth.width(), truth.height()),
+        "prediction/truth raster size mismatch"
+    );
+    if pred.data().is_empty() {
+        return 0.0;
+    }
+    pred.data()
+        .iter()
+        .zip(truth.data())
+        .map(|(p, t)| f64::from((p - t).abs()))
+        .sum::<f64>()
+        / pred.data().len() as f64
+}
+
+/// Metrics for one evaluated case, matching one row of Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseMetrics {
+    /// Case id.
+    pub id: String,
+    /// F1 at the 90 % threshold.
+    pub f1: f64,
+    /// MAE in units of 1e-4 V (the paper's reporting unit).
+    pub mae_e4: f64,
+    /// Turn-around time: model inference seconds.
+    pub tat: f64,
+}
+
+/// Column averages across cases (the `Avg` row of Table III).
+#[must_use]
+pub fn average(rows: &[CaseMetrics]) -> CaseMetrics {
+    let n = rows.len().max(1) as f64;
+    CaseMetrics {
+        id: "Avg".to_string(),
+        f1: rows.iter().map(|r| r.f1).sum::<f64>() / n,
+        mae_e4: rows.iter().map(|r| r.mae_e4).sum::<f64>() / n,
+        tat: rows.iter().map(|r| r.tat).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raster(values: &[f32], w: usize) -> Raster {
+        Raster::from_vec(w, values.len() / w, values.to_vec())
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let t = raster(&[0.1, 0.2, 1.0, 0.3], 2);
+        assert_eq!(f1_score(&t, &t), 1.0);
+        assert_eq!(mae(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn disjoint_hotspots_score_zero() {
+        let truth = raster(&[1.0, 0.0, 0.0, 0.0], 2);
+        let pred = raster(&[0.0, 0.0, 0.0, 1.0], 2);
+        assert_eq!(f1_score(&pred, &truth), 0.0);
+    }
+
+    #[test]
+    fn confusion_counts_add_up() {
+        let truth = raster(&[1.0, 0.95, 0.5, 0.0], 2);
+        let pred = raster(&[1.0, 0.5, 0.95, 0.0], 2);
+        let c = confusion(&pred, &truth, 0.9);
+        assert_eq!(c.tp + c.fp + c.fn_ + c.tn, 4);
+        assert_eq!(c.tp, 1); // pixel 0
+        assert_eq!(c.fp, 1); // pixel 2
+        assert_eq!(c.fn_, 1); // pixel 1
+    }
+
+    #[test]
+    fn f1_insensitive_to_global_scale() {
+        // The relative threshold makes F1 invariant to multiplying the
+        // prediction by a constant — it scores localization, not magnitude.
+        let truth = raster(&[1.0, 0.95, 0.2, 0.1, 0.0, 0.3], 3);
+        let pred = raster(&[0.5, 0.48, 0.1, 0.05, 0.0, 0.15], 3);
+        assert!((f1_score(&pred, &truth) - 1.0).abs() < 1e-12);
+        // ... while MAE is not.
+        assert!(mae(&pred, &truth) > 0.0);
+    }
+
+    #[test]
+    fn all_zero_maps_are_degenerate_but_safe() {
+        let z = raster(&[0.0; 4], 2);
+        let t = raster(&[1.0, 0.0, 0.0, 0.0], 2);
+        assert_eq!(f1_score(&z, &t), 0.0);
+        let c = confusion(&z, &z, 0.9);
+        assert_eq!(c.f1(), 0.0); // no positives anywhere
+    }
+
+    #[test]
+    fn mae_is_mean_of_abs_diffs() {
+        let a = raster(&[0.0, 1.0], 2);
+        let b = raster(&[1.0, 1.0], 2);
+        assert!((mae(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_row() {
+        let rows = vec![
+            CaseMetrics {
+                id: "a".into(),
+                f1: 0.4,
+                mae_e4: 2.0,
+                tat: 1.0,
+            },
+            CaseMetrics {
+                id: "b".into(),
+                f1: 0.8,
+                mae_e4: 4.0,
+                tat: 3.0,
+            },
+        ];
+        let avg = average(&rows);
+        assert!((avg.f1 - 0.6).abs() < 1e-12);
+        assert!((avg.mae_e4 - 3.0).abs() < 1e-12);
+        assert!((avg.tat - 2.0).abs() < 1e-12);
+        assert_eq!(avg.id, "Avg");
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_mismatch_panics() {
+        let a = raster(&[0.0; 4], 2);
+        let b = raster(&[0.0; 6], 3);
+        let _ = mae(&a, &b);
+    }
+}

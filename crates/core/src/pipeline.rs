@@ -1,0 +1,119 @@
+//! End-to-end evaluation pipeline: predict on hidden cases and score
+//! against original-resolution golden ground truth.
+
+use crate::data::Sample;
+use crate::metrics::{f1_score, mae, CaseMetrics};
+use crate::model::IrPredictor;
+use lmmir_tensor::Result;
+use std::time::Instant;
+
+/// Evaluates a trained model on a set of samples, producing one
+/// [`CaseMetrics`] row per case (the per-case rows of Table III).
+///
+/// TAT is measured as wall-clock inference time of the model forward pass
+/// (feature preparation is shared by all models and already amortized in
+/// the samples).
+///
+/// # Errors
+///
+/// Returns tensor errors when a sample does not match the model's input
+/// contract.
+pub fn evaluate(model: &dyn IrPredictor, samples: &[Sample]) -> Result<Vec<CaseMetrics>> {
+    model.set_training(false);
+    let mut rows = Vec::with_capacity(samples.len());
+    for sample in samples {
+        let images = sample.images_for(model.input_channels());
+        let cloud = model.uses_netlist().then_some(&sample.cloud);
+        let t0 = Instant::now();
+        let pred = model.forward(&images, cloud)?;
+        let tat = t0.elapsed().as_secs_f64();
+        let restored = sample.restore_prediction(&pred.to_tensor());
+        rows.push(CaseMetrics {
+            id: sample.id.clone(),
+            f1: f1_score(&restored, &sample.truth),
+            mae_e4: mae(&restored, &sample.truth) * 1e4,
+            tat,
+        });
+    }
+    Ok(rows)
+}
+
+/// Speed-up of model inference versus the golden solver on each case —
+/// the paper's core motivation (hours of simulation vs seconds of
+/// inference).
+#[must_use]
+pub fn golden_speedups(rows: &[CaseMetrics], samples: &[Sample]) -> Vec<(String, f64)> {
+    rows.iter()
+        .zip(samples)
+        .map(|(r, s)| {
+            let speedup = if r.tat > 0.0 {
+                s.golden_seconds / r.tat
+            } else {
+                f64::INFINITY
+            };
+            (r.id.clone(), speedup)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::iredge;
+    use crate::data::build_sample;
+    use crate::train::{train, TrainConfig};
+    use lmmir_pdn::{CaseKind, CaseSpec};
+
+    #[test]
+    fn evaluate_produces_row_per_sample() {
+        let samples = vec![
+            build_sample(&CaseSpec::new("a", 16, 16, 1, CaseKind::Hidden), 16).unwrap(),
+            build_sample(&CaseSpec::new("b", 20, 20, 2, CaseKind::Hidden), 16).unwrap(),
+        ];
+        let model = iredge(16, 3);
+        let rows = evaluate(&model, &samples).unwrap();
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.f1 >= 0.0 && r.f1 <= 1.0);
+            assert!(r.mae_e4 >= 0.0);
+            assert!(r.tat > 0.0);
+        }
+    }
+
+    #[test]
+    fn trained_model_beats_untrained_on_mae() {
+        let train_samples = vec![
+            build_sample(&CaseSpec::new("t0", 16, 16, 10, CaseKind::Fake), 16).unwrap(),
+            build_sample(&CaseSpec::new("t1", 16, 16, 11, CaseKind::Fake), 16).unwrap(),
+            build_sample(&CaseSpec::new("t2", 16, 16, 12, CaseKind::Fake), 16).unwrap(),
+        ];
+        let eval_samples =
+            vec![build_sample(&CaseSpec::new("e", 16, 16, 13, CaseKind::Hidden), 16).unwrap()];
+        let untrained = iredge(16, 42);
+        let before = evaluate(&untrained, &eval_samples).unwrap()[0].mae_e4;
+        let trained = iredge(16, 42);
+        let cfg = TrainConfig {
+            epochs: 15,
+            pretrain_epochs: 0,
+            oversample: (1, 1),
+            ..TrainConfig::quick()
+        };
+        train(&trained, &train_samples, &cfg).unwrap();
+        let after = evaluate(&trained, &eval_samples).unwrap()[0].mae_e4;
+        assert!(
+            after < before,
+            "training should reduce MAE: before {before:.2} after {after:.2}"
+        );
+    }
+
+    #[test]
+    fn golden_speedups_positive() {
+        let samples =
+            vec![build_sample(&CaseSpec::new("a", 16, 16, 1, CaseKind::Hidden), 16).unwrap()];
+        let model = iredge(16, 3);
+        let rows = evaluate(&model, &samples).unwrap();
+        let sp = golden_speedups(&rows, &samples);
+        assert_eq!(sp.len(), 1);
+        assert!(sp[0].1 > 0.0);
+    }
+}

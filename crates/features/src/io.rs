@@ -1,0 +1,193 @@
+//! Raster file I/O: contest-style CSV and PGM dumps for visualization.
+
+use crate::raster::Raster;
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Error from raster I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RasterIoError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for RasterIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "raster io error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RasterIoError {}
+
+fn io_err(e: impl fmt::Display) -> RasterIoError {
+    RasterIoError {
+        message: e.to_string(),
+    }
+}
+
+/// Writes a raster as comma-separated values, one row per line — the format
+/// the contest uses for `current_map.csv` etc.
+///
+/// # Errors
+///
+/// Returns [`RasterIoError`] on write failure.
+pub fn write_csv<W: Write>(mut w: W, raster: &Raster) -> Result<(), RasterIoError> {
+    for y in 0..raster.height() {
+        let row: Vec<String> = (0..raster.width())
+            .map(|x| format!("{}", raster.at(x, y)))
+            .collect();
+        writeln!(w, "{}", row.join(",")).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Reads a raster from comma-separated values.
+///
+/// # Errors
+///
+/// Returns [`RasterIoError`] on ragged rows, bad numbers or read failure.
+pub fn read_csv<R: BufRead>(r: R) -> Result<Raster, RasterIoError> {
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line.map_err(io_err)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row: Result<Vec<f32>, _> = line
+            .split(',')
+            .map(|tok| tok.trim().parse::<f32>())
+            .collect();
+        let row = row.map_err(|e| io_err(format!("line {}: {e}", i + 1)))?;
+        if let Some(first) = rows.first() {
+            if first.len() != row.len() {
+                return Err(io_err(format!(
+                    "ragged csv: line {} has {} columns, expected {}",
+                    i + 1,
+                    row.len(),
+                    first.len()
+                )));
+            }
+        }
+        rows.push(row);
+    }
+    let height = rows.len();
+    let width = rows.first().map_or(0, Vec::len);
+    Ok(Raster::from_vec(
+        width,
+        height,
+        rows.into_iter().flatten().collect(),
+    ))
+}
+
+/// Saves a raster to a CSV file.
+///
+/// # Errors
+///
+/// Returns [`RasterIoError`] on filesystem failure.
+pub fn save_csv(path: impl AsRef<Path>, raster: &Raster) -> Result<(), RasterIoError> {
+    let f = std::fs::File::create(path).map_err(io_err)?;
+    write_csv(std::io::BufWriter::new(f), raster)
+}
+
+/// Loads a raster from a CSV file.
+///
+/// # Errors
+///
+/// Returns [`RasterIoError`] on filesystem failure or malformed content.
+pub fn load_csv(path: impl AsRef<Path>) -> Result<Raster, RasterIoError> {
+    let f = std::fs::File::open(path).map_err(io_err)?;
+    read_csv(std::io::BufReader::new(f))
+}
+
+/// Writes a raster as an ASCII PGM (P2) grayscale image, min-max scaled to
+/// 0..255 — used by the Fig. 5 visualization harness.
+///
+/// # Errors
+///
+/// Returns [`RasterIoError`] on write failure.
+pub fn write_pgm<W: Write>(mut w: W, raster: &Raster) -> Result<(), RasterIoError> {
+    let (lo, hi) = (raster.min(), raster.max());
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    writeln!(w, "P2\n{} {}\n255", raster.width(), raster.height()).map_err(io_err)?;
+    for y in 0..raster.height() {
+        let row: Vec<String> = (0..raster.width())
+            .map(|x| {
+                let v = ((raster.at(x, y) - lo) / span * 255.0).round() as i32;
+                v.clamp(0, 255).to_string()
+            })
+            .collect();
+        writeln!(w, "{}", row.join(" ")).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Saves a raster as a PGM file.
+///
+/// # Errors
+///
+/// Returns [`RasterIoError`] on filesystem failure.
+pub fn save_pgm(path: impl AsRef<Path>, raster: &Raster) -> Result<(), RasterIoError> {
+    let f = std::fs::File::create(path).map_err(io_err)?;
+    write_pgm(std::io::BufWriter::new(f), raster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let r = Raster::from_vec(3, 2, vec![0.5, 1.0, -2.0, 3.25, 0.0, 9.0]);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &r).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows() {
+        let err = read_csv("1,2\n3\n".as_bytes()).unwrap_err();
+        assert!(err.message.contains("ragged"));
+    }
+
+    #[test]
+    fn csv_rejects_bad_numbers() {
+        assert!(read_csv("1,x\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn csv_skips_blank_lines() {
+        let r = read_csv("1,2\n\n3,4\n".as_bytes()).unwrap();
+        assert_eq!(r.height(), 2);
+    }
+
+    #[test]
+    fn pgm_has_header_and_range() {
+        let r = Raster::from_vec(2, 2, vec![0.0, 0.5, 0.75, 1.0]);
+        let mut buf = Vec::new();
+        write_pgm(&mut buf, &r).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("P2\n2 2\n255\n"));
+        assert!(text.contains("0"));
+        assert!(text.contains("255"));
+    }
+
+    #[test]
+    fn pgm_constant_raster_is_safe() {
+        let r = Raster::from_vec(2, 1, vec![3.0, 3.0]);
+        let mut buf = Vec::new();
+        write_pgm(&mut buf, &r).unwrap(); // no div-by-zero
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("lmmir_features_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("map.csv");
+        let r = Raster::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        save_csv(&path, &r).unwrap();
+        assert_eq!(load_csv(&path).unwrap(), r);
+        std::fs::remove_file(&path).ok();
+    }
+}

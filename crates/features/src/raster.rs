@@ -1,0 +1,180 @@
+//! A 2-D `f32` raster (one feature channel at 1 µm/pixel).
+
+use lmmir_tensor::Tensor;
+
+/// A dense row-major 2-D map. `data[y * width + x]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Raster {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl Raster {
+    /// All-zeros raster.
+    #[must_use]
+    pub fn zeros(width: usize, height: usize) -> Self {
+        Raster {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Builds a raster from raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != width * height`.
+    #[must_use]
+    pub fn from_vec(width: usize, height: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), width * height, "raster size mismatch");
+        Raster {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw row-major values.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw values.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn at(&self, x: usize, y: usize) -> f32 {
+        assert!(x < self.width && y < self.height, "raster index out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Writes `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        assert!(x < self.width && y < self.height, "raster index out of bounds");
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Adds `v` at `(x, y)` when inside the raster; ignores outside splats.
+    pub fn splat(&mut self, x: isize, y: isize, v: f32) {
+        if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
+            self.data[y as usize * self.width + x as usize] += v;
+        }
+    }
+
+    /// Maximum value (−∞ when empty).
+    #[must_use]
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum value (+∞ when empty).
+    #[must_use]
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Mean value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+
+    /// Converts to a rank-2 tensor `[H, W]`.
+    #[must_use]
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(self.data.clone(), &[self.height, self.width])
+            .expect("raster dims consistent")
+    }
+
+    /// Builds a raster from a rank-2 tensor `[H, W]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for tensors that are not rank-2.
+    #[must_use]
+    pub fn from_tensor(t: &Tensor) -> Self {
+        assert_eq!(t.rank(), 2, "raster tensors must be [H, W]");
+        Raster {
+            width: t.dims()[1],
+            height: t.dims()[0],
+            data: t.data().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let mut r = Raster::zeros(4, 3);
+        r.set(3, 2, 7.5);
+        assert_eq!(r.at(3, 2), 7.5);
+        assert_eq!(r.data()[2 * 4 + 3], 7.5);
+    }
+
+    #[test]
+    fn splat_accumulates_and_clips() {
+        let mut r = Raster::zeros(2, 2);
+        r.splat(0, 0, 1.0);
+        r.splat(0, 0, 2.0);
+        r.splat(-1, 0, 99.0);
+        r.splat(0, 5, 99.0);
+        assert_eq!(r.at(0, 0), 3.0);
+        assert_eq!(r.data().iter().sum::<f32>(), 3.0);
+    }
+
+    #[test]
+    fn stats() {
+        let r = Raster::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(r.max(), 4.0);
+        assert_eq!(r.min(), 1.0);
+        assert_eq!(r.mean(), 2.5);
+    }
+
+    #[test]
+    fn tensor_round_trip() {
+        let r = Raster::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = r.to_tensor();
+        assert_eq!(t.dims(), &[2, 3]);
+        let back = Raster::from_tensor(&t);
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_vec_validates() {
+        let _ = Raster::from_vec(2, 2, vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Spatial adjustment (paper §III-A): scaling, padding, normalization.
+//!
+//! Training batches need one spatial size. The paper pads inputs whose edge
+//! is below the target (lossless) and bilinearly scales inputs above it,
+//! then normalizes each channel to remove inter-channel bias.
+
+use crate::raster::Raster;
+
+/// How a raster was adjusted to the training size, kept so predictions can
+/// be mapped back to the original chip coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpatialInfo {
+    /// Original fit exactly; nothing was done.
+    Unchanged,
+    /// Original was smaller; zeros were added on the bottom/right.
+    Padded {
+        /// Original width.
+        width: usize,
+        /// Original height.
+        height: usize,
+    },
+    /// Original was larger; it was bilinearly scaled down.
+    Scaled {
+        /// Original width.
+        width: usize,
+        /// Original height.
+        height: usize,
+    },
+}
+
+/// Bilinear resize to `(new_w, new_h)`.
+#[must_use]
+pub fn resize_bilinear(src: &Raster, new_w: usize, new_h: usize) -> Raster {
+    let (w, h) = (src.width(), src.height());
+    let mut out = Raster::zeros(new_w, new_h);
+    if w == 0 || h == 0 || new_w == 0 || new_h == 0 {
+        return out;
+    }
+    let sx = w as f32 / new_w as f32;
+    let sy = h as f32 / new_h as f32;
+    for oy in 0..new_h {
+        // Map output pixel centre back to input coordinates.
+        let fy = ((oy as f32 + 0.5) * sy - 0.5).clamp(0.0, (h - 1) as f32);
+        let y0 = fy.floor() as usize;
+        let y1 = (y0 + 1).min(h - 1);
+        let ty = fy - y0 as f32;
+        for ox in 0..new_w {
+            let fx = ((ox as f32 + 0.5) * sx - 0.5).clamp(0.0, (w - 1) as f32);
+            let x0 = fx.floor() as usize;
+            let x1 = (x0 + 1).min(w - 1);
+            let tx = fx - x0 as f32;
+            let v = src.at(x0, y0) * (1.0 - tx) * (1.0 - ty)
+                + src.at(x1, y0) * tx * (1.0 - ty)
+                + src.at(x0, y1) * (1.0 - tx) * ty
+                + src.at(x1, y1) * tx * ty;
+            out.set(ox, oy, v);
+        }
+    }
+    out
+}
+
+/// Zero-pads on the bottom/right to `(target_w, target_h)`.
+///
+/// # Panics
+///
+/// Panics when the source is larger than the target.
+#[must_use]
+pub fn pad_to(src: &Raster, target_w: usize, target_h: usize) -> Raster {
+    assert!(
+        src.width() <= target_w && src.height() <= target_h,
+        "pad_to target smaller than source"
+    );
+    let mut out = Raster::zeros(target_w, target_h);
+    for y in 0..src.height() {
+        for x in 0..src.width() {
+            out.set(x, y, src.at(x, y));
+        }
+    }
+    out
+}
+
+/// Adjusts a raster to `target × target` following the paper's rule:
+/// pad when smaller (lossless), bilinearly scale when larger.
+#[must_use]
+pub fn spatial_adjust(src: &Raster, target: usize) -> (Raster, SpatialInfo) {
+    let (w, h) = (src.width(), src.height());
+    if w == target && h == target {
+        (src.clone(), SpatialInfo::Unchanged)
+    } else if w <= target && h <= target {
+        (
+            pad_to(src, target, target),
+            SpatialInfo::Padded { width: w, height: h },
+        )
+    } else {
+        (
+            resize_bilinear(src, target, target),
+            SpatialInfo::Scaled { width: w, height: h },
+        )
+    }
+}
+
+/// Restores a prediction at training size back to original chip size using
+/// the stored [`SpatialInfo`] (crop for padded inputs, bilinear upscale for
+/// scaled inputs).
+#[must_use]
+pub fn spatial_restore(pred: &Raster, info: SpatialInfo) -> Raster {
+    match info {
+        SpatialInfo::Unchanged => pred.clone(),
+        SpatialInfo::Padded { width, height } => {
+            let mut out = Raster::zeros(width, height);
+            for y in 0..height {
+                for x in 0..width {
+                    out.set(x, y, pred.at(x, y));
+                }
+            }
+            out
+        }
+        SpatialInfo::Scaled { width, height } => resize_bilinear(pred, width, height),
+    }
+}
+
+/// Per-channel normalization statistics (for later denormalization).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelStats {
+    /// Channel mean before normalization.
+    pub mean: f32,
+    /// Channel standard deviation before normalization.
+    pub std: f32,
+}
+
+/// Z-score normalization of one channel; returns the stats used.
+///
+/// Channels with (near-)zero variance are centered only, avoiding division
+/// blow-ups on constant maps.
+#[must_use]
+pub fn normalize_channel(src: &Raster) -> (Raster, ChannelStats) {
+    let mean = src.mean();
+    let var = src
+        .data()
+        .iter()
+        .map(|&v| (v - mean) * (v - mean))
+        .sum::<f32>()
+        / src.data().len().max(1) as f32;
+    let std = var.sqrt();
+    let denom = if std > 1e-8 { std } else { 1.0 };
+    let data = src.data().iter().map(|&v| (v - mean) / denom).collect();
+    (
+        Raster::from_vec(src.width(), src.height(), data),
+        ChannelStats { mean, std: denom },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resize_preserves_constant_fields() {
+        let src = Raster::from_vec(4, 4, vec![3.5; 16]);
+        let up = resize_bilinear(&src, 9, 7);
+        for &v in up.data() {
+            assert!((v - 3.5).abs() < 1e-6);
+        }
+        let down = resize_bilinear(&src, 2, 2);
+        for &v in down.data() {
+            assert!((v - 3.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn resize_identity_when_same_size() {
+        let src = Raster::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let same = resize_bilinear(&src, 3, 2);
+        for (a, b) in same.data().iter().zip(src.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn resize_interpolates_gradient() {
+        // A left-to-right ramp stays monotone after upscaling.
+        let src = Raster::from_vec(4, 1, vec![0.0, 1.0, 2.0, 3.0]);
+        let up = resize_bilinear(&src, 8, 1);
+        for w in up.data().windows(2) {
+            assert!(w[1] >= w[0] - 1e-6, "ramp should stay monotone");
+        }
+        assert!(up.at(0, 0) >= 0.0 && up.at(7, 0) <= 3.0);
+    }
+
+    #[test]
+    fn pad_preserves_content_and_zero_fills() {
+        let src = Raster::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let padded = pad_to(&src, 4, 3);
+        assert_eq!(padded.at(1, 1), 4.0);
+        assert_eq!(padded.at(3, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pad_to")]
+    fn pad_rejects_shrink() {
+        let src = Raster::zeros(4, 4);
+        let _ = pad_to(&src, 2, 2);
+    }
+
+    #[test]
+    fn adjust_small_pads_and_restores_exactly() {
+        let src = Raster::from_vec(3, 3, (0..9).map(|i| i as f32).collect());
+        let (adj, info) = spatial_adjust(&src, 8);
+        assert_eq!(adj.width(), 8);
+        assert!(matches!(info, SpatialInfo::Padded { width: 3, height: 3 }));
+        let back = spatial_restore(&adj, info);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn adjust_large_scales_and_restores_approximately() {
+        let src = Raster::from_vec(16, 16, (0..256).map(|i| (i % 16) as f32).collect());
+        let (adj, info) = spatial_adjust(&src, 8);
+        assert_eq!(adj.width(), 8);
+        assert!(matches!(info, SpatialInfo::Scaled { width: 16, height: 16 }));
+        let back = spatial_restore(&adj, info);
+        assert_eq!(back.width(), 16);
+        // Ramp structure preserved approximately.
+        assert!(back.at(15, 8) > back.at(0, 8));
+    }
+
+    #[test]
+    fn adjust_exact_is_unchanged() {
+        let src = Raster::zeros(8, 8);
+        let (adj, info) = spatial_adjust(&src, 8);
+        assert_eq!(info, SpatialInfo::Unchanged);
+        assert_eq!(adj, src);
+    }
+
+    #[test]
+    fn normalize_zero_mean_unit_std() {
+        let src = Raster::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let (n, stats) = normalize_channel(&src);
+        assert!((n.mean()).abs() < 1e-6);
+        assert!((stats.mean - 2.5).abs() < 1e-6);
+        let var: f32 = n.data().iter().map(|&v| v * v).sum::<f32>() / 4.0;
+        assert!((var - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalize_constant_channel_is_safe() {
+        let src = Raster::from_vec(2, 2, vec![5.0; 4]);
+        let (n, _) = normalize_channel(&src);
+        assert!(n.data().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,225 @@
+//! Multi-channel feature stacks: the model-facing grouping of rasters.
+
+use crate::maps;
+use crate::raster::Raster;
+use crate::spatial::{normalize_channel, spatial_adjust, SpatialInfo};
+use lmmir_pdn::Case;
+use lmmir_tensor::Tensor;
+
+/// Identity of one feature channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureChannel {
+    /// Per-pixel drawn current.
+    Current,
+    /// Reciprocal summed inverse distance to pads.
+    EffectiveDistance,
+    /// Mean PDN stripe spacing.
+    PdnDensity,
+    /// Pad positions/values.
+    VoltageSource,
+    /// Tap positions/values.
+    CurrentSource,
+    /// Resistor mass per pixel.
+    Resistance,
+}
+
+impl FeatureChannel {
+    /// Channel name as used in file dumps.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FeatureChannel::Current => "current",
+            FeatureChannel::EffectiveDistance => "eff_dist",
+            FeatureChannel::PdnDensity => "pdn_density",
+            FeatureChannel::VoltageSource => "voltage_source",
+            FeatureChannel::CurrentSource => "current_source",
+            FeatureChannel::Resistance => "resistance",
+        }
+    }
+}
+
+/// An ordered set of equally-sized feature channels for one case.
+#[derive(Debug, Clone)]
+pub struct FeatureStack {
+    channels: Vec<(FeatureChannel, Raster)>,
+}
+
+impl FeatureStack {
+    /// The basic 3-channel stack (current, effective distance, PDN density)
+    /// — the feature set of IREDGe and the contest baseline.
+    #[must_use]
+    pub fn basic(case: &Case) -> Self {
+        let (w, h) = (case.power.width(), case.power.height());
+        let dbu = case.tech.dbu_per_um;
+        FeatureStack {
+            channels: vec![
+                (FeatureChannel::Current, maps::current_map(&case.power)),
+                (
+                    FeatureChannel::EffectiveDistance,
+                    maps::effective_distance_map(&case.netlist, w, h, dbu),
+                ),
+                (
+                    FeatureChannel::PdnDensity,
+                    maps::pdn_density_map(&case.netlist, w, h, dbu),
+                ),
+            ],
+        }
+    }
+
+    /// The extended 6-channel stack: basic plus the paper's voltage-source,
+    /// current-source and resistance maps.
+    #[must_use]
+    pub fn extended(case: &Case) -> Self {
+        let (w, h) = (case.power.width(), case.power.height());
+        let dbu = case.tech.dbu_per_um;
+        let mut stack = FeatureStack::basic(case);
+        stack.channels.push((
+            FeatureChannel::VoltageSource,
+            maps::voltage_source_map(&case.netlist, w, h, dbu),
+        ));
+        stack.channels.push((
+            FeatureChannel::CurrentSource,
+            maps::current_source_map(&case.netlist, w, h, dbu),
+        ));
+        stack.channels.push((
+            FeatureChannel::Resistance,
+            maps::resistance_map(&case.netlist, w, h, dbu),
+        ));
+        stack
+    }
+
+    /// Builds a stack from explicit channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when channels disagree in size.
+    #[must_use]
+    pub fn from_channels(channels: Vec<(FeatureChannel, Raster)>) -> Self {
+        if let Some((_, first)) = channels.first() {
+            let (w, h) = (first.width(), first.height());
+            for (c, r) in &channels {
+                assert!(
+                    r.width() == w && r.height() == h,
+                    "channel {} size mismatch",
+                    c.name()
+                );
+            }
+        }
+        FeatureStack { channels }
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Channel accessor.
+    #[must_use]
+    pub fn channel(&self, kind: FeatureChannel) -> Option<&Raster> {
+        self.channels.iter().find(|(k, _)| *k == kind).map(|(_, r)| r)
+    }
+
+    /// Iterates `(kind, raster)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = &(FeatureChannel, Raster)> {
+        self.channels.iter()
+    }
+
+    /// Spatial width (0 for an empty stack).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.channels.first().map_or(0, |(_, r)| r.width())
+    }
+
+    /// Spatial height (0 for an empty stack).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.channels.first().map_or(0, |(_, r)| r.height())
+    }
+
+    /// Adjusts every channel to `target × target` (pad or scale) and
+    /// z-score-normalizes each channel, as the training pipeline requires.
+    ///
+    /// Returns the adjusted stack and the spatial info for restoring
+    /// predictions.
+    #[must_use]
+    pub fn adjusted_normalized(&self, target: usize) -> (FeatureStack, SpatialInfo) {
+        let mut out = Vec::with_capacity(self.channels.len());
+        let mut info = SpatialInfo::Unchanged;
+        for (kind, r) in &self.channels {
+            let (adj, i) = spatial_adjust(r, target);
+            info = i;
+            let (norm, _) = normalize_channel(&adj);
+            out.push((*kind, norm));
+        }
+        (FeatureStack { channels: out }, info)
+    }
+
+    /// Converts to a `[C, H, W]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty stack.
+    #[must_use]
+    pub fn to_tensor(&self) -> Tensor {
+        assert!(!self.channels.is_empty(), "empty feature stack");
+        let (w, h) = (self.width(), self.height());
+        let mut data = Vec::with_capacity(self.channels.len() * w * h);
+        for (_, r) in &self.channels {
+            data.extend_from_slice(r.data());
+        }
+        Tensor::from_vec(data, &[self.channels.len(), h, w]).expect("consistent channel sizes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmmir_pdn::{CaseKind, CaseSpec};
+
+    fn case() -> Case {
+        CaseSpec::new("t", 20, 20, 5, CaseKind::Fake).generate()
+    }
+
+    #[test]
+    fn basic_has_three_channels_extended_six() {
+        let c = case();
+        assert_eq!(FeatureStack::basic(&c).channels(), 3);
+        let e = FeatureStack::extended(&c);
+        assert_eq!(e.channels(), 6);
+        assert!(e.channel(FeatureChannel::Resistance).is_some());
+        assert!(FeatureStack::basic(&c)
+            .channel(FeatureChannel::Resistance)
+            .is_none());
+    }
+
+    #[test]
+    fn to_tensor_is_chw() {
+        let c = case();
+        let t = FeatureStack::extended(&c).to_tensor();
+        assert_eq!(t.dims(), &[6, 20, 20]);
+    }
+
+    #[test]
+    fn adjusted_normalized_pads_and_zero_means() {
+        let c = case();
+        let (adj, info) = FeatureStack::extended(&c).adjusted_normalized(32);
+        assert_eq!(adj.width(), 32);
+        assert!(matches!(
+            info,
+            crate::spatial::SpatialInfo::Padded { width: 20, height: 20 }
+        ));
+        for (_, r) in adj.iter() {
+            assert!(r.mean().abs() < 0.35, "padding shifts mean but stays bounded");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_channels_validates_sizes() {
+        let _ = FeatureStack::from_channels(vec![
+            (FeatureChannel::Current, Raster::zeros(2, 2)),
+            (FeatureChannel::PdnDensity, Raster::zeros(3, 2)),
+        ]);
+    }
+}

@@ -1,0 +1,182 @@
+//! IR-drop violation extraction: from a (predicted or golden) IR map to a
+//! designer-facing list of violation regions.
+//!
+//! This is the downstream consumer of IR prediction in a real flow
+//! (Fig. 1's "violation in the SDC check"): regions whose drop exceeds a
+//! budget must be fixed by PDN edits, so they are reported as connected
+//! components with location, area and severity.
+
+use crate::raster::Raster;
+
+/// One connected region of pixels exceeding the violation threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViolationRegion {
+    /// Bounding box `(min_x, min_y, max_x, max_y)` in pixels (inclusive).
+    pub bbox: (usize, usize, usize, usize),
+    /// Number of violating pixels.
+    pub area: usize,
+    /// Worst drop inside the region (same unit as the input raster).
+    pub peak: f32,
+    /// Pixel of the worst drop.
+    pub peak_at: (usize, usize),
+}
+
+impl ViolationRegion {
+    /// Center of the bounding box.
+    #[must_use]
+    pub fn center(&self) -> (f32, f32) {
+        (
+            (self.bbox.0 + self.bbox.2) as f32 / 2.0,
+            (self.bbox.1 + self.bbox.3) as f32 / 2.0,
+        )
+    }
+}
+
+/// Finds all 4-connected regions with `map[p] >= threshold`, sorted by
+/// descending peak severity.
+#[must_use]
+pub fn find_violations(map: &Raster, threshold: f32) -> Vec<ViolationRegion> {
+    let (w, h) = (map.width(), map.height());
+    let mut visited = vec![false; w * h];
+    let mut regions = Vec::new();
+    let mut stack = Vec::new();
+    for start_y in 0..h {
+        for start_x in 0..w {
+            let start = start_y * w + start_x;
+            if visited[start] || map.data()[start] < threshold {
+                continue;
+            }
+            // Flood fill one region.
+            let mut region = ViolationRegion {
+                bbox: (start_x, start_y, start_x, start_y),
+                area: 0,
+                peak: f32::NEG_INFINITY,
+                peak_at: (start_x, start_y),
+            };
+            stack.push((start_x, start_y));
+            visited[start] = true;
+            while let Some((x, y)) = stack.pop() {
+                region.area += 1;
+                let v = map.at(x, y);
+                if v > region.peak {
+                    region.peak = v;
+                    region.peak_at = (x, y);
+                }
+                region.bbox.0 = region.bbox.0.min(x);
+                region.bbox.1 = region.bbox.1.min(y);
+                region.bbox.2 = region.bbox.2.max(x);
+                region.bbox.3 = region.bbox.3.max(y);
+                let neighbours = [
+                    (x.wrapping_sub(1), y),
+                    (x + 1, y),
+                    (x, y.wrapping_sub(1)),
+                    (x, y + 1),
+                ];
+                for (nx, ny) in neighbours {
+                    if nx < w && ny < h {
+                        let ix = ny * w + nx;
+                        if !visited[ix] && map.data()[ix] >= threshold {
+                            visited[ix] = true;
+                            stack.push((nx, ny));
+                        }
+                    }
+                }
+            }
+            regions.push(region);
+        }
+    }
+    regions.sort_by(|a, b| b.peak.partial_cmp(&a.peak).unwrap_or(std::cmp::Ordering::Equal));
+    regions
+}
+
+/// Summary of a violation check against a drop budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViolationReport {
+    /// The threshold used (volts).
+    pub threshold: f32,
+    /// All regions, worst first.
+    pub regions: Vec<ViolationRegion>,
+    /// Total violating area in pixels.
+    pub total_area: usize,
+}
+
+/// Runs a violation check: threshold as a fraction of the supply voltage
+/// (e.g. `0.02` = 2 % IR budget).
+#[must_use]
+pub fn check_budget(map: &Raster, vdd: f32, budget_frac: f32) -> ViolationReport {
+    let threshold = vdd * budget_frac;
+    let regions = find_violations(map, threshold);
+    let total_area = regions.iter().map(|r| r.area).sum();
+    ViolationReport {
+        threshold,
+        regions,
+        total_area,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_from(rows: &[&[f32]]) -> Raster {
+        let h = rows.len();
+        let w = rows[0].len();
+        Raster::from_vec(w, h, rows.iter().flat_map(|r| r.iter().copied()).collect())
+    }
+
+    #[test]
+    fn clean_map_has_no_violations() {
+        let m = map_from(&[&[0.1, 0.2], &[0.0, 0.1]]);
+        assert!(find_violations(&m, 0.5).is_empty());
+    }
+
+    #[test]
+    fn single_region_flood_fills() {
+        let m = map_from(&[
+            &[0.0, 0.9, 0.8, 0.0],
+            &[0.0, 0.7, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, 0.0],
+        ]);
+        let v = find_violations(&m, 0.5);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].area, 3);
+        assert_eq!(v[0].peak, 0.9);
+        assert_eq!(v[0].peak_at, (1, 0));
+        assert_eq!(v[0].bbox, (1, 0, 2, 1));
+    }
+
+    #[test]
+    fn diagonal_pixels_are_separate_regions() {
+        let m = map_from(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let v = find_violations(&m, 0.5);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|r| r.area == 1));
+    }
+
+    #[test]
+    fn regions_sorted_by_severity() {
+        let m = map_from(&[&[0.6, 0.0, 0.9], &[0.0, 0.0, 0.0]]);
+        let v = find_violations(&m, 0.5);
+        assert_eq!(v.len(), 2);
+        assert!(v[0].peak >= v[1].peak);
+        assert_eq!(v[0].peak, 0.9);
+    }
+
+    #[test]
+    fn budget_report_totals() {
+        let m = map_from(&[&[0.03, 0.001], &[0.025, 0.0]]);
+        let report = check_budget(&m, 1.1, 0.02); // threshold 0.022 V
+        assert_eq!(report.total_area, 2);
+        assert!((report.threshold - 0.022).abs() < 1e-6);
+        assert_eq!(report.regions.len(), 1); // the two pixels are connected
+    }
+
+    #[test]
+    fn whole_map_violating_is_one_region() {
+        let m = map_from(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let v = find_violations(&m, 0.5);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].area, 4);
+        assert_eq!(v[0].center(), (0.5, 0.5));
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for the spatial-adjustment pipeline.
+
+use lmmir_features::spatial::spatial_restore;
+use lmmir_features::{normalize_channel, pad_to, resize_bilinear, spatial_adjust, Raster};
+use proptest::prelude::*;
+
+fn arb_raster() -> impl Strategy<Value = Raster> {
+    (1usize..24, 1usize..24).prop_flat_map(|(w, h)| {
+        prop::collection::vec(-10.0f32..10.0, w * h)
+            .prop_map(move |data| Raster::from_vec(w, h, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn resize_bounds_preserved(r in arb_raster(), nw in 1usize..32, nh in 1usize..32) {
+        let out = resize_bilinear(&r, nw, nh);
+        prop_assert_eq!(out.width(), nw);
+        prop_assert_eq!(out.height(), nh);
+        // Bilinear interpolation cannot overshoot the input range.
+        prop_assert!(out.max() <= r.max() + 1e-4);
+        prop_assert!(out.min() >= r.min() - 1e-4);
+    }
+
+    #[test]
+    fn padded_adjust_restores_exactly(r in arb_raster()) {
+        let target = r.width().max(r.height()).max(2);
+        let (adj, info) = spatial_adjust(&r, target);
+        prop_assert_eq!(adj.width(), target);
+        prop_assert_eq!(adj.height(), target);
+        let back = spatial_restore(&adj, info);
+        prop_assert_eq!(back, r);
+    }
+
+    #[test]
+    fn scaled_adjust_restores_dimensions(r in arb_raster()) {
+        let target = (r.width().min(r.height()) / 2).max(1);
+        let (adj, info) = spatial_adjust(&r, target);
+        let back = spatial_restore(&adj, info);
+        prop_assert_eq!(back.width(), r.width());
+        prop_assert_eq!(back.height(), r.height());
+    }
+
+    #[test]
+    fn normalization_is_affine_invariant_in_rank(r in arb_raster(), k in 0.5f32..4.0, b in -3.0f32..3.0) {
+        // z-scoring an affinely transformed channel yields the same result
+        // (up to fp error) as z-scoring the original when k > 0.
+        let (na, _) = normalize_channel(&r);
+        let shifted = Raster::from_vec(
+            r.width(),
+            r.height(),
+            r.data().iter().map(|&v| v * k + b).collect(),
+        );
+        let (nb, _) = normalize_channel(&shifted);
+        for (x, y) in na.data().iter().zip(nb.data()) {
+            prop_assert!((x - y).abs() < 2e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn pad_never_loses_mass(r in arb_raster()) {
+        let p = pad_to(&r, r.width() + 3, r.height() + 2);
+        let sum_r: f32 = r.data().iter().sum();
+        let sum_p: f32 = p.data().iter().sum();
+        prop_assert!((sum_r - sum_p).abs() < 1e-3);
+    }
+}

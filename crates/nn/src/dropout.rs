@@ -1,0 +1,109 @@
+//! Inverted dropout.
+
+use crate::module::Module;
+use lmmir_tensor::{Result, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::{Cell, RefCell};
+
+/// Inverted dropout: zeroes activations with probability `p` during training
+/// and rescales survivors by `1/(1-p)`; identity in eval mode.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    training: Cell<bool>,
+    rng: RefCell<StdRng>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and its own seeded
+    /// mask RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    #[must_use]
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+        Dropout {
+            p,
+            training: Cell::new(true),
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Drop probability.
+    #[must_use]
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Module for Dropout {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        if !self.training.get() || self.p == 0.0 {
+            return Ok(x.clone());
+        }
+        let keep = 1.0 - self.p;
+        let dims = x.dims();
+        let mut rng = self.rng.borrow_mut();
+        let mask_data: Vec<f32> = (0..x.value().numel())
+            .map(|_| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mask = Var::constant(Tensor::from_vec(mask_data, &dims)?);
+        x.mul(&mask)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+
+    fn set_training(&self, training: bool) {
+        self.training.set(training);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.5, 0);
+        d.set_training(false);
+        let x = Var::constant(Tensor::ones(&[100]));
+        let y = d.forward(&x).unwrap();
+        assert_eq!(y.value().data(), x.value().data());
+    }
+
+    #[test]
+    fn training_mode_zeroes_about_p() {
+        let d = Dropout::new(0.5, 42);
+        let x = Var::constant(Tensor::ones(&[10_000]));
+        let y = d.forward(&x).unwrap();
+        let zeros = y.value().data().iter().filter(|&&v| v == 0.0).count();
+        assert!((4_000..6_000).contains(&zeros), "zeros = {zeros}");
+        // Survivors are rescaled to preserve expectation.
+        let mean = y.value().mean_all();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn p_zero_is_identity_even_in_training() {
+        let d = Dropout::new(0.0, 0);
+        let x = Var::constant(Tensor::ones(&[8]));
+        assert_eq!(d.forward(&x).unwrap().value().data(), x.value().data());
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p")]
+    fn invalid_p_panics() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # lmmir-nn
+//!
+//! Neural-network layers on top of [`lmmir_tensor`]: the `torch.nn`
+//! equivalent used by the LMM-IR reproduction. Provides convolution,
+//! batch/layer normalization, linear, embedding, dropout, pooling/upsampling
+//! wrappers, multi-head self/cross attention and the attention gate from
+//! Attention U-Net — every building block the paper's architecture needs.
+//!
+//! All layers implement [`Module`]; constructors take an explicit RNG so
+//! weight initialization is reproducible under a fixed seed.
+//!
+//! ```
+//! use lmmir_nn::{Linear, Module};
+//! use lmmir_tensor::{Tensor, Var};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), lmmir_tensor::TensorError> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let layer = Linear::new(4, 2, true, &mut rng);
+//! let x = Var::constant(Tensor::zeros(&[3, 4]));
+//! let y = layer.forward(&x)?;
+//! assert_eq!(y.dims(), vec![3, 2]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod attention;
+pub mod container;
+pub mod conv;
+pub mod dropout;
+pub mod embedding;
+pub mod linear;
+pub mod module;
+pub mod norm;
+pub mod pool;
+
+pub use attention::{AttentionGate, MultiHeadAttention};
+pub use container::Sequential;
+pub use conv::{Conv2d, ConvTranspose2d};
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use linear::Linear;
+pub use module::{load_state_dict, state_dict, Activation, Module};
+pub use norm::{BatchNorm2d, LayerNorm};
+pub use pool::{MaxPool2d, UpsampleNearest2d};

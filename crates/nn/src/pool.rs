@@ -1,0 +1,81 @@
+//! Pooling and upsampling wrapper modules.
+
+use crate::module::Module;
+use lmmir_tensor::{Result, Var};
+
+/// Max-pooling over square windows.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling module; `kernel == stride` gives the classic
+    /// non-overlapping "pool by 2" used in the LMM-IR encoder.
+    #[must_use]
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d { kernel, stride }
+    }
+
+    /// Non-overlapping pooling by factor `k`.
+    #[must_use]
+    pub fn by(k: usize) -> Self {
+        MaxPool2d::new(k, k)
+    }
+}
+
+impl Module for MaxPool2d {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        x.max_pool2d(self.kernel, self.stride)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+/// Nearest-neighbour spatial upsampling by an integer factor.
+#[derive(Debug, Clone, Copy)]
+pub struct UpsampleNearest2d {
+    factor: usize,
+}
+
+impl UpsampleNearest2d {
+    /// Creates an upsampler.
+    #[must_use]
+    pub fn new(factor: usize) -> Self {
+        UpsampleNearest2d { factor }
+    }
+}
+
+impl Module for UpsampleNearest2d {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        x.upsample_nearest2d(self.factor)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmmir_tensor::Tensor;
+
+    #[test]
+    fn pool_then_upsample_restores_shape() {
+        let x = Var::constant(Tensor::ones(&[1, 2, 8, 8]));
+        let pooled = MaxPool2d::by(2).forward(&x).unwrap();
+        assert_eq!(pooled.dims(), vec![1, 2, 4, 4]);
+        let up = UpsampleNearest2d::new(2).forward(&pooled).unwrap();
+        assert_eq!(up.dims(), vec![1, 2, 8, 8]);
+    }
+
+    #[test]
+    fn pool_window_too_large_errors() {
+        let x = Var::constant(Tensor::ones(&[1, 1, 2, 2]));
+        assert!(MaxPool2d::by(3).forward(&x).is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Synthetic power (current-draw) maps.
+//!
+//! Real designs concentrate switching activity in hotspots (cores, caches,
+//! SerDes); BeGAN models this with learned generators. We use a mixture of
+//! anisotropic Gaussian blobs over a uniform background, which produces the
+//! same qualitative structure the predictor must learn: smooth fields with
+//! localized high-current regions whose IR impact depends on pad distance.
+
+use rand::Rng;
+
+/// A per-µm² current-draw map (`data[y * width + x]` in amperes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerMap {
+    width: usize,
+    height: usize,
+    data: Vec<f64>,
+}
+
+impl PowerMap {
+    /// Creates an all-zero map.
+    #[must_use]
+    pub fn zeros(width: usize, height: usize) -> Self {
+        PowerMap {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Creates a map from raw values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != width * height`.
+    #[must_use]
+    pub fn from_vec(width: usize, height: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), width * height, "power map size mismatch");
+        PowerMap {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Synthesizes a hotspot map.
+    ///
+    /// * `hotspots` — number of Gaussian blobs.
+    /// * `total_current` — the map is rescaled so all pixels sum to this
+    ///   value (amperes), making IR-drop magnitudes controllable.
+    #[must_use]
+    pub fn synth(
+        width: usize,
+        height: usize,
+        hotspots: usize,
+        total_current: f64,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut map = PowerMap::zeros(width, height);
+        let (wf, hf) = (width as f64, height as f64);
+        // Uniform background: idle logic draws a little everywhere.
+        let background = 0.15;
+        for v in &mut map.data {
+            *v = background * (0.5 + rng.gen::<f64>());
+        }
+        for _ in 0..hotspots {
+            let cx = rng.gen_range(0.1..0.9) * wf;
+            let cy = rng.gen_range(0.1..0.9) * hf;
+            let sx = rng.gen_range(0.03..0.15) * wf;
+            let sy = rng.gen_range(0.03..0.15) * hf;
+            let amp = rng.gen_range(1.0..4.0);
+            for y in 0..height {
+                for x in 0..width {
+                    let dx = (x as f64 + 0.5 - cx) / sx;
+                    let dy = (y as f64 + 0.5 - cy) / sy;
+                    map.data[y * width + x] += amp * (-0.5 * (dx * dx + dy * dy)).exp();
+                }
+            }
+        }
+        let sum: f64 = map.data.iter().sum();
+        if sum > 0.0 {
+            let k = total_current / sum;
+            for v in &mut map.data {
+                *v *= k;
+            }
+        }
+        map
+    }
+
+    /// Map width (µm / pixels).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Map height (µm / pixels).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw values, row-major.
+    #[must_use]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Current at a pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    #[must_use]
+    pub fn at(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x]
+    }
+
+    /// Total current over the map (A).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum per-pixel current (A).
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synth_normalizes_total_current() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = PowerMap::synth(48, 48, 3, 2.5, &mut rng);
+        assert!((m.total() - 2.5).abs() < 1e-9);
+        assert_eq!(m.width(), 48);
+        assert_eq!(m.height(), 48);
+    }
+
+    #[test]
+    fn synth_has_hotspot_contrast() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = PowerMap::synth(64, 64, 4, 1.0, &mut rng);
+        let mean = m.total() / (64.0 * 64.0);
+        assert!(
+            m.peak() > 3.0 * mean,
+            "peak {} should stand out over mean {mean}",
+            m.peak()
+        );
+    }
+
+    #[test]
+    fn synth_is_deterministic_per_seed() {
+        let a = PowerMap::synth(16, 16, 2, 1.0, &mut StdRng::seed_from_u64(9));
+        let b = PowerMap::synth(16, 16, 2, 1.0, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = PowerMap::synth(16, 16, 2, 1.0, &mut StdRng::seed_from_u64(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_values_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = PowerMap::synth(32, 32, 5, 1.0, &mut rng);
+        assert!(m.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn zero_hotspots_gives_background_only() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = PowerMap::synth(16, 16, 0, 1.0, &mut rng);
+        // Background is jittered uniform: max/min ratio bounded by 3.
+        let max = m.peak();
+        let min = m.data().iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 3.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_vec_validates() {
+        let _ = PowerMap::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,217 @@
+//! PDN technology description: metal layers, pitches, resistances.
+
+/// Routing direction of a metal layer's power stripes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerDir {
+    /// Stripes run along X (constant Y per stripe).
+    Horizontal,
+    /// Stripes run along Y (constant X per stripe).
+    Vertical,
+}
+
+/// One metal layer of the PDN stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerSpec {
+    /// Metal layer id (`m1` → 1).
+    pub id: u8,
+    /// Stripe direction.
+    pub dir: LayerDir,
+    /// Stripe pitch in µm.
+    pub pitch_um: f64,
+    /// Wire resistance per µm of stripe length (Ω/µm). Lower layers are
+    /// thinner and therefore much more resistive — the 28 nm → 7 nm
+    /// resistance blow-up motivating the paper.
+    pub res_per_um: f64,
+}
+
+/// A PDN technology: ordered layer stack (bottom first), via resistances
+/// between adjacent layers, pad placement pitch and supply voltage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdnTech {
+    /// Layers from bottom (`m1`) to top.
+    pub layers: Vec<LayerSpec>,
+    /// Via resistance (Ω) between `layers[i]` and `layers[i+1]`.
+    pub via_res: Vec<f64>,
+    /// C4 pad pitch in µm on the top layer.
+    pub pad_pitch_um: f64,
+    /// Supply voltage at the pads (V).
+    pub vdd: f64,
+    /// Database units per µm (the contest uses 2000).
+    pub dbu_per_um: i64,
+}
+
+impl PdnTech {
+    /// A four-layer stack (m1/m4/m7/m9) with contest-like proportions,
+    /// suitable for chips tens to hundreds of µm on a side.
+    #[must_use]
+    pub fn standard() -> Self {
+        PdnTech {
+            layers: vec![
+                LayerSpec {
+                    id: 1,
+                    dir: LayerDir::Horizontal,
+                    pitch_um: 1.0,
+                    res_per_um: 2.0,
+                },
+                LayerSpec {
+                    id: 4,
+                    dir: LayerDir::Vertical,
+                    pitch_um: 2.0,
+                    res_per_um: 0.8,
+                },
+                LayerSpec {
+                    id: 7,
+                    dir: LayerDir::Horizontal,
+                    pitch_um: 4.0,
+                    res_per_um: 0.3,
+                },
+                LayerSpec {
+                    id: 9,
+                    dir: LayerDir::Vertical,
+                    pitch_um: 8.0,
+                    res_per_um: 0.1,
+                },
+            ],
+            via_res: vec![4.0, 2.0, 1.0],
+            pad_pitch_um: 16.0,
+            vdd: 1.1,
+            dbu_per_um: 2000,
+        }
+    }
+
+    /// Validates structural invariants (alternating directions, one fewer
+    /// via entry than layers, positive values).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.layers.len() < 2 {
+            return Err("technology needs at least two layers".to_string());
+        }
+        if self.via_res.len() + 1 != self.layers.len() {
+            return Err(format!(
+                "expected {} via resistances, got {}",
+                self.layers.len() - 1,
+                self.via_res.len()
+            ));
+        }
+        for w in self.layers.windows(2) {
+            if w[0].dir == w[1].dir {
+                return Err(format!(
+                    "adjacent layers m{} and m{} must alternate direction",
+                    w[0].id, w[1].id
+                ));
+            }
+            if w[0].id >= w[1].id {
+                return Err("layer ids must strictly increase".to_string());
+            }
+        }
+        for l in &self.layers {
+            if l.pitch_um <= 0.0 || l.res_per_um <= 0.0 {
+                return Err(format!("layer m{} has non-positive pitch/resistance", l.id));
+            }
+        }
+        if self.via_res.iter().any(|&r| r <= 0.0) {
+            return Err("via resistances must be positive".to_string());
+        }
+        if self.pad_pitch_um <= 0.0 || self.vdd <= 0.0 || self.dbu_per_um <= 0 {
+            return Err("pad pitch, vdd and dbu scale must be positive".to_string());
+        }
+        Ok(())
+    }
+
+    /// Stripe cross-axis positions (µm) of a layer within `[0, extent_um]`.
+    ///
+    /// Stripes start at half a pitch from the edge so chips of any size get
+    /// at least one stripe.
+    #[must_use]
+    pub fn stripe_positions(&self, layer: &LayerSpec, extent_um: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut p = layer.pitch_um * 0.5;
+        while p < extent_um {
+            out.push(p);
+            p += layer.pitch_um;
+        }
+        if out.is_empty() {
+            out.push(extent_um * 0.5);
+        }
+        out
+    }
+
+    /// Converts µm to DBU, rounding to the nearest unit.
+    #[must_use]
+    pub fn to_dbu(&self, um: f64) -> i64 {
+        (um * self.dbu_per_um as f64).round() as i64
+    }
+
+    /// Converts DBU to µm.
+    #[must_use]
+    pub fn to_um(&self, dbu: i64) -> f64 {
+        dbu as f64 / self.dbu_per_um as f64
+    }
+}
+
+impl Default for PdnTech {
+    fn default() -> Self {
+        PdnTech::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_tech_is_valid() {
+        PdnTech::standard().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_direction_clash() {
+        let mut t = PdnTech::standard();
+        t.layers[1].dir = LayerDir::Horizontal;
+        assert!(t.validate().unwrap_err().contains("alternate"));
+    }
+
+    #[test]
+    fn validation_catches_via_count() {
+        let mut t = PdnTech::standard();
+        t.via_res.pop();
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_nonpositive() {
+        let mut t = PdnTech::standard();
+        t.layers[0].pitch_um = 0.0;
+        assert!(t.validate().is_err());
+        let mut t2 = PdnTech::standard();
+        t2.vdd = 0.0;
+        assert!(t2.validate().is_err());
+    }
+
+    #[test]
+    fn stripe_positions_cover_extent() {
+        let t = PdnTech::standard();
+        let m1 = t.layers[0];
+        let pos = t.stripe_positions(&m1, 10.0);
+        assert_eq!(pos.len(), 10); // pitch 1.0 over 10 µm, starting at 0.5
+        assert!(pos[0] >= 0.0 && *pos.last().unwrap() <= 10.0);
+    }
+
+    #[test]
+    fn tiny_extent_still_gets_one_stripe() {
+        let t = PdnTech::standard();
+        let m9 = t.layers[3];
+        let pos = t.stripe_positions(&m9, 2.0); // pitch 8 > extent
+        assert_eq!(pos.len(), 1);
+    }
+
+    #[test]
+    fn dbu_round_trip() {
+        let t = PdnTech::standard();
+        assert_eq!(t.to_dbu(1.0), 2000);
+        assert!((t.to_um(t.to_dbu(3.25)) - 3.25).abs() < 1e-9);
+    }
+}

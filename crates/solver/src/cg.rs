@@ -1,0 +1,326 @@
+//! Jacobi-preconditioned conjugate-gradient solver.
+
+use crate::sparse::Csr;
+use std::fmt;
+
+/// Convergence parameters for [`solve_cg`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgConfig {
+    /// Maximum number of iterations before giving up.
+    pub max_iters: usize,
+    /// Relative residual tolerance `||r|| / ||b||`.
+    pub tol: f64,
+    /// Enable Jacobi (diagonal) preconditioning. PDN conductance matrices
+    /// have wildly varying diagonals (fine `m1` rails vs thick top stripes),
+    /// so disabling this typically multiplies iteration counts — exposed as
+    /// a design-choice ablation for the solver benchmark.
+    pub jacobi: bool,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        CgConfig {
+            max_iters: 20_000,
+            tol: 1e-10,
+            jacobi: true,
+        }
+    }
+}
+
+/// Successful CG solve with convergence diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgSolution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations consumed.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub residual: f64,
+}
+
+/// Error from [`solve_cg`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveCgError {
+    /// Right-hand side length differs from the matrix dimension.
+    DimensionMismatch {
+        /// Matrix dimension.
+        n: usize,
+        /// RHS length.
+        rhs: usize,
+    },
+    /// A zero or negative diagonal entry makes Jacobi preconditioning (and
+    /// SPD-ness) impossible — typically a floating node.
+    BadDiagonal {
+        /// Row with the bad diagonal.
+        row: usize,
+        /// The diagonal value.
+        value: f64,
+    },
+    /// The iteration did not reach `tol` within `max_iters`.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Relative residual reached.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for SolveCgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveCgError::DimensionMismatch { n, rhs } => {
+                write!(f, "rhs length {rhs} does not match matrix dimension {n}")
+            }
+            SolveCgError::BadDiagonal { row, value } => {
+                write!(f, "non-positive diagonal {value} at row {row} (floating node?)")
+            }
+            SolveCgError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "cg did not converge: residual {residual:.3e} after {iterations} iterations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveCgError {}
+
+/// Solves `A x = b` for symmetric positive definite `A` with
+/// Jacobi-preconditioned conjugate gradients.
+///
+/// # Errors
+///
+/// Returns [`SolveCgError`] on dimension mismatch, a non-positive diagonal,
+/// or failure to converge within `cfg.max_iters`.
+pub fn solve_cg(a: &Csr, b: &[f64], cfg: CgConfig) -> Result<CgSolution, SolveCgError> {
+    let n = a.n();
+    if b.len() != n {
+        return Err(SolveCgError::DimensionMismatch { n, rhs: b.len() });
+    }
+    if n == 0 {
+        return Ok(CgSolution {
+            x: Vec::new(),
+            iterations: 0,
+            residual: 0.0,
+        });
+    }
+    let diag = a.diag();
+    for (i, &d) in diag.iter().enumerate() {
+        if d <= 0.0 {
+            return Err(SolveCgError::BadDiagonal { row: i, value: d });
+        }
+    }
+    let inv_diag: Vec<f64> = if cfg.jacobi {
+        diag.iter().map(|&d| 1.0 / d).collect()
+    } else {
+        vec![1.0; n]
+    };
+
+    let bnorm = dot(b, b).sqrt();
+    if bnorm == 0.0 {
+        return Ok(CgSolution {
+            x: vec![0.0; n],
+            iterations: 0,
+            residual: 0.0,
+        });
+    }
+
+    let mut x = vec![0.0f64; n];
+    let mut r = b.to_vec(); // r = b - A*0
+    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0f64; n];
+
+    for it in 1..=cfg.max_iters {
+        a.matvec(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            // Matrix is not SPD on this subspace; report as non-convergence.
+            return Err(SolveCgError::NotConverged {
+                iterations: it,
+                residual: dot(&r, &r).sqrt() / bnorm,
+            });
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rel = dot(&r, &r).sqrt() / bnorm;
+        if rel <= cfg.tol {
+            return Ok(CgSolution {
+                x,
+                iterations: it,
+                residual: rel,
+            });
+        }
+        for i in 0..n {
+            z[i] = r[i] * inv_diag[i];
+        }
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    Err(SolveCgError::NotConverged {
+        iterations: cfg.max_iters,
+        residual: dot(&r, &r).sqrt() / bnorm,
+    })
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = Csr::from_triplets(3, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+        let sol = solve_cg(&a, &[1.0, 2.0, 3.0], CgConfig::default()).unwrap();
+        assert_eq!(sol.x, vec![1.0, 2.0, 3.0]);
+        assert!(sol.iterations <= 2);
+    }
+
+    #[test]
+    fn solves_2x2_spd() {
+        // [[4,1],[1,3]] x = [1,2]  => x = [1/11, 7/11]
+        let a = Csr::from_triplets(2, &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)]);
+        let sol = solve_cg(&a, &[1.0, 2.0], CgConfig::default()).unwrap();
+        assert!((sol.x[0] - 1.0 / 11.0).abs() < 1e-8);
+        assert!((sol.x[1] - 7.0 / 11.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn solves_1d_laplacian_chain() {
+        // Dirichlet chain: -u'' = f discretized; compare against direct solve
+        // via residual check.
+        let n = 50;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+            }
+        }
+        let a = Csr::from_triplets(n, &t);
+        let b = vec![1.0; n];
+        let sol = solve_cg(&a, &b, CgConfig::default()).unwrap();
+        let mut ax = vec![0.0; n];
+        a.matvec(&sol.x, &mut ax);
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((axi - bi).abs() < 1e-6);
+        }
+        // Known closed form: x_i = i(n+1-i)/2 at 1-based i with h=1.
+        let mid = sol.x[n / 2];
+        assert!(mid > sol.x[0], "solution should bulge in the middle");
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = Csr::from_triplets(2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let sol = solve_cg(&a, &[0.0, 0.0], CgConfig::default()).unwrap();
+        assert_eq!(sol.x, vec![0.0, 0.0]);
+        assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn empty_system_ok() {
+        let a = Csr::from_triplets(0, &[]);
+        let sol = solve_cg(&a, &[], CgConfig::default()).unwrap();
+        assert!(sol.x.is_empty());
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let a = Csr::from_triplets(2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        assert!(matches!(
+            solve_cg(&a, &[1.0], CgConfig::default()),
+            Err(SolveCgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_diagonal_errors() {
+        let a = Csr::from_triplets(2, &[(0, 0, 1.0)]);
+        assert!(matches!(
+            solve_cg(&a, &[1.0, 1.0], CgConfig::default()),
+            Err(SolveCgError::BadDiagonal { row: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let n = 100;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+            }
+        }
+        let a = Csr::from_triplets(n, &t);
+        let err = solve_cg(
+            &a,
+            &vec![1.0; n],
+            CgConfig {
+                max_iters: 2,
+                tol: 1e-14,
+                ..CgConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SolveCgError::NotConverged { iterations: 2, .. }));
+    }
+
+    #[test]
+    fn jacobi_preconditioning_reduces_iterations_on_skewed_diagonal() {
+        // Strongly varying diagonal (like mixed fine/coarse PDN layers):
+        // Jacobi must converge in (much) fewer iterations.
+        let n = 60;
+        let mut t = Vec::new();
+        for i in 0..n {
+            let scale = if i % 2 == 0 { 100.0 } else { 0.5 };
+            t.push((i, i, 2.0 * scale));
+            if i > 0 {
+                t.push((i, i - 1, -0.4));
+                t.push((i - 1, i, -0.4));
+            }
+        }
+        let a = Csr::from_triplets(n, &t);
+        let b = vec![1.0; n];
+        let with = solve_cg(&a, &b, CgConfig::default()).unwrap();
+        let without = solve_cg(
+            &a,
+            &b,
+            CgConfig {
+                jacobi: false,
+                ..CgConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            with.iterations < without.iterations,
+            "jacobi {} vs plain {}",
+            with.iterations,
+            without.iterations
+        );
+        // Both converge to the same solution.
+        for (x, y) in with.x.iter().zip(&without.x) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Dense Cholesky factorization: the direct-solver reference used to
+//! cross-validate CG on small systems.
+//!
+//! Golden IR analysis uses CG because PDN matrices are large and sparse,
+//! but a direct method provides an independent correctness oracle (and is
+//! faster below a few hundred unknowns).
+
+use crate::sparse::Csr;
+use std::fmt;
+
+/// Error from dense Cholesky factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FactorizeError {
+    /// A non-positive pivot was encountered: the matrix is not positive
+    /// definite (floating node or bad stamping).
+    NotPositiveDefinite {
+        /// Pivot row.
+        row: usize,
+        /// Pivot value.
+        pivot: f64,
+    },
+    /// RHS length mismatch at solve time.
+    DimensionMismatch {
+        /// Matrix dimension.
+        n: usize,
+        /// RHS length.
+        rhs: usize,
+    },
+}
+
+impl fmt::Display for FactorizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactorizeError::NotPositiveDefinite { row, pivot } => {
+                write!(f, "matrix not positive definite: pivot {pivot} at row {row}")
+            }
+            FactorizeError::DimensionMismatch { n, rhs } => {
+                write!(f, "rhs length {rhs} does not match dimension {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FactorizeError {}
+
+/// Dense lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    n: usize,
+    /// Row-major dense lower triangle (full `n×n` storage for simplicity).
+    l: Vec<f64>,
+}
+
+impl CholeskyFactor {
+    /// Factors a dense SPD matrix given in row-major order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorizeError::NotPositiveDefinite`] when a pivot is
+    /// non-positive.
+    pub fn factor_dense(n: usize, a: &[f64]) -> Result<Self, FactorizeError> {
+        assert_eq!(a.len(), n * n, "dense matrix must be n*n");
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[i * n + j];
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(FactorizeError::NotPositiveDefinite { row: i, pivot: sum });
+                    }
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Ok(CholeskyFactor { n, l })
+    }
+
+    /// Factors a sparse SPD matrix by densifying it (reference use only —
+    /// memory is O(n²)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorizeError::NotPositiveDefinite`] for non-SPD input.
+    pub fn factor_csr(a: &Csr) -> Result<Self, FactorizeError> {
+        let n = a.n();
+        let mut dense = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                dense[i * n + j] = a.get(i, j);
+            }
+        }
+        CholeskyFactor::factor_dense(n, &dense)
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` via forward/backward substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorizeError::DimensionMismatch`] for a bad RHS length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, FactorizeError> {
+        if b.len() != self.n {
+            return Err(FactorizeError::DimensionMismatch {
+                n: self.n,
+                rhs: b.len(),
+            });
+        }
+        let n = self.n;
+        // Forward: L y = b
+        let mut y = vec![0.0f64; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[i * n + k] * y[k];
+            }
+            y[i] = sum / self.l[i * n + i];
+        }
+        // Backward: Lᵀ x = y
+        let mut x = vec![0.0f64; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.l[k * n + i] * x[k];
+            }
+            x[i] = sum / self.l[i * n + i];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::{solve_cg, CgConfig};
+
+    #[test]
+    fn factors_and_solves_2x2() {
+        // A = [[4,2],[2,3]] => L = [[2,0],[1,sqrt(2)]]
+        let f = CholeskyFactor::factor_dense(2, &[4.0, 2.0, 2.0, 3.0]).unwrap();
+        let x = f.solve(&[8.0, 7.0]).unwrap();
+        // Verify A x = b.
+        assert!((4.0 * x[0] + 2.0 * x[1] - 8.0).abs() < 1e-12);
+        assert!((2.0 * x[0] + 3.0 * x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let err = CholeskyFactor::factor_dense(2, &[1.0, 2.0, 2.0, 1.0]).unwrap_err();
+        assert!(matches!(err, FactorizeError::NotPositiveDefinite { row: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_rhs() {
+        let f = CholeskyFactor::factor_dense(1, &[1.0]).unwrap();
+        assert!(f.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn matches_cg_on_laplacian() {
+        // 1-D Dirichlet Laplacian, n = 20.
+        let n = 20;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+            }
+        }
+        let a = Csr::from_triplets(n, &t);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let direct = CholeskyFactor::factor_csr(&a).unwrap().solve(&b).unwrap();
+        let iterative = solve_cg(&a, &b, CgConfig::default()).unwrap();
+        for (x, y) in direct.iter().zip(&iterative.x) {
+            assert!((x - y).abs() < 1e-7, "direct {x} vs cg {y}");
+        }
+    }
+}

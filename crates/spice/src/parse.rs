@@ -1,0 +1,252 @@
+//! Line-oriented parser for the contest SPICE dialect.
+//!
+//! The parser is hand-rolled (no regex) because contest netlists reach
+//! millions of lines; it allocates only for element names.
+
+use crate::model::{Element, ElementKind, Netlist, NodeName, NodeRef};
+use std::fmt;
+use std::io::BufRead;
+use std::path::Path;
+
+/// Error produced while parsing a netlist, with 1-based line location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNetlistError {
+    /// 1-based line number of the offending line (0 for I/O errors).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl ParseNetlistError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseNetlistError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "netlist parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseNetlistError {}
+
+fn parse_node(token: &str, line: usize) -> Result<NodeRef, ParseNetlistError> {
+    if token == "0" {
+        return Ok(NodeRef::Ground);
+    }
+    // Expected: n<net>_m<layer>_<x>_<y>
+    let err = || ParseNetlistError::new(line, format!("malformed node name `{token}`"));
+    let rest = token.strip_prefix(['n', 'N']).ok_or_else(err)?;
+    let mut parts = rest.split('_');
+    let net: u32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+    let layer_tok = parts.next().ok_or_else(err)?;
+    let layer: u8 = layer_tok
+        .strip_prefix(['m', 'M'])
+        .ok_or_else(err)?
+        .parse()
+        .map_err(|_| err())?;
+    let x: i64 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+    let y: i64 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+    if parts.next().is_some() {
+        return Err(err());
+    }
+    Ok(NodeRef::Node(NodeName::new(net, layer, x, y)))
+}
+
+fn parse_line(line: &str, lineno: usize) -> Result<Option<Element>, ParseNetlistError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('*') {
+        return Ok(None);
+    }
+    if let Some(directive) = trimmed.strip_prefix('.') {
+        let word = directive.split_whitespace().next().unwrap_or("");
+        return match word.to_ascii_lowercase().as_str() {
+            "end" | "ends" | "title" | "option" | "options" => Ok(None),
+            other => Err(ParseNetlistError::new(
+                lineno,
+                format!("unsupported directive `.{other}`"),
+            )),
+        };
+    }
+    let mut tok = trimmed.split_whitespace();
+    let name = tok
+        .next()
+        .ok_or_else(|| ParseNetlistError::new(lineno, "empty element line"))?;
+    let kind = match name.chars().next().map(|c| c.to_ascii_uppercase()) {
+        Some('R') => ElementKind::Resistor,
+        Some('I') => ElementKind::CurrentSource,
+        Some('V') => ElementKind::VoltageSource,
+        _ => {
+            return Err(ParseNetlistError::new(
+                lineno,
+                format!("unknown element prefix in `{name}` (expected R/I/V)"),
+            ))
+        }
+    };
+    let a_tok = tok
+        .next()
+        .ok_or_else(|| ParseNetlistError::new(lineno, "missing first node"))?;
+    let b_tok = tok
+        .next()
+        .ok_or_else(|| ParseNetlistError::new(lineno, "missing second node"))?;
+    let v_tok = tok
+        .next()
+        .ok_or_else(|| ParseNetlistError::new(lineno, "missing value"))?;
+    if tok.next().is_some() {
+        return Err(ParseNetlistError::new(lineno, "trailing tokens on element line"));
+    }
+    let a = parse_node(a_tok, lineno)?;
+    let b = parse_node(b_tok, lineno)?;
+    let value: f64 = v_tok
+        .parse()
+        .map_err(|_| ParseNetlistError::new(lineno, format!("bad value `{v_tok}`")))?;
+    if !value.is_finite() {
+        return Err(ParseNetlistError::new(lineno, "non-finite value"));
+    }
+    if kind == ElementKind::Resistor && value < 0.0 {
+        return Err(ParseNetlistError::new(lineno, "negative resistance"));
+    }
+    Ok(Some(Element::new(name, kind, a, b, value)))
+}
+
+impl Netlist {
+    /// Parses a netlist from a string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNetlistError`] with the offending line number on
+    /// malformed input.
+    pub fn parse_str(src: &str) -> Result<Self, ParseNetlistError> {
+        let mut elements = Vec::new();
+        for (i, line) in src.lines().enumerate() {
+            if let Some(e) = parse_line(line, i + 1)? {
+                elements.push(e);
+            }
+        }
+        Ok(Netlist::from_elements(elements))
+    }
+
+    /// Parses a netlist from any buffered reader.
+    ///
+    /// A `&mut R` can be passed where `R: BufRead`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNetlistError`] on I/O failure (line 0) or malformed
+    /// input.
+    pub fn parse_reader<R: BufRead>(reader: R) -> Result<Self, ParseNetlistError> {
+        let mut elements = Vec::new();
+        for (i, line) in reader.lines().enumerate() {
+            let line = line.map_err(|e| ParseNetlistError::new(0, format!("io error: {e}")))?;
+            if let Some(e) = parse_line(&line, i + 1)? {
+                elements.push(e);
+            }
+        }
+        Ok(Netlist::from_elements(elements))
+    }
+
+    /// Parses a netlist from a file path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNetlistError`] on I/O failure or malformed input.
+    pub fn parse_file(path: impl AsRef<Path>) -> Result<Self, ParseNetlistError> {
+        let file = std::fs::File::open(path)
+            .map_err(|e| ParseNetlistError::new(0, format!("cannot open file: {e}")))?;
+        Netlist::parse_reader(std::io::BufReader::new(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_elements() {
+        let src = "\
+* PDN for testcase
+R1 n1_m1_0_0 n1_m1_2000_0 0.26
+I1 n1_m1_2000_0 0 1.17e-05
+V1 n1_m9_4000_4000 0 1.1
+.end
+";
+        let nl = Netlist::parse_str(src).unwrap();
+        assert_eq!(nl.len(), 3);
+        assert_eq!(nl.elements()[0].kind, ElementKind::Resistor);
+        assert_eq!(nl.elements()[1].kind, ElementKind::CurrentSource);
+        assert_eq!(nl.elements()[2].kind, ElementKind::VoltageSource);
+        assert!((nl.elements()[1].value - 1.17e-5).abs() < 1e-12);
+        let v = nl.elements()[2].a.name().unwrap();
+        assert_eq!((v.layer, v.x, v.y), (9, 4000, 4000));
+    }
+
+    #[test]
+    fn skips_comments_blank_lines_and_known_directives() {
+        let src = "\n* comment\n\n.title foo\nR1 n1_m1_0_0 n1_m1_2_0 1.0\n.END\n";
+        let nl = Netlist::parse_str(src).unwrap();
+        assert_eq!(nl.len(), 1);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let src = "R1 n1_m1_0_0 n1_m1_2_0 1.0\nR2 bad_node 0 1.0\n";
+        let err = Netlist::parse_str(src).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("bad_node"));
+    }
+
+    #[test]
+    fn rejects_unknown_prefix() {
+        let err = Netlist::parse_str("C1 n1_m1_0_0 0 1.0\n").unwrap_err();
+        assert!(err.message.contains("unknown element prefix"));
+    }
+
+    #[test]
+    fn rejects_malformed_values_and_arity() {
+        assert!(Netlist::parse_str("R1 n1_m1_0_0 n1_m1_2_0 abc\n").is_err());
+        assert!(Netlist::parse_str("R1 n1_m1_0_0 n1_m1_2_0\n").is_err());
+        assert!(Netlist::parse_str("R1 n1_m1_0_0 n1_m1_2_0 1.0 extra\n").is_err());
+        assert!(Netlist::parse_str("R1 n1_m1_0_0 n1_m1_2_0 -5\n").is_err());
+        assert!(Netlist::parse_str("R1 n1_m1_0_0 n1_m1_2_0 inf\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        let err = Netlist::parse_str(".subckt foo\n").unwrap_err();
+        assert!(err.message.contains("unsupported directive"));
+    }
+
+    #[test]
+    fn negative_source_values_allowed() {
+        // Negative current (injection) is physically meaningful.
+        let nl = Netlist::parse_str("I1 n1_m1_0_0 0 -0.5\n").unwrap();
+        assert_eq!(nl.elements()[0].value, -0.5);
+    }
+
+    #[test]
+    fn parse_reader_matches_parse_str() {
+        let src = "R1 n1_m1_0_0 n1_m1_2_0 1.0\nV1 n1_m4_0_0 0 1.1\n";
+        let a = Netlist::parse_str(src).unwrap();
+        let b = Netlist::parse_reader(src.as_bytes()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn case_insensitive_prefixes() {
+        let nl = Netlist::parse_str("r1 N1_M1_0_0 n1_m1_2_0 1.0\nv2 n1_m4_0_0 0 1.1\n").unwrap();
+        assert_eq!(nl.elements()[0].kind, ElementKind::Resistor);
+        assert_eq!(nl.elements()[1].kind, ElementKind::VoltageSource);
+    }
+
+    #[test]
+    fn large_coordinates_fit() {
+        let nl = Netlist::parse_str("R1 n1_m1_1860000_1860000 n1_m1_1862000_1860000 0.1\n")
+            .unwrap();
+        let n = nl.elements()[0].a.name().unwrap();
+        assert_eq!(n.x, 1_860_000);
+    }
+}

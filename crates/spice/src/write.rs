@@ -1,0 +1,118 @@
+//! Netlist serialization back to the contest SPICE dialect.
+
+use crate::model::Netlist;
+use std::io::Write;
+use std::path::Path;
+
+impl Netlist {
+    /// Serializes the netlist to the contest SPICE dialect (ends with
+    /// `.end`). Round-trips through [`Netlist::parse_str`].
+    #[must_use]
+    pub fn to_spice(&self) -> String {
+        let mut out = String::with_capacity(self.len() * 40 + 16);
+        for e in self.elements() {
+            out.push_str(&e.name);
+            out.push(' ');
+            // NodeRef Display allocates; build inline for throughput.
+            use std::fmt::Write as _;
+            let _ = write!(out, "{} {} {}", e.a, e.b, format_value(e.value));
+            out.push('\n');
+        }
+        out.push_str(".end\n");
+        out
+    }
+
+    /// Writes the netlist to an arbitrary writer (a `&mut W` also works).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn write_spice<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        for e in self.elements() {
+            writeln!(w, "{} {} {} {}", e.name, e.a, e.b, format_value(e.value))?;
+        }
+        writeln!(w, ".end")
+    }
+
+    /// Writes the netlist to a file path.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error.
+    pub fn write_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        self.write_spice(std::io::BufWriter::new(file))
+    }
+}
+
+/// Formats a value so it parses back to the identical `f64`.
+fn format_value(v: f64) -> String {
+    // Shortest round-trip formatting: Rust's `{}` for f64 is already
+    // round-trip capable.
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{Element, ElementKind, Netlist, NodeName, NodeRef};
+
+    fn sample() -> Netlist {
+        Netlist::from_elements(vec![
+            Element::new(
+                "R1",
+                ElementKind::Resistor,
+                NodeRef::Node(NodeName::new(1, 1, 0, 0)),
+                NodeRef::Node(NodeName::new(1, 1, 2000, 0)),
+                0.2625,
+            ),
+            Element::new(
+                "I1",
+                ElementKind::CurrentSource,
+                NodeRef::Node(NodeName::new(1, 1, 2000, 0)),
+                NodeRef::Ground,
+                1.17e-5,
+            ),
+            Element::new(
+                "V1",
+                ElementKind::VoltageSource,
+                NodeRef::Node(NodeName::new(1, 9, 4000, 4000)),
+                NodeRef::Ground,
+                1.1,
+            ),
+        ])
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let nl = sample();
+        let text = nl.to_spice();
+        let back = Netlist::parse_str(&text).unwrap();
+        assert_eq!(nl, back);
+    }
+
+    #[test]
+    fn ends_with_end_directive() {
+        assert!(sample().to_spice().ends_with(".end\n"));
+    }
+
+    #[test]
+    fn write_spice_matches_to_spice() {
+        let nl = sample();
+        let mut buf = Vec::new();
+        nl.write_spice(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), nl.to_spice());
+    }
+
+    #[test]
+    fn extreme_values_round_trip() {
+        let nl = Netlist::from_elements(vec![Element::new(
+            "I1",
+            ElementKind::CurrentSource,
+            NodeRef::Node(NodeName::new(1, 1, 0, 0)),
+            NodeRef::Ground,
+            3.141592653589793e-12,
+        )]);
+        let back = Netlist::parse_str(&nl.to_spice()).unwrap();
+        assert_eq!(back.elements()[0].value, 3.141592653589793e-12);
+    }
+}

@@ -1,0 +1,796 @@
+//! Convolution kernels: `im2col`/`col2im`, 2-D convolution, transposed
+//! convolution, max-pooling and nearest-neighbour upsampling, each with its
+//! exact adjoint (backward) kernel.
+//!
+//! Layouts follow PyTorch:
+//! * activations `[N, C, H, W]`
+//! * `conv2d` weights `[O, C, KH, KW]`
+//! * `conv_transpose2d` weights `[C, O, KH, KW]`
+
+use crate::error::TensorError;
+use crate::linalg::{gemm_nt_slices, gemm_slices, gemm_tn_slices};
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Hyper-parameters of a convolution: stride and symmetric zero padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Spatial stride (same in both axes).
+    pub stride: usize,
+    /// Symmetric zero padding (same on all four sides).
+    pub padding: usize,
+}
+
+impl ConvSpec {
+    /// Creates a spec; `stride` must be non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stride == 0`.
+    #[must_use]
+    pub fn new(stride: usize, padding: usize) -> Self {
+        assert!(stride > 0, "stride must be non-zero");
+        ConvSpec { stride, padding }
+    }
+
+    /// Output spatial size of a convolution over an input of size `in_size`
+    /// with kernel `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] when the kernel does not fit.
+    pub fn conv_out(&self, in_size: usize, k: usize) -> Result<usize> {
+        let padded = in_size + 2 * self.padding;
+        if padded < k {
+            return Err(TensorError::InvalidShape {
+                dims: vec![in_size, k],
+                reason: format!(
+                    "kernel {k} larger than padded input {padded} (pad {})",
+                    self.padding
+                ),
+            });
+        }
+        Ok((padded - k) / self.stride + 1)
+    }
+
+    /// Output spatial size of a transposed convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] when padding exceeds the
+    /// produced size.
+    pub fn deconv_out(&self, in_size: usize, k: usize) -> Result<usize> {
+        let raw = (in_size - 1) * self.stride + k;
+        if raw < 2 * self.padding {
+            return Err(TensorError::InvalidShape {
+                dims: vec![in_size, k],
+                reason: "padding exceeds transposed-conv output".to_string(),
+            });
+        }
+        Ok(raw - 2 * self.padding)
+    }
+}
+
+/// Unfolds one `[C, H, W]` image into a `[C*KH*KW, OH*OW]` column matrix.
+fn im2col_plane(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+    oh: usize,
+    ow: usize,
+    cols: &mut [f32],
+) {
+    let l = oh * ow;
+    debug_assert_eq!(cols.len(), c * kh * kw * l);
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = ((ci * kh + ki) * kw + kj) * l;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ki) as isize - spec.padding as isize;
+                    let dst = row + oy * ow;
+                    if iy < 0 || iy >= h as isize {
+                        // Entire output row reads from the zero pad.
+                        for v in &mut cols[dst..dst + ow] {
+                            *v = 0.0;
+                        }
+                        continue;
+                    }
+                    let src_row = (ci * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kj) as isize - spec.padding as isize;
+                        cols[dst + ox] = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            x[src_row + ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds a `[C*KH*KW, OH*OW]` column matrix back into a `[C, H, W]` image by
+/// scatter-add (the exact adjoint of [`im2col_plane`]).
+fn col2im_plane(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+    oh: usize,
+    ow: usize,
+    x: &mut [f32],
+) {
+    let l = oh * ow;
+    debug_assert_eq!(cols.len(), c * kh * kw * l);
+    debug_assert_eq!(x.len(), c * h * w);
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = ((ci * kh + ki) * kw + kj) * l;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ki) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let dst_row = (ci * h + iy as usize) * w;
+                    let src = row + oy * ow;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kj) as isize - spec.padding as isize;
+                        if ix >= 0 && ix < w as isize {
+                            x[dst_row + ix as usize] += cols[src + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn conv_dims(
+    x: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+) -> Result<(usize, usize, usize, usize, usize, usize, usize, usize)> {
+    if x.rank() != 4 || weight.rank() != 4 {
+        return Err(TensorError::InvalidShape {
+            dims: x.dims().to_vec(),
+            reason: "conv2d expects x [N,C,H,W] and weight [O,C,KH,KW]".to_string(),
+        });
+    }
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let (o, wc, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    if wc != c {
+        return Err(TensorError::ShapeMismatch {
+            lhs: x.dims().to_vec(),
+            rhs: weight.dims().to_vec(),
+            op: "conv2d",
+        });
+    }
+    let _ = spec;
+    Ok((n, c, h, w, o, kh, kw, 0))
+}
+
+/// 2-D convolution `x [N,C,H,W] * w [O,C,KH,KW] (+ b [O]) -> [N,O,OH,OW]`.
+///
+/// # Errors
+///
+/// Returns shape errors when operand layouts disagree or the kernel does not
+/// fit in the padded input.
+pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: ConvSpec) -> Result<Tensor> {
+    let (n, c, h, w, o, kh, kw, _) = conv_dims(x, weight, spec)?;
+    let oh = spec.conv_out(h, kh)?;
+    let ow = spec.conv_out(w, kw)?;
+    let l = oh * ow;
+    let ckk = c * kh * kw;
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    let mut cols = vec![0.0f32; ckk * l];
+    for ni in 0..n {
+        im2col_plane(
+            &x.data()[ni * c * h * w..(ni + 1) * c * h * w],
+            c,
+            h,
+            w,
+            kh,
+            kw,
+            spec,
+            oh,
+            ow,
+            &mut cols,
+        );
+        gemm_slices(
+            o,
+            ckk,
+            l,
+            weight.data(),
+            &cols,
+            &mut out.data_mut()[ni * o * l..(ni + 1) * o * l],
+        );
+    }
+    if let Some(b) = bias {
+        if b.dims() != [o] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![o],
+                rhs: b.dims().to_vec(),
+                op: "conv2d bias",
+            });
+        }
+        for ni in 0..n {
+            for oi in 0..o {
+                let bv = b.data()[oi];
+                let base = (ni * o + oi) * l;
+                for v in &mut out.data_mut()[base..base + l] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`conv2d`]: returns `(dx, dweight, dbias)`.
+///
+/// # Errors
+///
+/// Returns shape errors when `grad_out` does not match the forward output
+/// shape.
+pub fn conv2d_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: ConvSpec,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let (n, c, h, w, o, kh, kw, _) = conv_dims(x, weight, spec)?;
+    let oh = spec.conv_out(h, kh)?;
+    let ow = spec.conv_out(w, kw)?;
+    if grad_out.dims() != [n, o, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![n, o, oh, ow],
+            rhs: grad_out.dims().to_vec(),
+            op: "conv2d_backward",
+        });
+    }
+    let l = oh * ow;
+    let ckk = c * kh * kw;
+    let mut dx = Tensor::zeros(x.dims());
+    let mut dw = Tensor::zeros(weight.dims());
+    let mut db = Tensor::zeros(&[o]);
+    let mut cols = vec![0.0f32; ckk * l];
+    let mut dcols = vec![0.0f32; ckk * l];
+    for ni in 0..n {
+        let g = &grad_out.data()[ni * o * l..(ni + 1) * o * l];
+        // dbias
+        for oi in 0..o {
+            db.data_mut()[oi] += g[oi * l..(oi + 1) * l].iter().sum::<f32>();
+        }
+        // dweight += g [O,L] x cols^T [L,CKK]
+        im2col_plane(
+            &x.data()[ni * c * h * w..(ni + 1) * c * h * w],
+            c,
+            h,
+            w,
+            kh,
+            kw,
+            spec,
+            oh,
+            ow,
+            &mut cols,
+        );
+        gemm_nt_slices(o, l, ckk, g, &cols, dw.data_mut());
+        // dx = col2im( W^T [CKK,O] x g [O,L] )
+        dcols.iter_mut().for_each(|v| *v = 0.0);
+        gemm_tn_slices(ckk, o, l, weight.data(), g, &mut dcols);
+        col2im_plane(
+            &dcols,
+            c,
+            h,
+            w,
+            kh,
+            kw,
+            spec,
+            oh,
+            ow,
+            &mut dx.data_mut()[ni * c * h * w..(ni + 1) * c * h * w],
+        );
+    }
+    Ok((dx, dw, db))
+}
+
+fn deconv_dims(
+    x: &Tensor,
+    weight: &Tensor,
+) -> Result<(usize, usize, usize, usize, usize, usize, usize)> {
+    if x.rank() != 4 || weight.rank() != 4 {
+        return Err(TensorError::InvalidShape {
+            dims: x.dims().to_vec(),
+            reason: "conv_transpose2d expects x [N,C,H,W] and weight [C,O,KH,KW]".to_string(),
+        });
+    }
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let (wc, o, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    if wc != c {
+        return Err(TensorError::ShapeMismatch {
+            lhs: x.dims().to_vec(),
+            rhs: weight.dims().to_vec(),
+            op: "conv_transpose2d",
+        });
+    }
+    Ok((n, c, h, w, o, kh, kw))
+}
+
+/// Transposed 2-D convolution (a.k.a. deconvolution):
+/// `x [N,C,H,W] * w [C,O,KH,KW] -> [N,O,OH,OW]` with
+/// `OH = (H-1)*stride + KH - 2*padding`.
+///
+/// # Errors
+///
+/// Returns shape errors on malformed operands.
+pub fn conv_transpose2d(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+) -> Result<Tensor> {
+    let (n, c, h, w, o, kh, kw) = deconv_dims(x, weight)?;
+    let oh = spec.deconv_out(h, kh)?;
+    let ow = spec.deconv_out(w, kw)?;
+    let l = h * w; // "conv output" space of the adjoint view
+    let okk = o * kh * kw;
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    let mut cols = vec![0.0f32; okk * l];
+    for ni in 0..n {
+        // cols [OKK, L] = W^T [OKK, C] x x[n] [C, L]
+        cols.iter_mut().for_each(|v| *v = 0.0);
+        gemm_tn_slices(
+            okk,
+            c,
+            l,
+            weight.data(),
+            &x.data()[ni * c * l..(ni + 1) * c * l],
+            &mut cols,
+        );
+        col2im_plane(
+            &cols,
+            o,
+            oh,
+            ow,
+            kh,
+            kw,
+            spec,
+            h,
+            w,
+            &mut out.data_mut()[ni * o * oh * ow..(ni + 1) * o * oh * ow],
+        );
+    }
+    if let Some(b) = bias {
+        if b.dims() != [o] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![o],
+                rhs: b.dims().to_vec(),
+                op: "conv_transpose2d bias",
+            });
+        }
+        let plane = oh * ow;
+        for ni in 0..n {
+            for oi in 0..o {
+                let bv = b.data()[oi];
+                let base = (ni * o + oi) * plane;
+                for v in &mut out.data_mut()[base..base + plane] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`conv_transpose2d`]: returns `(dx, dweight, dbias)`.
+///
+/// # Errors
+///
+/// Returns shape errors when `grad_out` does not match the forward output.
+pub fn conv_transpose2d_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: ConvSpec,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let (n, c, h, w, o, kh, kw) = deconv_dims(x, weight)?;
+    let oh = spec.deconv_out(h, kh)?;
+    let ow = spec.deconv_out(w, kw)?;
+    if grad_out.dims() != [n, o, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![n, o, oh, ow],
+            rhs: grad_out.dims().to_vec(),
+            op: "conv_transpose2d_backward",
+        });
+    }
+    let l = h * w;
+    let okk = o * kh * kw;
+    let mut dx = Tensor::zeros(x.dims());
+    let mut dw = Tensor::zeros(weight.dims());
+    let mut db = Tensor::zeros(&[o]);
+    let mut gcols = vec![0.0f32; okk * l];
+    for ni in 0..n {
+        let g = &grad_out.data()[ni * o * oh * ow..(ni + 1) * o * oh * ow];
+        // dbias
+        let plane = oh * ow;
+        for oi in 0..o {
+            db.data_mut()[oi] += g[oi * plane..(oi + 1) * plane].iter().sum::<f32>();
+        }
+        // gcols [OKK, L] = im2col(grad_out[n])
+        im2col_plane(g, o, oh, ow, kh, kw, spec, h, w, &mut gcols);
+        // dx[n] [C, L] = W [C, OKK] x gcols [OKK, L]
+        gemm_slices(
+            c,
+            okk,
+            l,
+            weight.data(),
+            &gcols,
+            &mut dx.data_mut()[ni * c * l..(ni + 1) * c * l],
+        );
+        // dW [C, OKK] += x[n] [C, L] x gcols^T [L, OKK]
+        gemm_nt_slices(
+            c,
+            l,
+            okk,
+            &x.data()[ni * c * l..(ni + 1) * c * l],
+            &gcols,
+            dw.data_mut(),
+        );
+    }
+    Ok((dx, dw, db))
+}
+
+/// Max-pooling over `k`×`k` windows with stride `stride`.
+///
+/// Returns the pooled tensor and the flat argmax index (into the input
+/// buffer) of every output element — the indices drive the exact backward
+/// pass in [`max_pool2d_backward`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] for non-NCHW input or a window that
+/// does not fit.
+pub fn max_pool2d(x: &Tensor, k: usize, stride: usize) -> Result<(Tensor, Vec<u32>)> {
+    if x.rank() != 4 {
+        return Err(TensorError::InvalidShape {
+            dims: x.dims().to_vec(),
+            reason: "max_pool2d expects [N,C,H,W]".to_string(),
+        });
+    }
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    if h < k || w < k || stride == 0 {
+        return Err(TensorError::InvalidShape {
+            dims: x.dims().to_vec(),
+            reason: format!("pool window {k} (stride {stride}) does not fit {h}x{w}"),
+        });
+    }
+    let oh = (h - k) / stride + 1;
+    let ow = (w - k) / stride + 1;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut indices = vec![0u32; n * c * oh * ow];
+    let xd = x.data();
+    let od = out.data_mut();
+    for nc in 0..n * c {
+        let plane = nc * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_ix = plane;
+                for ky in 0..k {
+                    let iy = oy * stride + ky;
+                    let row = plane + iy * w;
+                    for kx in 0..k {
+                        let ix = ox * stride + kx;
+                        let v = xd[row + ix];
+                        if v > best {
+                            best = v;
+                            best_ix = row + ix;
+                        }
+                    }
+                }
+                let oix = nc * oh * ow + oy * ow + ox;
+                od[oix] = best;
+                indices[oix] = u32::try_from(best_ix).expect("tensor fits u32 indexing");
+            }
+        }
+    }
+    Ok((out, indices))
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the argmax
+/// input element.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when `grad_out` and `indices`
+/// disagree.
+pub fn max_pool2d_backward(
+    grad_out: &Tensor,
+    indices: &[u32],
+    input_dims: &[usize],
+) -> Result<Tensor> {
+    if grad_out.numel() != indices.len() {
+        return Err(TensorError::LengthMismatch {
+            expected: indices.len(),
+            actual: grad_out.numel(),
+        });
+    }
+    let mut dx = Tensor::zeros(input_dims);
+    let d = dx.data_mut();
+    for (&g, &ix) in grad_out.data().iter().zip(indices) {
+        d[ix as usize] += g;
+    }
+    Ok(dx)
+}
+
+/// Nearest-neighbour upsampling by an integer factor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] for non-NCHW input or factor 0.
+pub fn upsample_nearest2d(x: &Tensor, factor: usize) -> Result<Tensor> {
+    if x.rank() != 4 || factor == 0 {
+        return Err(TensorError::InvalidShape {
+            dims: x.dims().to_vec(),
+            reason: "upsample_nearest2d expects [N,C,H,W] and factor >= 1".to_string(),
+        });
+    }
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let (oh, ow) = (h * factor, w * factor);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let xd = x.data();
+    let od = out.data_mut();
+    for nc in 0..n * c {
+        for oy in 0..oh {
+            let src_row = nc * h * w + (oy / factor) * w;
+            let dst_row = nc * oh * ow + oy * ow;
+            for ox in 0..ow {
+                od[dst_row + ox] = xd[src_row + ox / factor];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`upsample_nearest2d`]: each input cell accumulates the
+/// gradients of its `factor × factor` replicas.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] when `grad_out` is not divisible by
+/// `factor`.
+pub fn upsample_nearest2d_backward(grad_out: &Tensor, factor: usize) -> Result<Tensor> {
+    if grad_out.rank() != 4 || factor == 0 {
+        return Err(TensorError::InvalidShape {
+            dims: grad_out.dims().to_vec(),
+            reason: "upsample backward expects [N,C,H,W]".to_string(),
+        });
+    }
+    let (n, c, oh, ow) = (
+        grad_out.dims()[0],
+        grad_out.dims()[1],
+        grad_out.dims()[2],
+        grad_out.dims()[3],
+    );
+    if oh % factor != 0 || ow % factor != 0 {
+        return Err(TensorError::InvalidShape {
+            dims: grad_out.dims().to_vec(),
+            reason: format!("spatial dims not divisible by factor {factor}"),
+        });
+    }
+    let (h, w) = (oh / factor, ow / factor);
+    let mut dx = Tensor::zeros(&[n, c, h, w]);
+    let gd = grad_out.data();
+    let dd = dx.data_mut();
+    for nc in 0..n * c {
+        for oy in 0..oh {
+            let dst_row = nc * h * w + (oy / factor) * w;
+            let src_row = nc * oh * ow + oy * ow;
+            for ox in 0..ow {
+                dd[dst_row + ox / factor] += gd[src_row + ox];
+            }
+        }
+    }
+    Ok(dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    /// Reference conv2d: direct 7-loop implementation for cross-checking.
+    fn conv2d_reference(x: &Tensor, w: &Tensor, spec: ConvSpec) -> Tensor {
+        let (n, c, h, ww) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let (o, _, kh, kw) = (w.dims()[0], w.dims()[1], w.dims()[2], w.dims()[3]);
+        let oh = spec.conv_out(h, kh).unwrap();
+        let ow = spec.conv_out(ww, kw).unwrap();
+        let mut out = Tensor::zeros(&[n, o, oh, ow]);
+        for ni in 0..n {
+            for oi in 0..o {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ci in 0..c {
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let iy =
+                                        (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                    let ix =
+                                        (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    if iy >= 0 && iy < h as isize && ix >= 0 && ix < ww as isize {
+                                        acc += x.at(&[ni, ci, iy as usize, ix as usize])
+                                            * w.at(&[oi, ci, ky, kx]);
+                                    }
+                                }
+                            }
+                        }
+                        out.set(&[ni, oi, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn conv_out_sizes() {
+        let s = ConvSpec::new(1, 1);
+        assert_eq!(s.conv_out(8, 3).unwrap(), 8); // "same" conv
+        let s2 = ConvSpec::new(2, 0);
+        assert_eq!(s2.conv_out(8, 2).unwrap(), 4);
+        assert_eq!(s2.deconv_out(4, 2).unwrap(), 8);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // 1x1 kernel with weight 1 reproduces the input.
+        let x = Tensor::arange(16).reshape(&[1, 1, 4, 4]).unwrap();
+        let w = Tensor::ones(&[1, 1, 1, 1]);
+        let y = conv2d(&x, &w, None, ConvSpec::new(1, 0)).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv2d_matches_reference() {
+        let mut rng: u64 = 0x9E3779B97F4A7C15;
+        let mut next = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((rng >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let x = Tensor::from_vec((0..2 * 3 * 6 * 5).map(|_| next()).collect(), &[2, 3, 6, 5])
+            .unwrap();
+        let w = Tensor::from_vec((0..4 * 3 * 3 * 3).map(|_| next()).collect(), &[4, 3, 3, 3])
+            .unwrap();
+        for spec in [ConvSpec::new(1, 0), ConvSpec::new(1, 1), ConvSpec::new(2, 1)] {
+            let fast = conv2d(&x, &w, None, spec).unwrap();
+            let slow = conv2d_reference(&x, &w, spec);
+            assert_eq!(fast.dims(), slow.dims());
+            for (a, b) in fast.data().iter().zip(slow.data()) {
+                assert!((a - b).abs() < 1e-4, "conv mismatch: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_bias_is_per_channel() {
+        let x = Tensor::zeros(&[1, 1, 3, 3]);
+        let w = Tensor::zeros(&[2, 1, 1, 1]);
+        let b = t(&[1.5, -2.0], &[2]);
+        let y = conv2d(&x, &w, Some(&b), ConvSpec::new(1, 0)).unwrap();
+        assert_eq!(y.at(&[0, 0, 1, 1]), 1.5);
+        assert_eq!(y.at(&[0, 1, 2, 2]), -2.0);
+    }
+
+    #[test]
+    fn conv2d_backward_bias_sums_gradients() {
+        let x = Tensor::ones(&[2, 1, 4, 4]);
+        let w = Tensor::ones(&[3, 1, 3, 3]);
+        let spec = ConvSpec::new(1, 1);
+        let y = conv2d(&x, &w, None, spec).unwrap();
+        let g = Tensor::ones(y.dims());
+        let (_, _, db) = conv2d_backward(&x, &w, &g, spec).unwrap();
+        // each output plane is 4x4 and there are 2 samples => 32 per channel
+        assert_eq!(db.data(), &[32.0, 32.0, 32.0]);
+    }
+
+    #[test]
+    fn conv_transpose_inverts_stride2_shape() {
+        let x = Tensor::arange(8).reshape(&[1, 2, 2, 2]).unwrap();
+        let w = Tensor::ones(&[2, 3, 2, 2]); // [C,O,KH,KW]
+        let y = conv_transpose2d(&x, &w, None, ConvSpec::new(2, 0)).unwrap();
+        assert_eq!(y.dims(), &[1, 3, 4, 4]);
+    }
+
+    #[test]
+    fn conv_transpose_is_adjoint_of_conv() {
+        // <conv(x), y> == <x, conv_transpose(y)> for matching specs/weights.
+        let mut seed = 7u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        // 5x5 input with stride 2 / pad 1 / k 3 is exactly invertible in
+        // shape: conv_out(5) = 3 and deconv_out(3) = 5.
+        let spec = ConvSpec::new(2, 1);
+        let x = Tensor::from_vec((0..1 * 2 * 5 * 5).map(|_| next()).collect(), &[1, 2, 5, 5])
+            .unwrap();
+        let w = Tensor::from_vec((0..3 * 2 * 3 * 3).map(|_| next()).collect(), &[3, 2, 3, 3])
+            .unwrap();
+        let cx = conv2d(&x, &w, None, spec).unwrap(); // [1,3,3,3]
+        let y = Tensor::from_vec((0..cx.numel()).map(|_| next()).collect(), cx.dims()).unwrap();
+        // The adjoint uses the *same* weight buffer: conv weight [O,C,kh,kw]
+        // and conv_transpose weight [C_in=O, C_out=C, kh, kw] share layout
+        // (PyTorch convention), so a plain reshape is the correct view.
+        let wt = w.reshape(&[3, 2, 3, 3]).unwrap();
+        let ty = conv_transpose2d(&y, &wt, None, spec).unwrap();
+        assert_eq!(ty.dims(), x.dims());
+        let lhs: f32 = cx.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(ty.data()).map(|(a, b)| a * b).sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+            "adjoint mismatch {lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn max_pool_picks_maximum_and_routes_gradient() {
+        let x = t(
+            &[1.0, 2.0, 5.0, 4.0, 3.0, 0.0, 1.0, 2.0, 9.0, 8.0, 7.0, 6.0, 0.0, 1.0, 2.0, 3.0],
+            &[1, 1, 4, 4],
+        );
+        let (y, idx) = max_pool2d(&x, 2, 2).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[3.0, 5.0, 9.0, 7.0]);
+        let g = t(&[1.0, 1.0, 1.0, 1.0], &[1, 1, 2, 2]);
+        let dx = max_pool2d_backward(&g, &idx, &[1, 1, 4, 4]).unwrap();
+        assert_eq!(dx.sum_all(), 4.0);
+        assert_eq!(dx.at(&[0, 0, 1, 0]), 1.0); // where 3.0 was
+        assert_eq!(dx.at(&[0, 0, 2, 0]), 1.0); // where 9.0 was
+    }
+
+    #[test]
+    fn upsample_nearest_replicates() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = upsample_nearest2d(&x, 2).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 4, 4]);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(y.at(&[0, 0, 0, 1]), 1.0);
+        assert_eq!(y.at(&[0, 0, 3, 3]), 4.0);
+        let g = Tensor::ones(&[1, 1, 4, 4]);
+        let dx = upsample_nearest2d_backward(&g, 2).unwrap();
+        assert_eq!(dx.data(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn pool_and_conv_validate_shapes() {
+        let x = Tensor::zeros(&[2, 2]);
+        assert!(max_pool2d(&x, 2, 2).is_err());
+        let w = Tensor::zeros(&[1, 3, 3, 3]);
+        let x4 = Tensor::zeros(&[1, 2, 5, 5]);
+        assert!(conv2d(&x4, &w, None, ConvSpec::new(1, 0)).is_err());
+    }
+}

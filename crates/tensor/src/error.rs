@@ -1,0 +1,116 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Error produced by tensor construction or tensor math.
+///
+/// Operations in this crate validate their arguments eagerly
+/// ([C-VALIDATE]) and report the offending shapes in the error payload so
+/// failures deep inside a network are attributable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The element count implied by the requested dims does not match the
+    /// provided buffer length.
+    LengthMismatch {
+        /// Number of elements expected from the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two operand shapes cannot be combined (elementwise or broadcast).
+    ShapeMismatch {
+        /// Left-hand operand dims.
+        lhs: Vec<usize>,
+        /// Right-hand operand dims.
+        rhs: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A shape is invalid for the requested operation (wrong rank, zero
+    /// dimension where non-zero is required, non-divisible sizes, ...).
+    InvalidShape {
+        /// Offending dims.
+        dims: Vec<usize>,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// An axis index was out of range for the tensor rank.
+    AxisOutOfRange {
+        /// Requested axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// A slice or index was out of bounds.
+    IndexOutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Bound that was exceeded.
+        bound: usize,
+    },
+    /// Checkpoint (de)serialization failed.
+    Io(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in `{op}`: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::InvalidShape { dims, reason } => {
+                write!(f, "invalid shape {dims:?}: {reason}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds ({bound})")
+            }
+            TensorError::Io(msg) => write!(f, "tensor io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+impl From<std::io::Error> for TensorError {
+    fn from(e: std::io::Error) -> Self {
+        TensorError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![4],
+            op: "add",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("add"));
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[4]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: TensorError = ioe.into();
+        assert!(matches!(e, TensorError::Io(_)));
+    }
+}

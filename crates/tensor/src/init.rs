@@ -1,0 +1,106 @@
+//! Weight initialization schemes.
+//!
+//! All initializers take an explicit RNG so model construction is fully
+//! deterministic under a fixed seed — a requirement for the reproduction
+//! harness, whose tables must be regenerable bit-for-bit.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Uniform initialization in `[-bound, bound]`.
+#[must_use]
+pub fn uniform(dims: &[usize], bound: f32, rng: &mut impl Rng) -> Tensor {
+    let n = crate::shape::numel(dims);
+    let data = (0..n).map(|_| rng.gen_range(-bound..=bound)).collect();
+    Tensor::from_vec(data, dims).expect("generated buffer matches shape")
+}
+
+/// Gaussian initialization with the given standard deviation.
+#[must_use]
+pub fn normal(dims: &[usize], std: f32, rng: &mut impl Rng) -> Tensor {
+    let n = crate::shape::numel(dims);
+    // Box-Muller transform; we only need f32 quality.
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(data, dims).expect("generated buffer matches shape")
+}
+
+/// Kaiming/He uniform initialization for ReLU networks.
+///
+/// `fan_in` is the number of input connections per output unit (for a conv
+/// layer: `in_channels * kernel_h * kernel_w`).
+#[must_use]
+pub fn kaiming_uniform(dims: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+    uniform(dims, bound, rng)
+}
+
+/// Xavier/Glorot uniform initialization for linear/attention layers.
+#[must_use]
+pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(dims, bound, rng)
+}
+
+/// Fan-in/fan-out of a conv2d weight `[O, C, KH, KW]`.
+#[must_use]
+pub fn conv_fans(dims: &[usize]) -> (usize, usize) {
+    assert_eq!(dims.len(), 4, "conv weight must be rank 4");
+    let receptive = dims[2] * dims[3];
+    (dims[1] * receptive, dims[0] * receptive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(&[1000], 0.5, &mut rng);
+        assert!(t.max_all() <= 0.5);
+        assert!(t.min_all() >= -0.5);
+        // Not degenerate.
+        assert!(t.max_all() > 0.3);
+    }
+
+    #[test]
+    fn normal_has_requested_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = normal(&[10_000], 2.0, &mut rng);
+        let mean = t.mean_all();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean_all();
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = kaiming_uniform(&[4, 4], 16, &mut StdRng::seed_from_u64(7));
+        let b = kaiming_uniform(&[4, 4], 16, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn kaiming_bound_shrinks_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let wide = kaiming_uniform(&[100], 10_000, &mut rng);
+        assert!(wide.max_all() <= (6.0f32 / 10_000.0).sqrt());
+    }
+
+    #[test]
+    fn conv_fans_formula() {
+        assert_eq!(conv_fans(&[8, 3, 5, 5]), (75, 200));
+    }
+}

@@ -1,0 +1,156 @@
+//! Checkpoint serialization: named tensors to/from a compact binary format.
+//!
+//! The format is deliberately tiny (magic, version, entry count, then
+//! `name / rank / dims / f32-LE data` per entry) so checkpoints remain
+//! readable without any external dependency.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"LMMT";
+const VERSION: u32 = 1;
+
+/// Writes named tensors to `w` in checkpoint format.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Io`] on write failure.
+pub fn write_tensors<W: Write>(mut w: W, entries: &[(String, Tensor)]) -> Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(entries.len() as u64).to_le_bytes())?;
+    for (name, t) in entries {
+        let name_bytes = name.as_bytes();
+        w.write_all(&(name_bytes.len() as u32).to_le_bytes())?;
+        w.write_all(name_bytes)?;
+        w.write_all(&(t.rank() as u32).to_le_bytes())?;
+        for &d in t.dims() {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &v in t.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads named tensors from `r` (checkpoint format).
+///
+/// # Errors
+///
+/// Returns [`TensorError::Io`] on malformed input or read failure.
+pub fn read_tensors<R: Read>(mut r: R) -> Result<Vec<(String, Tensor)>> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TensorError::Io("bad checkpoint magic".to_string()));
+    }
+    let mut u32b = [0u8; 4];
+    r.read_exact(&mut u32b)?;
+    let version = u32::from_le_bytes(u32b);
+    if version != VERSION {
+        return Err(TensorError::Io(format!(
+            "unsupported checkpoint version {version}"
+        )));
+    }
+    let mut u64b = [0u8; 8];
+    r.read_exact(&mut u64b)?;
+    let count = u64::from_le_bytes(u64b) as usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        r.read_exact(&mut u32b)?;
+        let name_len = u32::from_le_bytes(u32b) as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|e| TensorError::Io(format!("invalid tensor name: {e}")))?;
+        r.read_exact(&mut u32b)?;
+        let rank = u32::from_le_bytes(u32b) as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            r.read_exact(&mut u64b)?;
+            dims.push(u64::from_le_bytes(u64b) as usize);
+        }
+        let n = crate::shape::numel(&dims);
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            r.read_exact(&mut u32b)?;
+            data.push(f32::from_le_bytes(u32b));
+        }
+        entries.push((name, Tensor::from_vec(data, &dims)?));
+    }
+    Ok(entries)
+}
+
+/// Saves named tensors to a file path.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Io`] on filesystem failure.
+pub fn save(path: impl AsRef<Path>, entries: &[(String, Tensor)]) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_tensors(std::io::BufWriter::new(file), entries)
+}
+
+/// Loads named tensors from a file path.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Io`] on filesystem failure or malformed content.
+pub fn load(path: impl AsRef<Path>) -> Result<Vec<(String, Tensor)>> {
+    let file = std::fs::File::open(path)?;
+    read_tensors(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_in_memory() {
+        let entries = vec![
+            ("w".to_string(), Tensor::arange(6).reshape(&[2, 3]).unwrap()),
+            ("b".to_string(), Tensor::scalar(4.25)),
+            ("empty-name-ok".to_string(), Tensor::zeros(&[0])),
+        ];
+        let mut buf = Vec::new();
+        write_tensors(&mut buf, &entries).unwrap();
+        let back = read_tensors(&buf[..]).unwrap();
+        assert_eq!(back.len(), 3);
+        for ((n1, t1), (n2, t2)) in entries.iter().zip(&back) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1.dims(), t2.dims());
+            assert_eq!(t1.data(), t2.data());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = b"NOPE\x01\x00\x00\x00".to_vec();
+        assert!(read_tensors(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let entries = vec![("w".to_string(), Tensor::ones(&[4]))];
+        let mut buf = Vec::new();
+        write_tensors(&mut buf, &entries).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_tensors(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("lmmir_tensor_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        let entries = vec![("x".to_string(), Tensor::full(&[3, 3], 9.0))];
+        save(&path, &entries).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back[0].1.data(), entries[0].1.data());
+        std::fs::remove_file(&path).ok();
+    }
+}

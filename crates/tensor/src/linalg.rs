@@ -1,0 +1,391 @@
+//! Matrix multiplication kernels (plain, transposed and batched).
+//!
+//! All kernels use the cache-friendly `i-k-j` loop ordering, which lets the
+//! inner loop run over contiguous rows of the right-hand operand and the
+//! output so the compiler can auto-vectorize it.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Raw `C += A * B` kernel on slices: `a` is `[m,k]`, `b` is `[k,n]`,
+/// `c` is `[m,n]`, all row-major.
+pub(crate) fn gemm_slices(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aip * bv;
+            }
+        }
+    }
+}
+
+/// `C += A^T * B` kernel: `a` is `[k,m]`, `b` is `[k,n]`, `c` is `[m,n]`.
+pub(crate) fn gemm_tn_slices(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for i in 0..m {
+            let aip = a_row[i];
+            if aip == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aip * bv;
+            }
+        }
+    }
+}
+
+/// `C += A * B^T` kernel: `a` is `[m,k]`, `b` is `[n,k]`, `c` is `[m,n]`.
+pub(crate) fn gemm_nt_slices(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *cv += acc;
+        }
+    }
+}
+
+fn require_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::InvalidShape {
+            dims: t.dims().to_vec(),
+            reason: format!("{op} requires a rank-2 tensor"),
+        });
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// `[m,k] x [k,n] -> [m,n]` matrix product.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] for non-matrices and
+/// [`TensorError::ShapeMismatch`] when inner dims differ.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = require_rank2(a, "matmul")?;
+    let (k2, n) = require_rank2(b, "matmul")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul",
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    gemm_slices(m, k, n, a.data(), b.data(), out.data_mut());
+    Ok(out)
+}
+
+/// `A^T * B`: `[k,m] x [k,n] -> [m,n]`.
+///
+/// # Errors
+///
+/// Returns shape errors as for [`matmul`].
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = require_rank2(a, "matmul_tn")?;
+    let (k2, n) = require_rank2(b, "matmul_tn")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul_tn",
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    gemm_tn_slices(m, k, n, a.data(), b.data(), out.data_mut());
+    Ok(out)
+}
+
+/// `A * B^T`: `[m,k] x [n,k] -> [m,n]`.
+///
+/// # Errors
+///
+/// Returns shape errors as for [`matmul`].
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = require_rank2(a, "matmul_nt")?;
+    let (n, k2) = require_rank2(b, "matmul_nt")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul_nt",
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    gemm_nt_slices(m, k, n, a.data(), b.data(), out.data_mut());
+    Ok(out)
+}
+
+/// Generalized matmul: `[..., k] x [k, n] -> [..., n]`.
+///
+/// The left operand may have any rank ≥ 1; all leading axes are treated as a
+/// flattened batch of rows. This is the kernel behind `Linear` layers applied
+/// to `[batch, tokens, features]` activations.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the contraction dims differ.
+pub fn matmul_nd(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k2, n) = require_rank2(b, "matmul_nd")?;
+    if a.rank() == 0 {
+        return Err(TensorError::InvalidShape {
+            dims: a.dims().to_vec(),
+            reason: "matmul_nd requires lhs rank >= 1".to_string(),
+        });
+    }
+    let k = *a.dims().last().expect("rank >= 1");
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul_nd",
+        });
+    }
+    let rows = a.numel() / k;
+    let mut out_dims = a.dims().to_vec();
+    *out_dims.last_mut().expect("rank >= 1") = n;
+    let mut out = Tensor::zeros(&out_dims);
+    gemm_slices(rows, k, n, a.data(), b.data(), out.data_mut());
+    Ok(out)
+}
+
+fn require_rank3(t: &Tensor, op: &'static str) -> Result<(usize, usize, usize)> {
+    if t.rank() != 3 {
+        return Err(TensorError::InvalidShape {
+            dims: t.dims().to_vec(),
+            reason: format!("{op} requires a rank-3 tensor"),
+        });
+    }
+    Ok((t.dims()[0], t.dims()[1], t.dims()[2]))
+}
+
+/// Batched matmul `[B,m,k] x [B,k,n] -> [B,m,n]`.
+///
+/// # Errors
+///
+/// Returns shape errors when batch or contraction dims disagree.
+pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ba, m, k) = require_rank3(a, "bmm")?;
+    let (bb, k2, n) = require_rank3(b, "bmm")?;
+    if ba != bb || k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "bmm",
+        });
+    }
+    let mut out = Tensor::zeros(&[ba, m, n]);
+    for i in 0..ba {
+        gemm_slices(
+            m,
+            k,
+            n,
+            &a.data()[i * m * k..(i + 1) * m * k],
+            &b.data()[i * k * n..(i + 1) * k * n],
+            &mut out.data_mut()[i * m * n..(i + 1) * m * n],
+        );
+    }
+    Ok(out)
+}
+
+/// Batched `A^T B`: `[B,k,m] x [B,k,n] -> [B,m,n]`.
+///
+/// # Errors
+///
+/// Returns shape errors when batch or contraction dims disagree.
+pub fn bmm_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ba, k, m) = require_rank3(a, "bmm_tn")?;
+    let (bb, k2, n) = require_rank3(b, "bmm_tn")?;
+    if ba != bb || k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "bmm_tn",
+        });
+    }
+    let mut out = Tensor::zeros(&[ba, m, n]);
+    for i in 0..ba {
+        gemm_tn_slices(
+            m,
+            k,
+            n,
+            &a.data()[i * k * m..(i + 1) * k * m],
+            &b.data()[i * k * n..(i + 1) * k * n],
+            &mut out.data_mut()[i * m * n..(i + 1) * m * n],
+        );
+    }
+    Ok(out)
+}
+
+/// Batched `A B^T`: `[B,m,k] x [B,n,k] -> [B,m,n]`.
+///
+/// # Errors
+///
+/// Returns shape errors when batch or contraction dims disagree.
+pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ba, m, k) = require_rank3(a, "bmm_nt")?;
+    let (bb, n, k2) = require_rank3(b, "bmm_nt")?;
+    if ba != bb || k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "bmm_nt",
+        });
+    }
+    let mut out = Tensor::zeros(&[ba, m, n]);
+    for i in 0..ba {
+        gemm_nt_slices(
+            m,
+            k,
+            n,
+            &a.data()[i * m * k..(i + 1) * m * k],
+            &b.data()[i * n * k..(i + 1) * n * k],
+            &mut out.data_mut()[i * m * n..(i + 1) * m * n],
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn matmul_2x2() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let i = Tensor::eye(3);
+        let c = matmul(&a, &i).unwrap();
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[4.0, 5.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 2]);
+        assert!(matmul(&a, &b).is_err());
+        let v = Tensor::zeros(&[3]);
+        assert!(matmul(&v, &b).is_err());
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let b = t(&[1.0, 1.0, 2.0, 2.0, 3.0, 3.0], &[3, 2]);
+        let via_tn = matmul_tn(&a, &b).unwrap();
+        let via_t = matmul(&a.transpose2().unwrap(), &b).unwrap();
+        assert_eq!(via_tn.data(), via_t.data());
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let via_nt = matmul_nt(&a, &b).unwrap();
+        let via_t = matmul(&a, &b.transpose2().unwrap()).unwrap();
+        assert_eq!(via_nt.data(), via_t.data());
+    }
+
+    #[test]
+    fn matmul_nd_flattens_batch() {
+        let a = Tensor::arange(12).reshape(&[2, 2, 3]).unwrap();
+        let w = Tensor::eye(3);
+        let c = matmul_nd(&a, &w).unwrap();
+        assert_eq!(c.dims(), &[2, 2, 3]);
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn bmm_batches_independent() {
+        let a = Tensor::concat(
+            &[
+                &t(&[1.0, 0.0, 0.0, 1.0], &[1, 2, 2]),
+                &t(&[2.0, 0.0, 0.0, 2.0], &[1, 2, 2]),
+            ],
+            0,
+        )
+        .unwrap();
+        let b = Tensor::concat(
+            &[
+                &t(&[1.0, 2.0, 3.0, 4.0], &[1, 2, 2]),
+                &t(&[1.0, 2.0, 3.0, 4.0], &[1, 2, 2]),
+            ],
+            0,
+        )
+        .unwrap();
+        let c = bmm(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2, 2]);
+        assert_eq!(&c.data()[..4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(&c.data()[4..], &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn bmm_tn_nt_match_permutes() {
+        let a = Tensor::arange(12).reshape(&[2, 3, 2]).unwrap();
+        let b = Tensor::arange(12).reshape(&[2, 3, 2]).unwrap();
+        let tn = bmm_tn(&a, &b).unwrap();
+        let at = a.permute(&[0, 2, 1]).unwrap();
+        let explicit = bmm(&at, &b).unwrap();
+        assert_eq!(tn.data(), explicit.data());
+
+        let c = Tensor::arange(12).reshape(&[2, 2, 3]).unwrap();
+        let d = Tensor::arange(12).reshape(&[2, 2, 3]).unwrap();
+        let nt = bmm_nt(&c, &d).unwrap();
+        let dt = d.permute(&[0, 2, 1]).unwrap();
+        let explicit2 = bmm(&c, &dt).unwrap();
+        assert_eq!(nt.data(), explicit2.data());
+    }
+
+    #[test]
+    fn bmm_shape_errors() {
+        let a = Tensor::zeros(&[2, 2, 3]);
+        let b = Tensor::zeros(&[3, 3, 2]);
+        assert!(bmm(&a, &b).is_err()); // batch mismatch
+        let c = Tensor::zeros(&[2, 2, 2]);
+        assert!(bmm(&a, &c).is_err()); // inner mismatch
+    }
+}

@@ -1,0 +1,316 @@
+//! First-order optimizers operating on parameter [`Var`]s.
+
+use crate::autograd::Var;
+use crate::tensor::Tensor;
+
+/// Common optimizer interface.
+///
+/// Optimizers hold `Var` handles to the parameters (shared with the model)
+/// and mutate the stored tensors in place on [`Optimizer::step`].
+pub trait Optimizer {
+    /// Applies one update using the currently accumulated gradients.
+    fn step(&mut self);
+
+    /// Clears gradients on all managed parameters.
+    fn zero_grad(&mut self);
+
+    /// The managed parameters.
+    fn parameters(&self) -> &[Var];
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Updates the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Var>,
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer over `params`.
+    #[must_use]
+    pub fn new(params: Vec<Var>, lr: f32, momentum: f32) -> Self {
+        let n = params.len();
+        Sgd {
+            params,
+            lr,
+            momentum,
+            velocity: vec![None; n],
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for (p, vel) in self.params.iter().zip(&mut self.velocity) {
+            let Some(g) = p.grad() else { continue };
+            if self.momentum > 0.0 {
+                let v = match vel.take() {
+                    Some(mut v) => {
+                        v.map_inplace(|x| x * self.momentum);
+                        v.add_assign(&g).expect("stable parameter shape");
+                        v
+                    }
+                    None => g.clone(),
+                };
+                p.update_value(|t| {
+                    for (w, &d) in t.data_mut().iter_mut().zip(v.data()) {
+                        *w -= self.lr * d;
+                    }
+                });
+                *vel = Some(v);
+            } else {
+                p.update_value(|t| {
+                    for (w, &d) in t.data_mut().iter_mut().zip(g.data()) {
+                        *w -= self.lr * d;
+                    }
+                });
+            }
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn parameters(&self) -> &[Var] {
+        &self.params
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015) with decoupled optional weight decay.
+///
+/// Matches PyTorch defaults: `beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`.
+/// The paper trains LMM-IR with Adam at `lr = 1e-3`.
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Var>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: i32,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with PyTorch-default betas.
+    #[must_use]
+    pub fn new(params: Vec<Var>, lr: f32) -> Self {
+        Adam::with_config(params, lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Creates an Adam optimizer with explicit hyper-parameters.
+    #[must_use]
+    pub fn with_config(
+        params: Vec<Var>,
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        weight_decay: f32,
+    ) -> Self {
+        let m = params
+            .iter()
+            .map(|p| Tensor::zeros(p.value().dims()))
+            .collect();
+        let v = params
+            .iter()
+            .map(|p| Tensor::zeros(p.value().dims()))
+            .collect();
+        Adam {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            m,
+            v,
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for ((p, m), v) in self.params.iter().zip(&mut self.m).zip(&mut self.v) {
+            let Some(g) = p.grad() else { continue };
+            let gd = g.data();
+            let md = m.data_mut();
+            let vd = v.data_mut();
+            p.update_value(|t| {
+                let wd = t.data_mut();
+                for i in 0..wd.len() {
+                    let mut gi = gd[i];
+                    if self.weight_decay > 0.0 {
+                        gi += self.weight_decay * wd[i];
+                    }
+                    md[i] = self.beta1 * md[i] + (1.0 - self.beta1) * gi;
+                    vd[i] = self.beta2 * vd[i] + (1.0 - self.beta2) * gi * gi;
+                    let mhat = md[i] / bc1;
+                    let vhat = vd[i] / bc2;
+                    wd[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+                }
+            });
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn parameters(&self) -> &[Var] {
+        &self.params
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Global-norm gradient clipping.
+///
+/// Rescales all gradients so their joint L2 norm does not exceed
+/// `max_norm` — the standard stabilizer for attention models trained with
+/// small batches.
+#[derive(Debug, Clone, Copy)]
+pub struct GradClip {
+    /// Maximum allowed global gradient norm.
+    pub max_norm: f32,
+}
+
+impl GradClip {
+    /// Clips gradients in place; returns the pre-clip global norm.
+    pub fn apply(&self, params: &[Var]) -> f32 {
+        let mut total = 0.0f32;
+        for p in params {
+            if let Some(g) = p.grad() {
+                total += g.data().iter().map(|&x| x * x).sum::<f32>();
+            }
+        }
+        let norm = total.sqrt();
+        if norm > self.max_norm && norm > 0.0 {
+            let scale = self.max_norm / norm;
+            for p in params {
+                if let Some(s) = p.grad().map(|g| g.scale(scale)) {
+                    p.set_grad(Some(s));
+                }
+            }
+        }
+        norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(x0: f32) -> Var {
+        Var::parameter(Tensor::from_vec(vec![x0], &[1]).unwrap())
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        // f(x) = (x-3)^2 has minimum at 3.
+        let x = quadratic_param(0.0);
+        let mut opt = Sgd::new(vec![x.clone()], 0.1, 0.0);
+        for _ in 0..100 {
+            opt.zero_grad();
+            let t = Var::constant(Tensor::from_vec(vec![3.0], &[1]).unwrap());
+            let loss = x.sub(&t).unwrap().square().sum();
+            loss.backward();
+            opt.step();
+        }
+        assert!((x.value().data()[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let x = quadratic_param(10.0);
+        let mut opt = Sgd::new(vec![x.clone()], 0.05, 0.9);
+        for _ in 0..200 {
+            opt.zero_grad();
+            let loss = x.square().sum();
+            loss.backward();
+            opt.step();
+        }
+        assert!(x.value().data()[0].abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let x = quadratic_param(-5.0);
+        let mut opt = Adam::new(vec![x.clone()], 0.1);
+        for _ in 0..300 {
+            opt.zero_grad();
+            let t = Var::constant(Tensor::from_vec(vec![2.0], &[1]).unwrap());
+            let loss = x.sub(&t).unwrap().square().sum();
+            loss.backward();
+            opt.step();
+        }
+        assert!((x.value().data()[0] - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_skips_parameters_without_grad() {
+        let x = quadratic_param(1.0);
+        let y = quadratic_param(1.0);
+        let mut opt = Adam::new(vec![x.clone(), y.clone()], 0.1);
+        let loss = x.square().sum(); // y unused
+        loss.backward();
+        opt.step();
+        assert_eq!(y.value().data()[0], 1.0, "unused parameter must not move");
+        assert_ne!(x.value().data()[0], 1.0);
+    }
+
+    #[test]
+    fn grad_clip_caps_global_norm() {
+        let x = quadratic_param(0.0);
+        // Seed a large gradient: loss = 100*x => grad 100.
+        let loss = x.scale(100.0).sum();
+        loss.backward();
+        let clip = GradClip { max_norm: 1.0 };
+        let pre = clip.apply(&[x.clone()]);
+        assert!((pre - 100.0).abs() < 1e-3);
+        let g = x.grad().unwrap();
+        assert!((g.norm() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn learning_rate_is_settable() {
+        let x = quadratic_param(0.0);
+        let mut opt = Adam::new(vec![x], 0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests: broadcasting algebra and autograd-vs-numeric gradients
+//! on randomized shapes and values.
+
+use lmmir_tensor::{linalg, Tensor, Var};
+use proptest::prelude::*;
+
+fn tensor_strategy(max_len: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-3.0f32..3.0, 1..=max_len).prop_map(|v| {
+        let n = v.len();
+        Tensor::from_vec(v, &[n]).expect("vector shape")
+    })
+}
+
+/// Central-difference gradient of a scalar-valued tensor function.
+fn numeric_grad(f: impl Fn(&Tensor) -> f32, x: &Tensor, eps: f32) -> Tensor {
+    let mut g = Tensor::zeros(x.dims());
+    for i in 0..x.numel() {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        g.data_mut()[i] = (f(&xp) - f(&xm)) / (2.0 * eps);
+    }
+    g
+}
+
+fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.dims() == b.dims()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn add_commutes(
+        (a, b) in (1usize..32).prop_flat_map(|n| (
+            prop::collection::vec(-3.0f32..3.0, n),
+            prop::collection::vec(-3.0f32..3.0, n),
+        )),
+    ) {
+        let n = a.len();
+        let a = Tensor::from_vec(a, &[n]).unwrap();
+        let b = Tensor::from_vec(b, &[n]).unwrap();
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert_eq!(ab.data(), ba.data());
+    }
+
+    #[test]
+    fn mul_distributes_over_add(
+        (a, b, c) in (1usize..16).prop_flat_map(|n| (
+            prop::collection::vec(-3.0f32..3.0, n),
+            prop::collection::vec(-3.0f32..3.0, n),
+            prop::collection::vec(-3.0f32..3.0, n),
+        )),
+    ) {
+        let n = a.len();
+        let a = Tensor::from_vec(a, &[n]).unwrap();
+        let b = Tensor::from_vec(b, &[n]).unwrap();
+        let c = Tensor::from_vec(c, &[n]).unwrap();
+        let lhs = a.mul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.mul(&b).unwrap().add(&a.mul(&c).unwrap()).unwrap();
+        prop_assert!(close(&lhs, &rhs, 1e-4));
+    }
+
+    #[test]
+    fn scalar_broadcast_matches_scale(a in tensor_strategy(32), k in -2.0f32..2.0) {
+        let s = Tensor::scalar(k);
+        let via_broadcast = a.mul(&s).unwrap();
+        let via_scale = a.scale(k);
+        prop_assert_eq!(via_broadcast.data(), via_scale.data());
+    }
+
+    #[test]
+    fn reduce_to_shape_preserves_total(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let n = rows * cols;
+        let data: Vec<f32> = (0..n).map(|i| ((seed as f32 + i as f32) * 0.37).sin()).collect();
+        let t = Tensor::from_vec(data, &[rows, cols]).unwrap();
+        let reduced = t.reduce_to_shape(&[cols]).unwrap();
+        prop_assert!((reduced.sum_all() - t.sum_all()).abs() < 1e-3);
+        let reduced2 = t.reduce_to_shape(&[rows, 1]).unwrap();
+        prop_assert!((reduced2.sum_all() - t.sum_all()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn autograd_matches_numeric_elementwise(x in tensor_strategy(12)) {
+        // f(x) = sum(sigmoid(x) * x)
+        let v = Var::parameter(x.clone());
+        v.sigmoid().mul(&v).unwrap().sum().backward();
+        let auto = v.grad().unwrap();
+        let num = numeric_grad(
+            |t| t.map(|u| u / (1.0 + (-u).exp())).sum_all(),
+            &x,
+            1e-2,
+        );
+        prop_assert!(close(&auto, &num, 5e-2), "auto {:?} vs num {:?}", auto, num);
+    }
+
+    #[test]
+    fn autograd_matches_numeric_matmul(m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in 0u64..100) {
+        let gen = |count: usize, s: u64| -> Vec<f32> {
+            (0..count).map(|i| (((s + i as u64) as f32) * 0.61).sin()).collect()
+        };
+        let a0 = Tensor::from_vec(gen(m * k, seed), &[m, k]).unwrap();
+        let b0 = Tensor::from_vec(gen(k * n, seed + 7), &[k, n]).unwrap();
+        let a = Var::parameter(a0.clone());
+        let b = Var::constant(b0.clone());
+        a.matmul(&b).unwrap().sum().backward();
+        let auto = a.grad().unwrap();
+        let num = numeric_grad(|t| linalg::matmul(t, &b0).unwrap().sum_all(), &a0, 1e-2);
+        prop_assert!(close(&auto, &num, 5e-2));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..5, cols in 1usize..6, seed in 0u64..100) {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| (((seed + i as u64) as f32) * 1.3).sin() * 4.0)
+            .collect();
+        let t = Tensor::from_vec(data, &[rows, cols]).unwrap();
+        let s = t.softmax_last();
+        for row in s.data().chunks(cols) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn reshape_permute_round_trip(d0 in 1usize..4, d1 in 1usize..4, d2 in 1usize..4) {
+        let n = d0 * d1 * d2;
+        let t = Tensor::arange(n).reshape(&[d0, d1, d2]).unwrap();
+        let p = t.permute(&[2, 0, 1]).unwrap().permute(&[1, 2, 0]).unwrap();
+        prop_assert_eq!(p.data(), t.data());
+    }
+
+    #[test]
+    fn concat_then_slice_identity(parts in prop::collection::vec(tensor_strategy(8), 1..4)) {
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let joined = Tensor::concat(&refs, 0).unwrap();
+        let mut off = 0;
+        for p in &parts {
+            let s = joined.slice_axis(0, off, off + p.numel()).unwrap();
+            prop_assert_eq!(s.data(), p.data());
+            off += p.numel();
+        }
+    }
+
+    #[test]
+    fn conv2d_linearity(seed in 0u64..50, alpha in -2.0f32..2.0) {
+        use lmmir_tensor::conv::{conv2d, ConvSpec};
+        let gen = |count: usize, s: u64| -> Vec<f32> {
+            (0..count).map(|i| (((s + i as u64) as f32) * 0.83).sin()).collect()
+        };
+        let x = Tensor::from_vec(gen(2 * 5 * 5, seed), &[1, 2, 5, 5]).unwrap();
+        let w = Tensor::from_vec(gen(3 * 2 * 3 * 3, seed + 3), &[3, 2, 3, 3]).unwrap();
+        let spec = ConvSpec::new(1, 1);
+        let y1 = conv2d(&x.scale(alpha), &w, None, spec).unwrap();
+        let y2 = conv2d(&x, &w, None, spec).unwrap().scale(alpha);
+        prop_assert!(close(&y1, &y2, 1e-3));
+    }
+}

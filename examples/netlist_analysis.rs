@@ -1,0 +1,71 @@
+//! Netlist analysis: parse a contest-style SPICE PDN, inspect its
+//! structure, and encode it as the point cloud the LNT consumes.
+//!
+//! ```bash
+//! cargo run --release --example netlist_analysis [path/to/netlist.sp]
+//! ```
+//!
+//! Without an argument, a benchmark netlist is generated on the fly and
+//! round-tripped through the SPICE writer/parser first.
+
+use lmm_ir::{Lnt, LntConfig, PointCloud};
+use lmmir_pdn::{CaseKind, CaseSpec};
+use lmmir_spice::Netlist;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let netlist = match std::env::args().nth(1) {
+        Some(path) => {
+            println!("parsing {path}...");
+            Netlist::parse_file(&path)?
+        }
+        None => {
+            println!("no file given; generating a 48x48 um benchmark PDN...");
+            let case = CaseSpec::new("demo", 48, 48, 7, CaseKind::Real).generate();
+            // Round-trip through the SPICE dialect to exercise the parser.
+            let text = case.netlist.to_spice();
+            println!("  serialized to {} bytes of SPICE", text.len());
+            Netlist::parse_str(&text)?
+        }
+    };
+
+    let stats = netlist.stats();
+    println!("\nnetlist statistics:");
+    println!("  elements          : {}", netlist.len());
+    println!("  resistors         : {} ({} vias)", stats.resistors, stats.vias);
+    println!("  current sources   : {}", stats.current_sources);
+    println!("  voltage sources   : {}", stats.voltage_sources);
+    println!("  distinct nodes    : {}", stats.nodes);
+    println!("  metal layers      : {}", stats.layers);
+    println!(
+        "  bounding box (dbu): ({}, {}) .. ({}, {})",
+        stats.bbox.0, stats.bbox.1, stats.bbox.2, stats.bbox.3
+    );
+    println!("  total current     : {:.4} A", netlist.total_current());
+    if let Some(vdd) = netlist.supply_voltage() {
+        println!("  supply voltage    : {vdd} V");
+    }
+
+    // Encode as a point cloud (the LNT's input representation).
+    let w_um = (stats.bbox.2 - stats.bbox.0).max(1) as f64 / 2000.0;
+    let h_um = (stats.bbox.3 - stats.bbox.1).max(1) as f64 / 2000.0;
+    let cloud = PointCloud::from_netlist(&netlist, 2000, w_um, h_um);
+    println!("\npoint cloud: {} points ({} vias)", cloud.len(), cloud.via_count());
+    let sub = cloud.subsample(256);
+    println!(
+        "after importance subsampling to 256: {} points, vias kept: {}",
+        sub.len(),
+        sub.via_count()
+    );
+
+    // Run the netlist transformer over the cloud.
+    let lnt = Lnt::new(LntConfig::quick(), &mut StdRng::seed_from_u64(0));
+    let tokens = lnt.encode_cloud(&cloud)?;
+    println!(
+        "LNT embedding: {:?} (tokens x d_model), finite = {}",
+        tokens.dims(),
+        !tokens.value().has_non_finite()
+    );
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Reproducibility guarantees: fixed seeds must yield bit-identical
+//! benchmarks, features, models and predictions across runs.
+
+use lmm_ir::{build_sample, train, IrPredictor, LmmIr, LmmIrConfig, LntConfig, TrainConfig};
+use lmmir_features::FeatureStack;
+use lmmir_pdn::{CaseKind, CaseSpec};
+
+#[test]
+fn case_generation_is_deterministic() {
+    let a = CaseSpec::new("x", 24, 24, 42, CaseKind::Real).generate();
+    let b = CaseSpec::new("x", 24, 24, 42, CaseKind::Real).generate();
+    assert_eq!(a.netlist, b.netlist);
+    assert_eq!(a.power, b.power);
+    // And the golden solution is stable too.
+    let ia = a.solve().unwrap();
+    let ib = b.solve().unwrap();
+    assert_eq!(ia.worst_drop(), ib.worst_drop());
+}
+
+#[test]
+fn features_are_deterministic() {
+    let case = CaseSpec::new("x", 20, 20, 1, CaseKind::Fake).generate();
+    let fa = FeatureStack::extended(&case).to_tensor();
+    let fb = FeatureStack::extended(&case).to_tensor();
+    assert_eq!(fa.data(), fb.data());
+}
+
+#[test]
+fn samples_and_predictions_are_deterministic() {
+    let spec = CaseSpec::new("x", 16, 16, 13, CaseKind::Fake);
+    let sa = build_sample(&spec, 16).unwrap();
+    let sb = build_sample(&spec, 16).unwrap();
+    assert_eq!(sa.images_extended.data(), sb.images_extended.data());
+    assert_eq!(sa.target.data(), sb.target.data());
+    assert_eq!(sa.cloud, sb.cloud);
+
+    let cfg = LmmIrConfig {
+        widths: vec![4, 8],
+        input_size: 16,
+        seed: 7,
+        lnt: LntConfig {
+            d_model: 8,
+            heads: 2,
+            layers: 1,
+            max_points: 64,
+            chunk: 64,
+            ff_mult: 2,
+        },
+        ..LmmIrConfig::quick()
+    };
+    let ma = LmmIr::new(cfg.clone());
+    let mb = LmmIr::new(cfg);
+    let pa = ma
+        .forward(&sa.images_for(6), Some(&sa.cloud))
+        .unwrap()
+        .to_tensor();
+    let pb = mb
+        .forward(&sb.images_for(6), Some(&sb.cloud))
+        .unwrap()
+        .to_tensor();
+    assert_eq!(pa.data(), pb.data());
+}
+
+#[test]
+fn training_is_deterministic_without_noise() {
+    let samples = vec![
+        build_sample(&CaseSpec::new("a", 16, 16, 3, CaseKind::Fake), 16).unwrap(),
+        build_sample(&CaseSpec::new("b", 16, 16, 4, CaseKind::Real), 16).unwrap(),
+    ];
+    let cfg = LmmIrConfig {
+        widths: vec![4, 8],
+        input_size: 16,
+        seed: 11,
+        lnt: LntConfig {
+            d_model: 8,
+            heads: 2,
+            layers: 1,
+            max_points: 64,
+            chunk: 64,
+            ff_mult: 2,
+        },
+        ..LmmIrConfig::quick()
+    };
+    let tcfg = TrainConfig {
+        epochs: 3,
+        pretrain_epochs: 1,
+        noise_std: 0.0,
+        oversample: (1, 1),
+        ..TrainConfig::quick()
+    };
+    let ma = LmmIr::new(cfg.clone());
+    let mb = LmmIr::new(cfg);
+    let ra = train(&ma, &samples, &tcfg).unwrap();
+    let rb = train(&mb, &samples, &tcfg).unwrap();
+    assert_eq!(ra.losses, rb.losses);
+    assert_eq!(ra.pretrain_losses, rb.pretrain_losses);
+}

@@ -1,0 +1,113 @@
+//! Cross-crate integration: the complete generate → solve → featurize →
+//! train → predict → score pipeline at miniature scale.
+
+use lmm_ir::{
+    average, build_sample, evaluate, f1_score, train, IrPredictor, LmmIr, LmmIrConfig, LntConfig,
+    TrainConfig,
+};
+use lmmir_pdn::{CaseKind, CaseSpec};
+
+fn tiny_lmm(input_size: usize, seed: u64) -> LmmIr {
+    LmmIr::new(LmmIrConfig {
+        widths: vec![6, 12],
+        input_size,
+        seed,
+        lnt: LntConfig {
+            d_model: 12,
+            heads: 2,
+            layers: 1,
+            max_points: 96,
+            chunk: 96,
+            ff_mult: 2,
+        },
+        ..LmmIrConfig::quick()
+    })
+}
+
+#[test]
+fn full_pipeline_trains_and_scores() {
+    let input_size = 16;
+    let train_set: Vec<_> = (0..3)
+        .map(|i| {
+            build_sample(
+                &CaseSpec::new(format!("t{i}"), 16, 16, 50 + i, CaseKind::Fake),
+                input_size,
+            )
+            .unwrap()
+        })
+        .collect();
+    let eval_set = vec![build_sample(
+        &CaseSpec::new("h", 16, 16, 99, CaseKind::Hidden),
+        input_size,
+    )
+    .unwrap()];
+
+    let model = tiny_lmm(input_size, 5);
+    let before = average(&evaluate(&model, &eval_set).unwrap());
+    let cfg = TrainConfig {
+        epochs: 12,
+        pretrain_epochs: 1,
+        oversample: (1, 1),
+        ..TrainConfig::quick()
+    };
+    let report = train(&model, &train_set, &cfg).unwrap();
+    assert_eq!(report.losses.len(), 12);
+    assert!(
+        report.final_loss() < report.losses[0],
+        "loss must decrease over training"
+    );
+    let after = average(&evaluate(&model, &eval_set).unwrap());
+    assert!(
+        after.mae_e4 < before.mae_e4,
+        "training must reduce MAE: {:.1} -> {:.1}",
+        before.mae_e4,
+        after.mae_e4
+    );
+    assert!(after.f1 >= 0.0 && after.f1 <= 1.0);
+    assert!(after.tat > 0.0);
+}
+
+#[test]
+fn multimodal_forward_consumes_cloud() {
+    let input_size = 16;
+    let sample = build_sample(
+        &CaseSpec::new("c", 16, 16, 7, CaseKind::Fake),
+        input_size,
+    )
+    .unwrap();
+    let model = tiny_lmm(input_size, 9);
+    let images = sample.images_for(model.input_channels());
+    // With and without the netlist the model must produce different maps
+    // (the fusion path is live, not a no-op).
+    let with = model.forward(&images, Some(&sample.cloud)).unwrap().to_tensor();
+    let without = model.forward(&images, None).unwrap().to_tensor();
+    assert_eq!(with.dims(), without.dims());
+    let diff: f32 = with
+        .data()
+        .iter()
+        .zip(without.data())
+        .map(|(a, b)| (a - b).abs())
+        .sum();
+    assert!(diff > 1e-6, "netlist modality must influence the prediction");
+}
+
+#[test]
+fn predictions_restore_to_original_resolution() {
+    // A 20x20 case adjusted to 16 (scaled) and a 12x12 case (padded) must
+    // both restore to their native sizes.
+    for (side, seed) in [(20usize, 1u64), (12, 2)] {
+        let sample = build_sample(
+            &CaseSpec::new(format!("s{side}"), side, side, seed, CaseKind::Hidden),
+            16,
+        )
+        .unwrap();
+        let model = tiny_lmm(16, 3);
+        let images = sample.images_for(model.input_channels());
+        let pred = model.forward(&images, Some(&sample.cloud)).unwrap();
+        let restored = sample.restore_prediction(&pred.to_tensor());
+        assert_eq!(restored.width(), side);
+        assert_eq!(restored.height(), side);
+        let f1 = f1_score(&restored, &sample.truth);
+        assert!((0.0..=1.0).contains(&f1));
+    }
+}
