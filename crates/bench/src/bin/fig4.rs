@@ -14,7 +14,9 @@ fn main() {
         "[fig4] scale {:.4}, input {}, {} fake + {} real train cases, {} epochs",
         h.scale, h.lmm.input_size, h.n_fake, h.n_real, h.train.epochs
     );
-    let train_set = h.build_training().expect("training set generates and solves");
+    let train_set = h
+        .build_training()
+        .expect("training set generates and solves");
     let hidden = h.build_hidden().expect("hidden suite generates and solves");
     eprintln!(
         "[fig4] data ready: {} train / {} hidden",

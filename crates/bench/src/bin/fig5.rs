@@ -15,7 +15,9 @@ fn main() {
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
     eprintln!("[fig5] generating data...");
-    let train_set = h.build_training().expect("training set generates and solves");
+    let train_set = h
+        .build_training()
+        .expect("training set generates and solves");
     let hidden = h.build_hidden().expect("hidden suite generates and solves");
     let sample = hidden
         .iter()
@@ -32,7 +34,10 @@ fn main() {
         out_dir.display()
     );
 
-    let header = format!("{:<10} {:>8} {:>10} {:>24}", "Model", "F1", "MAE(e-4)", "files");
+    let header = format!(
+        "{:<10} {:>8} {:>10} {:>24}",
+        "Model", "F1", "MAE(e-4)", "files"
+    );
     lmmir_bench::rule(&header);
     println!("{header}");
     lmmir_bench::rule(&header);

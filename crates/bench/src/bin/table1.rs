@@ -5,7 +5,11 @@ use lmm_ir::table1;
 fn main() {
     let header = format!(
         "{:<16} {:>22} {:>18} {:>15} {:>26}",
-        "Methods", "Fully handle Netlist", "Multimodal Fusion", "Extra Features", "Global attention mechanism"
+        "Methods",
+        "Fully handle Netlist",
+        "Multimodal Fusion",
+        "Extra Features",
+        "Global attention mechanism"
     );
     println!("Table I: Comparison among different IR drop models.");
     lmmir_bench::rule(&header);

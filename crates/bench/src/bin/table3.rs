@@ -16,7 +16,9 @@ fn main() {
         h.scale, h.lmm.input_size, h.n_fake, h.n_real, h.train.epochs
     );
     let t0 = Instant::now();
-    let train_set = h.build_training().expect("training set generates and solves");
+    let train_set = h
+        .build_training()
+        .expect("training set generates and solves");
     eprintln!(
         "[table3] training set ready ({} cases, {:.1}s)",
         train_set.len(),
@@ -80,8 +82,16 @@ fn main() {
     let mut line = format!("{:<12}", "Ratio");
     for a in &avgs {
         let f1r = if ours.f1 > 0.0 { a.f1 / ours.f1 } else { 0.0 };
-        let maer = if ours.mae_e4 > 0.0 { a.mae_e4 / ours.mae_e4 } else { 0.0 };
-        let tatr = if ours.tat > 0.0 { a.tat / ours.tat } else { 0.0 };
+        let maer = if ours.mae_e4 > 0.0 {
+            a.mae_e4 / ours.mae_e4
+        } else {
+            0.0
+        };
+        let tatr = if ours.tat > 0.0 {
+            a.tat / ours.tat
+        } else {
+            0.0
+        };
         line += &format!(" | {:>6.2} {:>7.2} {:>7.3}", f1r, maer, tatr);
     }
     println!("{line}");
@@ -101,22 +111,37 @@ fn main() {
     let best_other_f1 = avgs[..4].iter().map(|a| a.f1).fold(0.0, f64::max);
     println!(
         "  ours has best avg F1: {} (ours {:.2} vs best baseline {:.2})",
-        if ours_f1 >= best_other_f1 { "PASS" } else { "FAIL" },
+        if ours_f1 >= best_other_f1 {
+            "PASS"
+        } else {
+            "FAIL"
+        },
         ours_f1,
         best_other_f1
     );
     let ours_mae = ours.mae_e4;
-    let best_other_mae = avgs[..4].iter().map(|a| a.mae_e4).fold(f64::INFINITY, f64::min);
+    let best_other_mae = avgs[..4]
+        .iter()
+        .map(|a| a.mae_e4)
+        .fold(f64::INFINITY, f64::min);
     println!(
         "  ours has lowest avg MAE: {} (ours {:.2} vs best baseline {:.2})",
-        if ours_mae <= best_other_mae { "PASS" } else { "FAIL" },
+        if ours_mae <= best_other_mae {
+            "PASS"
+        } else {
+            "FAIL"
+        },
         ours_mae,
         best_other_mae
     );
     let iredge_f1 = avgs[2].f1;
     println!(
         "  IREDGe far behind ours on F1: {} ({:.2} vs {:.2})",
-        if iredge_f1 < 0.6 * ours_f1 { "PASS" } else { "FAIL" },
+        if iredge_f1 < 0.6 * ours_f1 {
+            "PASS"
+        } else {
+            "FAIL"
+        },
         iredge_f1,
         ours_f1
     );
@@ -130,7 +155,11 @@ fn main() {
     let golden_avg = golden_total / hidden.len() as f64;
     println!(
         "  inference beats golden solver: {} (golden avg {:.2}s vs ours {:.2}s)",
-        if ours.tat < golden_avg { "PASS" } else { "FAIL" },
+        if ours.tat < golden_avg {
+            "PASS"
+        } else {
+            "FAIL"
+        },
         golden_avg,
         ours.tat
     );

@@ -121,7 +121,14 @@ impl IrpNet {
         let mut norms = Vec::new();
         for i in 0..depth {
             let in_ch = if i == 0 { 1 } else { width };
-            convs.push(Conv2d::new(in_ch, width, 3, ConvSpec::new(1, 1), true, &mut rng));
+            convs.push(Conv2d::new(
+                in_ch,
+                width,
+                3,
+                ConvSpec::new(1, 1),
+                true,
+                &mut rng,
+            ));
             norms.push(BatchNorm2d::new(width));
         }
         let out = Conv2d::new(width, 1, 1, ConvSpec::new(1, 0), true, &mut rng);

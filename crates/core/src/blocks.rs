@@ -19,13 +19,7 @@ impl DoubleConv {
     /// Creates a block with kernel `k1` for the first conv and `k2` for the
     /// second ("same" padding on both).
     #[must_use]
-    pub fn new(
-        in_ch: usize,
-        out_ch: usize,
-        k1: usize,
-        k2: usize,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn new(in_ch: usize, out_ch: usize, k1: usize, k2: usize, rng: &mut impl Rng) -> Self {
         DoubleConv {
             c1: Conv2d::new(in_ch, out_ch, k1, ConvSpec::new(1, k1 / 2), true, rng),
             b1: BatchNorm2d::new(out_ch),
@@ -163,12 +157,7 @@ impl UNetDecoder {
     ///
     /// Panics when `widths` has fewer than two entries.
     #[must_use]
-    pub fn new(
-        widths: &[usize],
-        out_ch: usize,
-        attention_gates: bool,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn new(widths: &[usize], out_ch: usize, attention_gates: bool, rng: &mut impl Rng) -> Self {
         assert!(widths.len() >= 2, "decoder needs at least two widths");
         let mut ups = Vec::new();
         let mut gates = Vec::new();

@@ -6,9 +6,7 @@
 //! original-resolution ground truth for faithful evaluation.
 
 use crate::pointcloud::PointCloud;
-use lmmir_features::{
-    ir_drop_map, spatial::spatial_restore, FeatureStack, Raster, SpatialInfo,
-};
+use lmmir_features::{ir_drop_map, spatial::spatial_restore, FeatureStack, Raster, SpatialInfo};
 use lmmir_pdn::{CaseKind, CaseSpec};
 use lmmir_solver::SolveIrDropError;
 use lmmir_tensor::{Tensor, Var};
@@ -227,10 +225,7 @@ mod tests {
         let s = sample();
         // Feeding the adjusted target back must reproduce the original truth
         // exactly for padded samples.
-        let pred = s
-            .target
-            .reshape(&[1, 1, 32, 32])
-            .unwrap();
+        let pred = s.target.reshape(&[1, 1, 32, 32]).unwrap();
         let restored = s.restore_prediction(&pred);
         assert_eq!(restored.width(), 20);
         for (a, b) in restored.data().iter().zip(s.truth.data()) {
@@ -261,7 +256,10 @@ mod tests {
         let s = build_sample(&CaseSpec::new("big", 40, 40, 7, CaseKind::Fake), 32).unwrap();
         assert!(matches!(
             s.info,
-            SpatialInfo::Scaled { width: 40, height: 40 }
+            SpatialInfo::Scaled {
+                width: 40,
+                height: 40
+            }
         ));
         let pred = s.target.reshape(&[1, 1, 32, 32]).unwrap();
         let restored = s.restore_prediction(&pred);

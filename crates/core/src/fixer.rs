@@ -29,11 +29,7 @@ pub struct PadFix {
 /// # Errors
 ///
 /// Returns tensor errors when the model and features disagree in shape.
-pub fn predict_case(
-    spec: &CaseSpec,
-    model: &dyn IrPredictor,
-    input_size: usize,
-) -> Result<Raster> {
+pub fn predict_case(spec: &CaseSpec, model: &dyn IrPredictor, input_size: usize) -> Result<Raster> {
     let case = spec.generate();
     let stack = match model.input_channels() {
         6 => FeatureStack::extended(&case),
@@ -55,9 +51,7 @@ pub fn predict_case(
     let pred = model.forward(&images, model.uses_netlist().then_some(&cloud))?;
     let pt = pred.to_tensor();
     let pd = pt.dims().to_vec();
-    let flat = pt
-        .reshape(&[pd[2], pd[3]])?
-        .scale(1.0 / TARGET_SCALE);
+    let flat = pt.reshape(&[pd[2], pd[3]])?.scale(1.0 / TARGET_SCALE);
     Ok(spatial_restore(&Raster::from_tensor(&flat), info))
 }
 

@@ -138,7 +138,9 @@ impl Lnt {
             input: Linear::new(POINT_FEATURES, cfg.d_model, true, rng),
             kind_embed: Embedding::new(3, cfg.d_model, rng),
             layer_embed: Embedding::new(MAX_LAYERS, cfg.d_model, rng),
-            blocks: (0..cfg.layers).map(|_| TransformerBlock::new(&cfg, rng)).collect(),
+            blocks: (0..cfg.layers)
+                .map(|_| TransformerBlock::new(&cfg, rng))
+                .collect(),
         }
     }
 

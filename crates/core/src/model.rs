@@ -207,7 +207,12 @@ impl LmmIr {
             let heads = (1..=heads).rev().find(|h| bottleneck % h == 0).unwrap_or(1);
             (
                 Some(lnt),
-                Some(FusionModule::new(bottleneck, cfg.lnt.d_model, heads, &mut rng)),
+                Some(FusionModule::new(
+                    bottleneck,
+                    cfg.lnt.d_model,
+                    heads,
+                    &mut rng,
+                )),
             )
         } else {
             (None, None)

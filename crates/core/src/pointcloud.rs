@@ -72,12 +72,7 @@ impl PointCloud {
     /// within this netlist, making the cloud invariant to global unit
     /// choices while preserving relative magnitudes.
     #[must_use]
-    pub fn from_netlist(
-        netlist: &Netlist,
-        dbu_per_um: i64,
-        width_um: f64,
-        height_um: f64,
-    ) -> Self {
+    pub fn from_netlist(netlist: &Netlist, dbu_per_um: i64, width_um: f64, height_um: f64) -> Self {
         let wd = (width_um * dbu_per_um as f64).max(1.0);
         let hd = (height_um * dbu_per_um as f64).max(1.0);
         // Per-kind mean |value| for normalization.

@@ -31,12 +31,21 @@ pub fn current_map(power: &PowerMap) -> Raster {
 /// Voltage-source map: pad values splatted at pad pixel positions
 /// (one of the paper's additional channels).
 #[must_use]
-pub fn voltage_source_map(netlist: &Netlist, width: usize, height: usize, dbu_per_um: i64) -> Raster {
+pub fn voltage_source_map(
+    netlist: &Netlist,
+    width: usize,
+    height: usize,
+    dbu_per_um: i64,
+) -> Raster {
     let mut r = Raster::zeros(width, height);
     for e in netlist.iter() {
         if e.kind == ElementKind::VoltageSource {
             if let Some(n) = e.a.name().or_else(|| e.b.name()) {
-                r.splat(to_px(n.x, dbu_per_um), to_px(n.y, dbu_per_um), e.value as f32);
+                r.splat(
+                    to_px(n.x, dbu_per_um),
+                    to_px(n.y, dbu_per_um),
+                    e.value as f32,
+                );
             }
         }
     }
@@ -46,12 +55,21 @@ pub fn voltage_source_map(netlist: &Netlist, width: usize, height: usize, dbu_pe
 /// Current-source map: tap values splatted at tap pixel positions
 /// (one of the paper's additional channels).
 #[must_use]
-pub fn current_source_map(netlist: &Netlist, width: usize, height: usize, dbu_per_um: i64) -> Raster {
+pub fn current_source_map(
+    netlist: &Netlist,
+    width: usize,
+    height: usize,
+    dbu_per_um: i64,
+) -> Raster {
     let mut r = Raster::zeros(width, height);
     for e in netlist.iter() {
         if e.kind == ElementKind::CurrentSource {
             if let Some(n) = e.a.name().or_else(|| e.b.name()) {
-                r.splat(to_px(n.x, dbu_per_um), to_px(n.y, dbu_per_um), e.value as f32);
+                r.splat(
+                    to_px(n.x, dbu_per_um),
+                    to_px(n.y, dbu_per_um),
+                    e.value as f32,
+                );
             }
         }
     }
@@ -120,8 +138,14 @@ pub fn pdn_density_map(netlist: &Netlist, width: usize, height: usize, dbu_per_u
             continue;
         };
         // Walk the segment in 1 px steps, attributing length to tiles.
-        let (ax, ay) = (a.x as f64 / dbu_per_um as f64, a.y as f64 / dbu_per_um as f64);
-        let (bx, by) = (b.x as f64 / dbu_per_um as f64, b.y as f64 / dbu_per_um as f64);
+        let (ax, ay) = (
+            a.x as f64 / dbu_per_um as f64,
+            a.y as f64 / dbu_per_um as f64,
+        );
+        let (bx, by) = (
+            b.x as f64 / dbu_per_um as f64,
+            b.y as f64 / dbu_per_um as f64,
+        );
         let len = ((bx - ax).powi(2) + (by - ay).powi(2)).sqrt();
         let steps = (len.ceil() as usize).max(1);
         for s in 0..steps {
@@ -166,11 +190,21 @@ pub fn resistance_map(netlist: &Netlist, width: usize, height: usize, dbu_per_um
             continue;
         };
         if e.is_via() {
-            r.splat(to_px(a.x, dbu_per_um), to_px(a.y, dbu_per_um), e.value as f32);
+            r.splat(
+                to_px(a.x, dbu_per_um),
+                to_px(a.y, dbu_per_um),
+                e.value as f32,
+            );
             continue;
         }
-        let (ax, ay) = (a.x as f64 / dbu_per_um as f64, a.y as f64 / dbu_per_um as f64);
-        let (bx, by) = (b.x as f64 / dbu_per_um as f64, b.y as f64 / dbu_per_um as f64);
+        let (ax, ay) = (
+            a.x as f64 / dbu_per_um as f64,
+            a.y as f64 / dbu_per_um as f64,
+        );
+        let (bx, by) = (
+            b.x as f64 / dbu_per_um as f64,
+            b.y as f64 / dbu_per_um as f64,
+        );
         let len = ((bx - ax).powi(2) + (by - ay).powi(2)).sqrt();
         let steps = (len.ceil() as usize).max(1);
         let per = (e.value / steps as f64) as f32;
@@ -283,7 +317,9 @@ mod tests {
         let c = case();
         let dbu = c.tech.dbu_per_um;
         let im = current_source_map(&c.netlist, 24, 24, dbu);
-        assert!((f64::from(im.data().iter().sum::<f32>()) - c.netlist.total_current()).abs() < 1e-3);
+        assert!(
+            (f64::from(im.data().iter().sum::<f32>()) - c.netlist.total_current()).abs() < 1e-3
+        );
         let vm = voltage_source_map(&c.netlist, 24, 24, dbu);
         let pads = c.netlist.stats().voltage_sources as f32;
         assert!((vm.data().iter().sum::<f32>() - pads * 1.1).abs() < 1e-3);
@@ -296,7 +332,10 @@ mod tests {
         // pad at (12, 12) µm
         let at_pad = m.at(12, 12);
         let far = m.at(0, 0);
-        assert!(at_pad < far, "distance grows away from pad: {at_pad} vs {far}");
+        assert!(
+            at_pad < far,
+            "distance grows away from pad: {at_pad} vs {far}"
+        );
         // monotone along the diagonal
         assert!(m.at(6, 6) < m.at(2, 2));
     }
@@ -330,8 +369,7 @@ mod tests {
         for l in &mut dense_tech.layers {
             l.pitch_um *= 0.5;
         }
-        let dense_nl =
-            lmmir_pdn::build_netlist(&dense_tech, &c.power, &Default::default());
+        let dense_nl = lmmir_pdn::build_netlist(&dense_tech, &c.power, &Default::default());
         let d0 = pdn_density_map(&c.netlist, 24, 24, 2000);
         let d1 = pdn_density_map(&dense_nl, 24, 24, 2000);
         assert!(

@@ -66,7 +66,10 @@ impl Raster {
     /// Panics when out of bounds.
     #[must_use]
     pub fn at(&self, x: usize, y: usize) -> f32 {
-        assert!(x < self.width && y < self.height, "raster index out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "raster index out of bounds"
+        );
         self.data[y * self.width + x]
     }
 
@@ -76,7 +79,10 @@ impl Raster {
     ///
     /// Panics when out of bounds.
     pub fn set(&mut self, x: usize, y: usize, v: f32) {
-        assert!(x < self.width && y < self.height, "raster index out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "raster index out of bounds"
+        );
         self.data[y * self.width + x] = v;
     }
 

@@ -89,12 +89,18 @@ pub fn spatial_adjust(src: &Raster, target: usize) -> (Raster, SpatialInfo) {
     } else if w <= target && h <= target {
         (
             pad_to(src, target, target),
-            SpatialInfo::Padded { width: w, height: h },
+            SpatialInfo::Padded {
+                width: w,
+                height: h,
+            },
         )
     } else {
         (
             resize_bilinear(src, target, target),
-            SpatialInfo::Scaled { width: w, height: h },
+            SpatialInfo::Scaled {
+                width: w,
+                height: h,
+            },
         )
     }
 }
@@ -207,7 +213,13 @@ mod tests {
         let src = Raster::from_vec(3, 3, (0..9).map(|i| i as f32).collect());
         let (adj, info) = spatial_adjust(&src, 8);
         assert_eq!(adj.width(), 8);
-        assert!(matches!(info, SpatialInfo::Padded { width: 3, height: 3 }));
+        assert!(matches!(
+            info,
+            SpatialInfo::Padded {
+                width: 3,
+                height: 3
+            }
+        ));
         let back = spatial_restore(&adj, info);
         assert_eq!(back, src);
     }
@@ -217,7 +229,13 @@ mod tests {
         let src = Raster::from_vec(16, 16, (0..256).map(|i| (i % 16) as f32).collect());
         let (adj, info) = spatial_adjust(&src, 8);
         assert_eq!(adj.width(), 8);
-        assert!(matches!(info, SpatialInfo::Scaled { width: 16, height: 16 }));
+        assert!(matches!(
+            info,
+            SpatialInfo::Scaled {
+                width: 16,
+                height: 16
+            }
+        ));
         let back = spatial_restore(&adj, info);
         assert_eq!(back.width(), 16);
         // Ramp structure preserved approximately.

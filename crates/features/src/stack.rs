@@ -117,7 +117,10 @@ impl FeatureStack {
     /// Channel accessor.
     #[must_use]
     pub fn channel(&self, kind: FeatureChannel) -> Option<&Raster> {
-        self.channels.iter().find(|(k, _)| *k == kind).map(|(_, r)| r)
+        self.channels
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, r)| r)
     }
 
     /// Iterates `(kind, raster)` pairs in order.
@@ -207,10 +210,16 @@ mod tests {
         assert_eq!(adj.width(), 32);
         assert!(matches!(
             info,
-            crate::spatial::SpatialInfo::Padded { width: 20, height: 20 }
+            crate::spatial::SpatialInfo::Padded {
+                width: 20,
+                height: 20
+            }
         ));
         for (_, r) in adj.iter() {
-            assert!(r.mean().abs() < 0.35, "padding shifts mean but stays bounded");
+            assert!(
+                r.mean().abs() < 0.35,
+                "padding shifts mean but stays bounded"
+            );
         }
     }
 

@@ -85,7 +85,11 @@ pub fn find_violations(map: &Raster, threshold: f32) -> Vec<ViolationRegion> {
             regions.push(region);
         }
     }
-    regions.sort_by(|a, b| b.peak.partial_cmp(&a.peak).unwrap_or(std::cmp::Ordering::Equal));
+    regions.sort_by(|a, b| {
+        b.peak
+            .partial_cmp(&a.peak)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     regions
 }
 

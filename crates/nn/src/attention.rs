@@ -105,9 +105,7 @@ impl MultiHeadAttention {
         let vh = self.split_heads(&self.wv.forward(v)?)?;
         let dh = (self.d_model / self.heads) as f32;
         // scores [B*H, Nq, Nk] = Q K^T / sqrt(dh)
-        let scores = qh
-            .bmm(&kh.permute(&[0, 2, 1])?)?
-            .scale(1.0 / dh.sqrt());
+        let scores = qh.bmm(&kh.permute(&[0, 2, 1])?)?.scale(1.0 / dh.sqrt());
         let attn = scores.softmax_last();
         let ctx = attn.bmm(&vh)?;
         let merged = self.merge_heads(&ctx, b, nq)?;

@@ -147,14 +147,7 @@ impl ConvTranspose2d {
     /// Standard ×2 upsampling deconvolution (kernel 2, stride 2).
     #[must_use]
     pub fn upsample2(in_channels: usize, out_channels: usize, rng: &mut impl Rng) -> Self {
-        ConvTranspose2d::new(
-            in_channels,
-            out_channels,
-            2,
-            ConvSpec::new(2, 0),
-            true,
-            rng,
-        )
+        ConvTranspose2d::new(in_channels, out_channels, 2, ConvSpec::new(2, 0), true, rng)
     }
 
     /// Input channel count.

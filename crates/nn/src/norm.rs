@@ -198,11 +198,7 @@ mod tests {
         bn.set_training(false);
         // In eval, an input equal to the running mean maps near beta = 0.
         let rm = bn.running_mean();
-        let x = Var::constant(
-            Tensor::zeros(&[1, 2, 4, 4])
-                .add(&rm)
-                .unwrap(),
-        );
+        let x = Var::constant(Tensor::zeros(&[1, 2, 4, 4]).add(&rm).unwrap());
         let y = bn.forward(&x).unwrap();
         assert!(y.value().map(f32::abs).max_all() < 1e-3);
     }

@@ -121,7 +121,8 @@ fn attention_learns_token_selection() {
         let payload = (marked as f32 + 1.0) * 0.2;
         let kvv = Var::constant(Tensor::from_vec(kv, &[1, 4, 4]).unwrap());
         let q = Var::constant(Tensor::ones(&[1, 1, 4]));
-        let target = Var::constant(Tensor::from_vec(vec![payload, 0.0, 0.0, 0.0], &[1, 1, 4]).unwrap());
+        let target =
+            Var::constant(Tensor::from_vec(vec![payload, 0.0, 0.0, 0.0], &[1, 1, 4]).unwrap());
         opt.zero_grad();
         let out = attn.forward_qkv(&q, &kvv, &kvv).unwrap();
         let loss = out.mse_loss(&target).unwrap();

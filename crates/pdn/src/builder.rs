@@ -16,7 +16,7 @@ use lmmir_spice::{Element, ElementKind, Netlist, NodeName, NodeRef};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Options modulating a single generated benchmark.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct BuildOptions {
     /// Pad pitch override (µm); defaults to the technology pitch.
     pub pad_pitch_um: Option<f64>,
@@ -32,17 +32,6 @@ pub struct BuildOptions {
     /// Additional C4 pads at explicit µm positions (snapped to the nearest
     /// top-layer node). Used by the what-if PDN-fixing loop.
     pub extra_pads: Vec<(f64, f64)>,
-}
-
-impl Default for BuildOptions {
-    fn default() -> Self {
-        BuildOptions {
-            pad_pitch_um: None,
-            pad_keepout: None,
-            weak_via_region: None,
-            extra_pads: Vec::new(),
-        }
-    }
 }
 
 /// Key of a physical PDN node.
@@ -140,7 +129,11 @@ pub fn build_netlist(tech: &PdnTech, power: &PowerMap, opts: &BuildOptions) -> N
 
     // 2. Current-source taps on m1.
     let m1 = &tech.layers[0];
-    debug_assert_eq!(m1.dir, LayerDir::Horizontal, "standard stack has horizontal m1");
+    debug_assert_eq!(
+        m1.dir,
+        LayerDir::Horizontal,
+        "standard stack has horizontal m1"
+    );
     let m1_ys = &stripes_dbu[0];
     let mut loads: HashMap<NodeKey, f64> = HashMap::new();
     for py in 0..power.height() {
@@ -285,7 +278,11 @@ mod tests {
 
     #[test]
     fn generated_netlist_has_all_element_kinds() {
-        let nl = build_netlist(&PdnTech::standard(), &small_power(0), &BuildOptions::default());
+        let nl = build_netlist(
+            &PdnTech::standard(),
+            &small_power(0),
+            &BuildOptions::default(),
+        );
         let s = nl.stats();
         assert!(s.resistors > 100, "resistors {}", s.resistors);
         assert!(s.vias > 10, "vias {}", s.vias);
@@ -296,7 +293,11 @@ mod tests {
 
     #[test]
     fn generated_netlist_is_solvable() {
-        let nl = build_netlist(&PdnTech::standard(), &small_power(1), &BuildOptions::default());
+        let nl = build_netlist(
+            &PdnTech::standard(),
+            &small_power(1),
+            &BuildOptions::default(),
+        );
         let ir = solve_ir_drop(&nl, CgConfig::default()).unwrap();
         let worst = ir.worst_drop();
         assert!(worst > 0.0, "some drop expected");
@@ -352,7 +353,9 @@ mod tests {
                 ..Default::default()
             },
         );
-        let d0 = solve_ir_drop(&base, CgConfig::default()).unwrap().worst_drop();
+        let d0 = solve_ir_drop(&base, CgConfig::default())
+            .unwrap()
+            .worst_drop();
         let d1 = solve_ir_drop(&starved, CgConfig::default())
             .unwrap()
             .worst_drop();
@@ -378,8 +381,12 @@ mod tests {
                 ..Default::default()
             },
         );
-        let ds = solve_ir_drop(&sparse, CgConfig::default()).unwrap().worst_drop();
-        let dd = solve_ir_drop(&dense, CgConfig::default()).unwrap().worst_drop();
+        let ds = solve_ir_drop(&sparse, CgConfig::default())
+            .unwrap()
+            .worst_drop();
+        let dd = solve_ir_drop(&dense, CgConfig::default())
+            .unwrap()
+            .worst_drop();
         assert!(dd < ds, "denser pads must reduce drop: {dd} vs {ds}");
     }
 
@@ -392,8 +399,16 @@ mod tests {
 
     #[test]
     fn deterministic_output() {
-        let a = build_netlist(&PdnTech::standard(), &small_power(6), &BuildOptions::default());
-        let b = build_netlist(&PdnTech::standard(), &small_power(6), &BuildOptions::default());
+        let a = build_netlist(
+            &PdnTech::standard(),
+            &small_power(6),
+            &BuildOptions::default(),
+        );
+        let b = build_netlist(
+            &PdnTech::standard(),
+            &small_power(6),
+            &BuildOptions::default(),
+        );
         assert_eq!(a, b);
     }
 

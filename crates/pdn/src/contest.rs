@@ -81,7 +81,13 @@ pub struct CaseSpec {
 impl CaseSpec {
     /// Creates a spec with defaults derived from the area and kind.
     #[must_use]
-    pub fn new(id: impl Into<String>, width: usize, height: usize, seed: u64, kind: CaseKind) -> Self {
+    pub fn new(
+        id: impl Into<String>,
+        width: usize,
+        height: usize,
+        seed: u64,
+        kind: CaseKind,
+    ) -> Self {
         let area = (width * height) as f64;
         let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
         let hotspots = match kind {
@@ -95,7 +101,12 @@ impl CaseSpec {
                 if rng.gen_bool(0.7) {
                     let x0 = rng.gen_range(0.0..0.5);
                     let y0 = rng.gen_range(0.0..0.5);
-                    Some((x0, y0, x0 + rng.gen_range(0.2..0.45), y0 + rng.gen_range(0.2..0.45)))
+                    Some((
+                        x0,
+                        y0,
+                        x0 + rng.gen_range(0.2..0.45),
+                        y0 + rng.gen_range(0.2..0.45),
+                    ))
                 } else {
                     None
                 }
@@ -113,7 +124,12 @@ impl CaseSpec {
                 if rng.gen_bool(0.5) {
                     let x0 = rng.gen_range(0.0..0.6);
                     let y0 = rng.gen_range(0.0..0.6);
-                    let rect = (x0, y0, x0 + rng.gen_range(0.2..0.4), y0 + rng.gen_range(0.2..0.4));
+                    let rect = (
+                        x0,
+                        y0,
+                        x0 + rng.gen_range(0.2..0.4),
+                        y0 + rng.gen_range(0.2..0.4),
+                    );
                     Some((rect, rng.gen_range(3.0..8.0)))
                 } else {
                     None
@@ -206,7 +222,13 @@ pub fn hidden_suite(scale: f64, base_seed: u64) -> Vec<CaseSpec> {
         .enumerate()
         .map(|(i, (id, side))| {
             let s = ((*side as f64 * scale).round() as usize).max(16);
-            CaseSpec::new(*id, s, s, base_seed.wrapping_add(1000 + i as u64), CaseKind::Hidden)
+            CaseSpec::new(
+                *id,
+                s,
+                s,
+                base_seed.wrapping_add(1000 + i as u64),
+                CaseKind::Hidden,
+            )
         })
         .collect()
 }

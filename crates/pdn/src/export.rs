@@ -41,7 +41,12 @@ impl From<SolveIrDropError> for ExportError {
     }
 }
 
-fn write_csv_f64(path: &Path, width: usize, height: usize, at: impl Fn(usize, usize) -> f64) -> Result<(), ExportError> {
+fn write_csv_f64(
+    path: &Path,
+    width: usize,
+    height: usize,
+    at: impl Fn(usize, usize) -> f64,
+) -> Result<(), ExportError> {
     let file = std::fs::File::create(path)?;
     let mut w = std::io::BufWriter::new(file);
     for y in 0..height {
@@ -139,7 +144,12 @@ mod tests {
         let case = CaseSpec::new("exp1", 12, 12, 3, CaseKind::Fake).generate();
         let dir = tmp_dir("a");
         let case_dir = export_case(&case, &dir).unwrap();
-        for f in ["netlist.sp", "current_map.csv", "ir_drop_map.csv", "spec.txt"] {
+        for f in [
+            "netlist.sp",
+            "current_map.csv",
+            "ir_drop_map.csv",
+            "spec.txt",
+        ] {
             assert!(case_dir.join(f).exists(), "missing {f}");
         }
         // The exported netlist parses back identically.

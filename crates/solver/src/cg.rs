@@ -72,7 +72,10 @@ impl fmt::Display for SolveCgError {
                 write!(f, "rhs length {rhs} does not match matrix dimension {n}")
             }
             SolveCgError::BadDiagonal { row, value } => {
-                write!(f, "non-positive diagonal {value} at row {row} (floating node?)")
+                write!(
+                    f,
+                    "non-positive diagonal {value} at row {row} (floating node?)"
+                )
             }
             SolveCgError::NotConverged {
                 iterations,
@@ -283,7 +286,10 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, SolveCgError::NotConverged { iterations: 2, .. }));
+        assert!(matches!(
+            err,
+            SolveCgError::NotConverged { iterations: 2, .. }
+        ));
     }
 
     #[test]

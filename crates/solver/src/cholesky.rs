@@ -32,7 +32,10 @@ impl fmt::Display for FactorizeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FactorizeError::NotPositiveDefinite { row, pivot } => {
-                write!(f, "matrix not positive definite: pivot {pivot} at row {row}")
+                write!(
+                    f,
+                    "matrix not positive definite: pivot {pivot} at row {row}"
+                )
             }
             FactorizeError::DimensionMismatch { n, rhs } => {
                 write!(f, "rhs length {rhs} does not match dimension {n}")
@@ -120,8 +123,8 @@ impl CholeskyFactor {
         let mut y = vec![0.0f64; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[i * n + k] * y[k];
+            for (k, yk) in y.iter().enumerate().take(i) {
+                sum -= self.l[i * n + k] * yk;
             }
             y[i] = sum / self.l[i * n + i];
         }
@@ -129,8 +132,8 @@ impl CholeskyFactor {
         let mut x = vec![0.0f64; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for k in i + 1..n {
-                sum -= self.l[k * n + i] * x[k];
+            for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.l[k * n + i] * xk;
             }
             x[i] = sum / self.l[i * n + i];
         }
@@ -156,7 +159,10 @@ mod tests {
     #[test]
     fn rejects_indefinite() {
         let err = CholeskyFactor::factor_dense(2, &[1.0, 2.0, 2.0, 1.0]).unwrap_err();
-        assert!(matches!(err, FactorizeError::NotPositiveDefinite { row: 1, .. }));
+        assert!(matches!(
+            err,
+            FactorizeError::NotPositiveDefinite { row: 1, .. }
+        ));
     }
 
     #[test]

@@ -229,10 +229,7 @@ mod tests {
 
     #[test]
     fn no_load_means_no_drop() {
-        let nl = Netlist::parse_str(
-            "V1 n1_m1_0_0 0 1.0\nR1 n1_m1_0_0 n1_m1_1_0 1.0\n",
-        )
-        .unwrap();
+        let nl = Netlist::parse_str("V1 n1_m1_0_0 0 1.0\nR1 n1_m1_0_0 n1_m1_1_0 1.0\n").unwrap();
         let ir = solve_ir_drop(&nl, CgConfig::default()).unwrap();
         assert!(ir.worst_drop().abs() < 1e-12);
     }

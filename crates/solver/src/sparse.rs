@@ -79,12 +79,12 @@ impl Csr {
     pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        for r in 0..self.n {
+        for (r, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.values[k] * x[self.col_ix[k]];
             }
-            y[r] = acc;
+            *out = acc;
         }
     }
 
@@ -92,10 +92,10 @@ impl Csr {
     #[must_use]
     pub fn diag(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.n];
-        for r in 0..self.n {
+        for (r, out) in d.iter_mut().enumerate() {
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 if self.col_ix[k] == r {
-                    d[r] = self.values[k];
+                    *out = self.values[k];
                 }
             }
         }

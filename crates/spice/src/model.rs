@@ -126,7 +126,13 @@ impl Element {
     /// Creates an element; the `kind` must agree with the name prefix by
     /// construction in the parser/generator.
     #[must_use]
-    pub fn new(name: impl Into<String>, kind: ElementKind, a: NodeRef, b: NodeRef, value: f64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        kind: ElementKind,
+        a: NodeRef,
+        b: NodeRef,
+        value: f64,
+    ) -> Self {
         Element {
             name: name.into(),
             kind,
@@ -346,9 +352,21 @@ mod tests {
 
     #[test]
     fn via_detection() {
-        let via = Element::new("R1", ElementKind::Resistor, node(1, 0, 0), node(4, 0, 0), 2.0);
+        let via = Element::new(
+            "R1",
+            ElementKind::Resistor,
+            node(1, 0, 0),
+            node(4, 0, 0),
+            2.0,
+        );
         assert!(via.is_via());
-        let wire = Element::new("R2", ElementKind::Resistor, node(1, 0, 0), node(1, 2000, 0), 0.5);
+        let wire = Element::new(
+            "R2",
+            ElementKind::Resistor,
+            node(1, 0, 0),
+            node(1, 2000, 0),
+            0.5,
+        );
         assert!(!wire.is_via());
         let isrc = Element::new(
             "I1",
@@ -363,8 +381,20 @@ mod tests {
     #[test]
     fn node_index_is_first_appearance_order() {
         let nl = Netlist::from_elements(vec![
-            Element::new("R1", ElementKind::Resistor, node(1, 0, 0), node(1, 2000, 0), 1.0),
-            Element::new("R2", ElementKind::Resistor, node(1, 2000, 0), node(1, 4000, 0), 1.0),
+            Element::new(
+                "R1",
+                ElementKind::Resistor,
+                node(1, 0, 0),
+                node(1, 2000, 0),
+                1.0,
+            ),
+            Element::new(
+                "R2",
+                ElementKind::Resistor,
+                node(1, 2000, 0),
+                node(1, 4000, 0),
+                1.0,
+            ),
         ]);
         let ix = nl.node_index();
         assert_eq!(ix.len(), 3);
@@ -376,8 +406,20 @@ mod tests {
     #[test]
     fn stats_counts_and_bbox() {
         let nl = Netlist::from_elements(vec![
-            Element::new("R1", ElementKind::Resistor, node(1, 0, 0), node(1, 2000, 0), 1.0),
-            Element::new("R2", ElementKind::Resistor, node(1, 2000, 0), node(4, 2000, 0), 2.0),
+            Element::new(
+                "R1",
+                ElementKind::Resistor,
+                node(1, 0, 0),
+                node(1, 2000, 0),
+                1.0,
+            ),
+            Element::new(
+                "R2",
+                ElementKind::Resistor,
+                node(1, 2000, 0),
+                node(4, 2000, 0),
+                2.0,
+            ),
             Element::new(
                 "I1",
                 ElementKind::CurrentSource,

@@ -28,7 +28,11 @@ impl ParseNetlistError {
 
 impl fmt::Display for ParseNetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "netlist parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "netlist parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -97,7 +101,10 @@ fn parse_line(line: &str, lineno: usize) -> Result<Option<Element>, ParseNetlist
         .next()
         .ok_or_else(|| ParseNetlistError::new(lineno, "missing value"))?;
     if tok.next().is_some() {
-        return Err(ParseNetlistError::new(lineno, "trailing tokens on element line"));
+        return Err(ParseNetlistError::new(
+            lineno,
+            "trailing tokens on element line",
+        ));
     }
     let a = parse_node(a_tok, lineno)?;
     let b = parse_node(b_tok, lineno)?;
@@ -244,8 +251,8 @@ V1 n1_m9_4000_4000 0 1.1
 
     #[test]
     fn large_coordinates_fit() {
-        let nl = Netlist::parse_str("R1 n1_m1_1860000_1860000 n1_m1_1862000_1860000 0.1\n")
-            .unwrap();
+        let nl =
+            Netlist::parse_str("R1 n1_m1_1860000_1860000 n1_m1_1862000_1860000 0.1\n").unwrap();
         let n = nl.elements()[0].a.name().unwrap();
         assert_eq!(n.x, 1_860_000);
     }

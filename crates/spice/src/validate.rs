@@ -237,7 +237,10 @@ mod tests {
         let r = validate(&nl);
         assert!(r.findings.iter().any(|f| matches!(
             f,
-            Finding::DisconnectedFromSupply { component_size: 2, .. }
+            Finding::DisconnectedFromSupply {
+                component_size: 2,
+                ..
+            }
         )));
     }
 
@@ -269,10 +272,7 @@ mod tests {
 
     #[test]
     fn flags_zero_resistance() {
-        let nl = Netlist::parse_str(
-            "V1 n1_m1_0_0 0 1.1\nR1 n1_m1_0_0 n1_m1_2_0 0.0\n",
-        )
-        .unwrap();
+        let nl = Netlist::parse_str("V1 n1_m1_0_0 0 1.1\nR1 n1_m1_0_0 n1_m1_2_0 0.0\n").unwrap();
         let r = validate(&nl);
         assert!(r
             .findings

@@ -71,39 +71,42 @@ impl ConvSpec {
     }
 }
 
-/// Unfolds one `[C, H, W]` image into a `[C*KH*KW, OH*OW]` column matrix.
-fn im2col_plane(
-    x: &[f32],
+/// Geometry of one im2col/col2im plane: image `[C, H, W]`, kernel
+/// `[KH, KW]`, column space `[OH, OW]`, plus stride/padding.
+#[derive(Debug, Clone, Copy)]
+struct PlaneGeom {
     c: usize,
     h: usize,
     w: usize,
     kh: usize,
     kw: usize,
-    spec: ConvSpec,
     oh: usize,
     ow: usize,
-    cols: &mut [f32],
-) {
-    let l = oh * ow;
-    debug_assert_eq!(cols.len(), c * kh * kw * l);
-    for ci in 0..c {
-        for ki in 0..kh {
-            for kj in 0..kw {
-                let row = ((ci * kh + ki) * kw + kj) * l;
-                for oy in 0..oh {
-                    let iy = (oy * spec.stride + ki) as isize - spec.padding as isize;
-                    let dst = row + oy * ow;
-                    if iy < 0 || iy >= h as isize {
+    spec: ConvSpec,
+}
+
+/// Unfolds one `[C, H, W]` image into a `[C*KH*KW, OH*OW]` column matrix.
+fn im2col_plane(x: &[f32], g: PlaneGeom, cols: &mut [f32]) {
+    let l = g.oh * g.ow;
+    debug_assert_eq!(cols.len(), g.c * g.kh * g.kw * l);
+    for ci in 0..g.c {
+        for ki in 0..g.kh {
+            for kj in 0..g.kw {
+                let row = ((ci * g.kh + ki) * g.kw + kj) * l;
+                for oy in 0..g.oh {
+                    let iy = (oy * g.spec.stride + ki) as isize - g.spec.padding as isize;
+                    let dst = row + oy * g.ow;
+                    if iy < 0 || iy >= g.h as isize {
                         // Entire output row reads from the zero pad.
-                        for v in &mut cols[dst..dst + ow] {
+                        for v in &mut cols[dst..dst + g.ow] {
                             *v = 0.0;
                         }
                         continue;
                     }
-                    let src_row = (ci * h + iy as usize) * w;
-                    for ox in 0..ow {
-                        let ix = (ox * spec.stride + kj) as isize - spec.padding as isize;
-                        cols[dst + ox] = if ix < 0 || ix >= w as isize {
+                    let src_row = (ci * g.h + iy as usize) * g.w;
+                    for ox in 0..g.ow {
+                        let ix = (ox * g.spec.stride + kj) as isize - g.spec.padding as isize;
+                        cols[dst + ox] = if ix < 0 || ix >= g.w as isize {
                             0.0
                         } else {
                             x[src_row + ix as usize]
@@ -117,35 +120,24 @@ fn im2col_plane(
 
 /// Folds a `[C*KH*KW, OH*OW]` column matrix back into a `[C, H, W]` image by
 /// scatter-add (the exact adjoint of [`im2col_plane`]).
-fn col2im_plane(
-    cols: &[f32],
-    c: usize,
-    h: usize,
-    w: usize,
-    kh: usize,
-    kw: usize,
-    spec: ConvSpec,
-    oh: usize,
-    ow: usize,
-    x: &mut [f32],
-) {
-    let l = oh * ow;
-    debug_assert_eq!(cols.len(), c * kh * kw * l);
-    debug_assert_eq!(x.len(), c * h * w);
-    for ci in 0..c {
-        for ki in 0..kh {
-            for kj in 0..kw {
-                let row = ((ci * kh + ki) * kw + kj) * l;
-                for oy in 0..oh {
-                    let iy = (oy * spec.stride + ki) as isize - spec.padding as isize;
-                    if iy < 0 || iy >= h as isize {
+fn col2im_plane(cols: &[f32], g: PlaneGeom, x: &mut [f32]) {
+    let l = g.oh * g.ow;
+    debug_assert_eq!(cols.len(), g.c * g.kh * g.kw * l);
+    debug_assert_eq!(x.len(), g.c * g.h * g.w);
+    for ci in 0..g.c {
+        for ki in 0..g.kh {
+            for kj in 0..g.kw {
+                let row = ((ci * g.kh + ki) * g.kw + kj) * l;
+                for oy in 0..g.oh {
+                    let iy = (oy * g.spec.stride + ki) as isize - g.spec.padding as isize;
+                    if iy < 0 || iy >= g.h as isize {
                         continue;
                     }
-                    let dst_row = (ci * h + iy as usize) * w;
-                    let src = row + oy * ow;
-                    for ox in 0..ow {
-                        let ix = (ox * spec.stride + kj) as isize - spec.padding as isize;
-                        if ix >= 0 && ix < w as isize {
+                    let dst_row = (ci * g.h + iy as usize) * g.w;
+                    let src = row + oy * g.ow;
+                    for ox in 0..g.ow {
+                        let ix = (ox * g.spec.stride + kj) as isize - g.spec.padding as isize;
+                        if ix >= 0 && ix < g.w as isize {
                             x[dst_row + ix as usize] += cols[src + ox];
                         }
                     }
@@ -155,11 +147,19 @@ fn col2im_plane(
     }
 }
 
-fn conv_dims(
-    x: &Tensor,
-    weight: &Tensor,
-    spec: ConvSpec,
-) -> Result<(usize, usize, usize, usize, usize, usize, usize, usize)> {
+/// Validated operand dimensions of a (transposed) convolution.
+#[derive(Debug, Clone, Copy)]
+struct ConvDims {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    o: usize,
+    kh: usize,
+    kw: usize,
+}
+
+fn conv_dims(x: &Tensor, weight: &Tensor) -> Result<ConvDims> {
     if x.rank() != 4 || weight.rank() != 4 {
         return Err(TensorError::InvalidShape {
             dims: x.dims().to_vec(),
@@ -180,8 +180,15 @@ fn conv_dims(
             op: "conv2d",
         });
     }
-    let _ = spec;
-    Ok((n, c, h, w, o, kh, kw, 0))
+    Ok(ConvDims {
+        n,
+        c,
+        h,
+        w,
+        o,
+        kh,
+        kw,
+    })
 }
 
 /// 2-D convolution `x [N,C,H,W] * w [O,C,KH,KW] (+ b [O]) -> [N,O,OH,OW]`.
@@ -190,10 +197,33 @@ fn conv_dims(
 ///
 /// Returns shape errors when operand layouts disagree or the kernel does not
 /// fit in the padded input.
-pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: ConvSpec) -> Result<Tensor> {
-    let (n, c, h, w, o, kh, kw, _) = conv_dims(x, weight, spec)?;
+pub fn conv2d(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+) -> Result<Tensor> {
+    let ConvDims {
+        n,
+        c,
+        h,
+        w,
+        o,
+        kh,
+        kw,
+    } = conv_dims(x, weight)?;
     let oh = spec.conv_out(h, kh)?;
     let ow = spec.conv_out(w, kw)?;
+    let geom = PlaneGeom {
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        oh,
+        ow,
+        spec,
+    };
     let l = oh * ow;
     let ckk = c * kh * kw;
     let mut out = Tensor::zeros(&[n, o, oh, ow]);
@@ -201,14 +231,7 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: ConvSpec
     for ni in 0..n {
         im2col_plane(
             &x.data()[ni * c * h * w..(ni + 1) * c * h * w],
-            c,
-            h,
-            w,
-            kh,
-            kw,
-            spec,
-            oh,
-            ow,
+            geom,
             &mut cols,
         );
         gemm_slices(
@@ -253,7 +276,15 @@ pub fn conv2d_backward(
     grad_out: &Tensor,
     spec: ConvSpec,
 ) -> Result<(Tensor, Tensor, Tensor)> {
-    let (n, c, h, w, o, kh, kw, _) = conv_dims(x, weight, spec)?;
+    let ConvDims {
+        n,
+        c,
+        h,
+        w,
+        o,
+        kh,
+        kw,
+    } = conv_dims(x, weight)?;
     let oh = spec.conv_out(h, kh)?;
     let ow = spec.conv_out(w, kw)?;
     if grad_out.dims() != [n, o, oh, ow] {
@@ -263,6 +294,16 @@ pub fn conv2d_backward(
             op: "conv2d_backward",
         });
     }
+    let geom = PlaneGeom {
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        oh,
+        ow,
+        spec,
+    };
     let l = oh * ow;
     let ckk = c * kh * kw;
     let mut dx = Tensor::zeros(x.dims());
@@ -279,14 +320,7 @@ pub fn conv2d_backward(
         // dweight += g [O,L] x cols^T [L,CKK]
         im2col_plane(
             &x.data()[ni * c * h * w..(ni + 1) * c * h * w],
-            c,
-            h,
-            w,
-            kh,
-            kw,
-            spec,
-            oh,
-            ow,
+            geom,
             &mut cols,
         );
         gemm_nt_slices(o, l, ckk, g, &cols, dw.data_mut());
@@ -295,24 +329,14 @@ pub fn conv2d_backward(
         gemm_tn_slices(ckk, o, l, weight.data(), g, &mut dcols);
         col2im_plane(
             &dcols,
-            c,
-            h,
-            w,
-            kh,
-            kw,
-            spec,
-            oh,
-            ow,
+            geom,
             &mut dx.data_mut()[ni * c * h * w..(ni + 1) * c * h * w],
         );
     }
     Ok((dx, dw, db))
 }
 
-fn deconv_dims(
-    x: &Tensor,
-    weight: &Tensor,
-) -> Result<(usize, usize, usize, usize, usize, usize, usize)> {
+fn deconv_dims(x: &Tensor, weight: &Tensor) -> Result<ConvDims> {
     if x.rank() != 4 || weight.rank() != 4 {
         return Err(TensorError::InvalidShape {
             dims: x.dims().to_vec(),
@@ -333,7 +357,15 @@ fn deconv_dims(
             op: "conv_transpose2d",
         });
     }
-    Ok((n, c, h, w, o, kh, kw))
+    Ok(ConvDims {
+        n,
+        c,
+        h,
+        w,
+        o,
+        kh,
+        kw,
+    })
 }
 
 /// Transposed 2-D convolution (a.k.a. deconvolution):
@@ -349,9 +381,29 @@ pub fn conv_transpose2d(
     bias: Option<&Tensor>,
     spec: ConvSpec,
 ) -> Result<Tensor> {
-    let (n, c, h, w, o, kh, kw) = deconv_dims(x, weight)?;
+    let ConvDims {
+        n,
+        c,
+        h,
+        w,
+        o,
+        kh,
+        kw,
+    } = deconv_dims(x, weight)?;
     let oh = spec.deconv_out(h, kh)?;
     let ow = spec.deconv_out(w, kw)?;
+    // The adjoint view: the deconv *output* plays the image role, the
+    // deconv *input* plays the column space.
+    let geom = PlaneGeom {
+        c: o,
+        h: oh,
+        w: ow,
+        kh,
+        kw,
+        oh: h,
+        ow: w,
+        spec,
+    };
     let l = h * w; // "conv output" space of the adjoint view
     let okk = o * kh * kw;
     let mut out = Tensor::zeros(&[n, o, oh, ow]);
@@ -369,14 +421,7 @@ pub fn conv_transpose2d(
         );
         col2im_plane(
             &cols,
-            o,
-            oh,
-            ow,
-            kh,
-            kw,
-            spec,
-            h,
-            w,
+            geom,
             &mut out.data_mut()[ni * o * oh * ow..(ni + 1) * o * oh * ow],
         );
     }
@@ -413,7 +458,15 @@ pub fn conv_transpose2d_backward(
     grad_out: &Tensor,
     spec: ConvSpec,
 ) -> Result<(Tensor, Tensor, Tensor)> {
-    let (n, c, h, w, o, kh, kw) = deconv_dims(x, weight)?;
+    let ConvDims {
+        n,
+        c,
+        h,
+        w,
+        o,
+        kh,
+        kw,
+    } = deconv_dims(x, weight)?;
     let oh = spec.deconv_out(h, kh)?;
     let ow = spec.deconv_out(w, kw)?;
     if grad_out.dims() != [n, o, oh, ow] {
@@ -423,6 +476,16 @@ pub fn conv_transpose2d_backward(
             op: "conv_transpose2d_backward",
         });
     }
+    let geom = PlaneGeom {
+        c: o,
+        h: oh,
+        w: ow,
+        kh,
+        kw,
+        oh: h,
+        ow: w,
+        spec,
+    };
     let l = h * w;
     let okk = o * kh * kw;
     let mut dx = Tensor::zeros(x.dims());
@@ -437,7 +500,7 @@ pub fn conv_transpose2d_backward(
             db.data_mut()[oi] += g[oi * plane..(oi + 1) * plane].iter().sum::<f32>();
         }
         // gcols [OKK, L] = im2col(grad_out[n])
-        im2col_plane(g, o, oh, ow, kh, kw, spec, h, w, &mut gcols);
+        im2col_plane(g, geom, &mut gcols);
         // dx[n] [C, L] = W [C, OKK] x gcols [OKK, L]
         gemm_slices(
             c,
@@ -678,14 +741,20 @@ mod tests {
     fn conv2d_matches_reference() {
         let mut rng: u64 = 0x9E3779B97F4A7C15;
         let mut next = || {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((rng >> 33) as f32 / (1u64 << 31) as f32) - 1.0
         };
-        let x = Tensor::from_vec((0..2 * 3 * 6 * 5).map(|_| next()).collect(), &[2, 3, 6, 5])
-            .unwrap();
-        let w = Tensor::from_vec((0..4 * 3 * 3 * 3).map(|_| next()).collect(), &[4, 3, 3, 3])
-            .unwrap();
-        for spec in [ConvSpec::new(1, 0), ConvSpec::new(1, 1), ConvSpec::new(2, 1)] {
+        let x =
+            Tensor::from_vec((0..2 * 3 * 6 * 5).map(|_| next()).collect(), &[2, 3, 6, 5]).unwrap();
+        let w =
+            Tensor::from_vec((0..4 * 3 * 3 * 3).map(|_| next()).collect(), &[4, 3, 3, 3]).unwrap();
+        for spec in [
+            ConvSpec::new(1, 0),
+            ConvSpec::new(1, 1),
+            ConvSpec::new(2, 1),
+        ] {
             let fast = conv2d(&x, &w, None, spec).unwrap();
             let slow = conv2d_reference(&x, &w, spec);
             assert_eq!(fast.dims(), slow.dims());
@@ -736,10 +805,9 @@ mod tests {
         // 5x5 input with stride 2 / pad 1 / k 3 is exactly invertible in
         // shape: conv_out(5) = 3 and deconv_out(3) = 5.
         let spec = ConvSpec::new(2, 1);
-        let x = Tensor::from_vec((0..1 * 2 * 5 * 5).map(|_| next()).collect(), &[1, 2, 5, 5])
-            .unwrap();
-        let w = Tensor::from_vec((0..3 * 2 * 3 * 3).map(|_| next()).collect(), &[3, 2, 3, 3])
-            .unwrap();
+        let x = Tensor::from_vec((0..2 * 5 * 5).map(|_| next()).collect(), &[1, 2, 5, 5]).unwrap();
+        let w =
+            Tensor::from_vec((0..3 * 2 * 3 * 3).map(|_| next()).collect(), &[3, 2, 3, 3]).unwrap();
         let cx = conv2d(&x, &w, None, spec).unwrap(); // [1,3,3,3]
         let y = Tensor::from_vec((0..cx.numel()).map(|_| next()).collect(), cx.dims()).unwrap();
         // The adjoint uses the *same* weight buffer: conv weight [O,C,kh,kw]
@@ -759,7 +827,9 @@ mod tests {
     #[test]
     fn max_pool_picks_maximum_and_routes_gradient() {
         let x = t(
-            &[1.0, 2.0, 5.0, 4.0, 3.0, 0.0, 1.0, 2.0, 9.0, 8.0, 7.0, 6.0, 0.0, 1.0, 2.0, 3.0],
+            &[
+                1.0, 2.0, 5.0, 4.0, 3.0, 0.0, 1.0, 2.0, 9.0, 8.0, 7.0, 6.0, 0.0, 1.0, 2.0, 3.0,
+            ],
             &[1, 1, 4, 4],
         );
         let (y, idx) = max_pool2d(&x, 2, 2).unwrap();

@@ -109,7 +109,7 @@ mod tests {
 
     #[test]
     fn io_error_converts() {
-        let ioe = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let ioe = std::io::Error::other("boom");
         let e: TensorError = ioe.into();
         assert!(matches!(e, TensorError::Io(_)));
     }

@@ -54,11 +54,7 @@ impl Var {
             Box::new(move |g| {
                 vec![
                     Some(g.reduce_to_shape(&ad).expect("sub backward reduce")),
-                    Some(
-                        g.neg()
-                            .reduce_to_shape(&bd)
-                            .expect("sub backward reduce"),
-                    ),
+                    Some(g.neg().reduce_to_shape(&bd).expect("sub backward reduce")),
                 ]
             }),
         ))
@@ -684,7 +680,9 @@ mod tests {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0
             })
             .collect()
@@ -713,8 +711,7 @@ mod tests {
         x.mul(&y).unwrap().sum().backward();
         let gx = x.grad().unwrap();
         let y0c = y0.clone();
-        let num =
-            numerical_grad(|t| t.mul(&y0c).unwrap().sum_all(), &x0, 1e-3);
+        let num = numerical_grad(|t| t.mul(&y0c).unwrap().sum_all(), &x0, 1e-3);
         assert_close(&gx, &num, 1e-2);
     }
 
@@ -739,11 +736,7 @@ mod tests {
         // sigmoid
         let x = Var::parameter(x0.clone());
         x.sigmoid().sum().backward();
-        let num = numerical_grad(
-            |t| t.map(|v| 1.0 / (1.0 + (-v).exp())).sum_all(),
-            &x0,
-            1e-3,
-        );
+        let num = numerical_grad(|t| t.map(|v| 1.0 / (1.0 + (-v).exp())).sum_all(), &x0, 1e-3);
         assert_close(&x.grad().unwrap(), &num, 1e-2);
         // tanh
         let x = Var::parameter(x0.clone());
@@ -772,18 +765,10 @@ mod tests {
         let b = Var::parameter(b0.clone());
         a.matmul(&b).unwrap().sum().backward();
         let b0c = b0.clone();
-        let numa = numerical_grad(
-            |t| linalg::matmul(t, &b0c).unwrap().sum_all(),
-            &a0,
-            1e-3,
-        );
+        let numa = numerical_grad(|t| linalg::matmul(t, &b0c).unwrap().sum_all(), &a0, 1e-3);
         assert_close(&a.grad().unwrap(), &numa, 1e-2);
         let a0c = a0.clone();
-        let numb = numerical_grad(
-            |t| linalg::matmul(&a0c, t).unwrap().sum_all(),
-            &b0,
-            1e-3,
-        );
+        let numb = numerical_grad(|t| linalg::matmul(&a0c, t).unwrap().sum_all(), &b0, 1e-3);
         assert_close(&b.grad().unwrap(), &numb, 1e-2);
     }
 
@@ -804,8 +789,7 @@ mod tests {
         let b = Var::parameter(b0.clone());
         a.bmm(&b).unwrap().sum().backward();
         let b0c = b0.clone();
-        let numa =
-            numerical_grad(|t| linalg::bmm(t, &b0c).unwrap().sum_all(), &a0, 1e-3);
+        let numa = numerical_grad(|t| linalg::bmm(t, &b0c).unwrap().sum_all(), &a0, 1e-3);
         assert_close(&a.grad().unwrap(), &numa, 1e-2);
     }
 
@@ -827,7 +811,7 @@ mod tests {
 
     #[test]
     fn conv2d_gradcheck_numeric() {
-        let x0 = Tensor::from_vec(pseudo_random(1 * 2 * 5 * 5, 21), &[1, 2, 5, 5]).unwrap();
+        let x0 = Tensor::from_vec(pseudo_random(2 * 5 * 5, 21), &[1, 2, 5, 5]).unwrap();
         let w0 = Tensor::from_vec(pseudo_random(3 * 2 * 3 * 3, 22), &[3, 2, 3, 3]).unwrap();
         let b0 = Tensor::from_vec(pseudo_random(3, 23), &[3]).unwrap();
         let spec = ConvSpec::new(1, 1);
@@ -855,7 +839,7 @@ mod tests {
 
     #[test]
     fn conv_transpose2d_gradcheck_numeric() {
-        let x0 = Tensor::from_vec(pseudo_random(1 * 2 * 3 * 3, 31), &[1, 2, 3, 3]).unwrap();
+        let x0 = Tensor::from_vec(pseudo_random(2 * 3 * 3, 31), &[1, 2, 3, 3]).unwrap();
         let w0 = Tensor::from_vec(pseudo_random(2 * 2 * 2 * 2, 32), &[2, 2, 2, 2]).unwrap();
         let spec = ConvSpec::new(2, 0);
         let x = Var::parameter(x0.clone());
@@ -960,10 +944,19 @@ mod tests {
         let f = |t: &Tensor| -> f32 {
             let mu = t.mean_axes(&[1], true).unwrap();
             let centered = t.sub(&mu).unwrap();
-            let var = centered.mul(&centered).unwrap().mean_axes(&[1], true).unwrap();
+            let var = centered
+                .mul(&centered)
+                .unwrap()
+                .mean_axes(&[1], true)
+                .unwrap();
             let denom = var.add_scalar(1e-5).map(f32::sqrt);
             let weights = Tensor::from_vec(vec![1.0, -1.0, 2.0, 0.5], &[4]).unwrap();
-            centered.div(&denom).unwrap().mul(&weights).unwrap().sum_all()
+            centered
+                .div(&denom)
+                .unwrap()
+                .mul(&weights)
+                .unwrap()
+                .sum_all()
         };
         let x = Var::parameter(x0.clone());
         let mu = x.mean_axes(&[1], true).unwrap();
@@ -971,7 +964,13 @@ mod tests {
         let var = centered.square().mean_axes(&[1], true).unwrap();
         let denom = var.add_scalar(1e-5).sqrt();
         let wconst = Var::constant(Tensor::from_vec(vec![1.0, -1.0, 2.0, 0.5], &[4]).unwrap());
-        centered.div(&denom).unwrap().mul(&wconst).unwrap().sum().backward();
+        centered
+            .div(&denom)
+            .unwrap()
+            .mul(&wconst)
+            .unwrap()
+            .sum()
+            .backward();
         let num = numerical_grad(f, &x0, 1e-3);
         assert_close(&x.grad().unwrap(), &num, 3e-2);
     }

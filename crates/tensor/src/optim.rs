@@ -299,7 +299,7 @@ mod tests {
         let loss = x.scale(100.0).sum();
         loss.backward();
         let clip = GradClip { max_norm: 1.0 };
-        let pre = clip.apply(&[x.clone()]);
+        let pre = clip.apply(std::slice::from_ref(&x));
         assert!((pre - 100.0).abs() < 1e-3);
         let g = x.grad().unwrap();
         assert!((g.norm() - 1.0).abs() < 1e-4);

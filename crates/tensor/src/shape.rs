@@ -187,10 +187,7 @@ mod tests {
 
     #[test]
     fn broadcast_equal_shapes() {
-        assert_eq!(
-            broadcast_shapes(&[2, 3], &[2, 3], "t").unwrap(),
-            vec![2, 3]
-        );
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3], "t").unwrap(), vec![2, 3]);
     }
 
     #[test]

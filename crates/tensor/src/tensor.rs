@@ -456,13 +456,13 @@ impl Tensor {
             return Ok(self.clone());
         }
         let rank = self.rank();
-        let offset = rank
-            .checked_sub(target_dims.len())
-            .ok_or_else(|| TensorError::ShapeMismatch {
-                lhs: self.dims.clone(),
-                rhs: target_dims.to_vec(),
-                op: "reduce_to_shape",
-            })?;
+        let offset =
+            rank.checked_sub(target_dims.len())
+                .ok_or_else(|| TensorError::ShapeMismatch {
+                    lhs: self.dims.clone(),
+                    rhs: target_dims.to_vec(),
+                    op: "reduce_to_shape",
+                })?;
         // Leading axes not present in the target are summed away; axes where
         // the target is 1 but the source is larger are summed keeping dims.
         let mut axes: Vec<usize> = (0..offset).collect();

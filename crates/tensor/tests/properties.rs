@@ -101,6 +101,92 @@ proptest! {
     }
 
     #[test]
+    fn autograd_matches_numeric_add(
+        (a0, b0) in (1usize..12).prop_flat_map(|n| (
+            prop::collection::vec(-3.0f32..3.0, n),
+            prop::collection::vec(-3.0f32..3.0, n),
+        )),
+    ) {
+        // f(a, b) = sum((a + b) * a)  =>  df/da = 2a + b, df/db = a.
+        let n = a0.len();
+        let a0 = Tensor::from_vec(a0, &[n]).unwrap();
+        let b0 = Tensor::from_vec(b0, &[n]).unwrap();
+        let a = Var::parameter(a0.clone());
+        let b = Var::parameter(b0.clone());
+        a.add(&b).unwrap().mul(&a).unwrap().sum().backward();
+
+        let num_a = numeric_grad(
+            |t| t.add(&b0).unwrap().mul(t).unwrap().sum_all(),
+            &a0,
+            1e-2,
+        );
+        let num_b = numeric_grad(
+            |t| a0.add(t).unwrap().mul(&a0).unwrap().sum_all(),
+            &b0,
+            1e-2,
+        );
+        prop_assert!(close(&a.grad().unwrap(), &num_a, 5e-2));
+        prop_assert!(close(&b.grad().unwrap(), &num_b, 5e-2));
+    }
+
+    #[test]
+    fn autograd_matches_numeric_mul_both_operands(
+        (a0, b0) in (1usize..12).prop_flat_map(|n| (
+            prop::collection::vec(-3.0f32..3.0, n),
+            prop::collection::vec(-3.0f32..3.0, n),
+        )),
+    ) {
+        // f(a, b) = sum(a * b)  =>  df/da = b, df/db = a.
+        let n = a0.len();
+        let a0 = Tensor::from_vec(a0, &[n]).unwrap();
+        let b0 = Tensor::from_vec(b0, &[n]).unwrap();
+        let a = Var::parameter(a0.clone());
+        let b = Var::parameter(b0.clone());
+        a.mul(&b).unwrap().sum().backward();
+        prop_assert!(close(&a.grad().unwrap(), &b0, 1e-5));
+        prop_assert!(close(&b.grad().unwrap(), &a0, 1e-5));
+    }
+
+    #[test]
+    fn autograd_matches_numeric_matmul_rhs(m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in 0u64..100) {
+        let gen = |count: usize, s: u64| -> Vec<f32> {
+            (0..count).map(|i| (((s + i as u64) as f32) * 0.47).sin()).collect()
+        };
+        let a0 = Tensor::from_vec(gen(m * k, seed), &[m, k]).unwrap();
+        let b0 = Tensor::from_vec(gen(k * n, seed + 13), &[k, n]).unwrap();
+        let a = Var::constant(a0.clone());
+        let b = Var::parameter(b0.clone());
+        a.matmul(&b).unwrap().sum().backward();
+        let num = numeric_grad(|t| linalg::matmul(&a0, t).unwrap().sum_all(), &b0, 1e-2);
+        prop_assert!(close(&b.grad().unwrap(), &num, 5e-2));
+    }
+
+    #[test]
+    fn matmul_shape_contract(m in 1usize..6, k in 1usize..6, n in 1usize..6) {
+        let a = Tensor::zeros(&[m, k]);
+        let b = Tensor::zeros(&[k, n]);
+        prop_assert_eq!(linalg::matmul(&a, &b).unwrap().dims(), &[m, n]);
+        // Mismatched inner dimension must refuse, never panic.
+        let bad = Tensor::zeros(&[k + 1, n]);
+        prop_assert!(linalg::matmul(&a, &bad).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops_preserve_shape(rows in 1usize..6, cols in 1usize..6, seed in 0u64..100) {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| (((seed + i as u64) as f32) * 0.91).sin())
+            .collect();
+        let t = Tensor::from_vec(data, &[rows, cols]).unwrap();
+        let dims = t.dims().to_vec();
+        prop_assert_eq!(t.add(&t).unwrap().dims(), &dims[..]);
+        prop_assert_eq!(t.mul(&t).unwrap().dims(), &dims[..]);
+        prop_assert_eq!(t.scale(2.5).dims(), &dims[..]);
+        prop_assert_eq!(t.map(f32::abs).dims(), &dims[..]);
+        // Broadcasting against a scalar keeps the larger shape.
+        prop_assert_eq!(t.add(&Tensor::scalar(1.0)).unwrap().dims(), &dims[..]);
+    }
+
+    #[test]
     fn autograd_matches_numeric_matmul(m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in 0u64..100) {
         let gen = |count: usize, s: u64| -> Vec<f32> {
             (0..count).map(|i| (((s + i as u64) as f32) * 0.61).sin()).collect()

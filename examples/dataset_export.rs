@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             spec.height,
             stats.nodes,
             case.netlist.len(),
-            if report.is_clean() { "clean" } else { "FINDINGS" },
+            if report.is_clean() {
+                "clean"
+            } else {
+                "FINDINGS"
+            },
         );
         assert!(path.join("netlist.sp").exists());
     }

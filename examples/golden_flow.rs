@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A pad-starved "real-style" design makes an interesting IR map.
     let spec = CaseSpec::new("golden_demo", 64, 64, 21, CaseKind::Real);
-    println!("generating {} ({}x{} um)...", spec.id, spec.width, spec.height);
+    println!(
+        "generating {} ({}x{} um)...",
+        spec.id, spec.width, spec.height
+    );
     let case = spec.generate();
     let stats = case.stats();
     println!(

@@ -5,7 +5,10 @@
 //! cargo run --release --example model_compare
 //! ```
 
-use lmm_ir::{average, build_sample, evaluate, iredge, train, IrPredictor, LmmIr, LmmIrConfig, LntConfig, TrainConfig};
+use lmm_ir::{
+    average, build_sample, evaluate, iredge, train, IrPredictor, LmmIr, LmmIrConfig, LntConfig,
+    TrainConfig,
+};
 use lmmir_pdn::{CaseKind, CaseSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -13,8 +16,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("building data (train: 6 cases, eval: 3 hidden cases)...");
     let train_set: Vec<_> = (0..6)
         .map(|i| {
-            let kind = if i < 4 { CaseKind::Fake } else { CaseKind::Real };
-            build_sample(&CaseSpec::new(format!("tr{i}"), 32, 32, 300 + i, kind), input_size)
+            let kind = if i < 4 {
+                CaseKind::Fake
+            } else {
+                CaseKind::Real
+            };
+            build_sample(
+                &CaseSpec::new(format!("tr{i}"), 32, 32, 300 + i, kind),
+                input_size,
+            )
         })
         .collect::<Result<_, _>>()?;
     let eval_set: Vec<_> = (0..3)
@@ -49,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ours = LmmIr::new(lmm_cfg);
     let baseline = iredge(input_size, 77);
 
-    let header = format!("{:<10} {:>8} {:>10} {:>8}", "Model", "F1", "MAE(e-4)", "TAT(s)");
+    let header = format!(
+        "{:<10} {:>8} {:>10} {:>8}",
+        "Model", "F1", "MAE(e-4)", "TAT(s)"
+    );
     println!("\n{header}");
     println!("{}", "-".repeat(header.len()));
     for model in [&ours as &dyn IrPredictor, &baseline as &dyn IrPredictor] {

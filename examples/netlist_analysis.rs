@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = netlist.stats();
     println!("\nnetlist statistics:");
     println!("  elements          : {}", netlist.len());
-    println!("  resistors         : {} ({} vias)", stats.resistors, stats.vias);
+    println!(
+        "  resistors         : {} ({} vias)",
+        stats.resistors, stats.vias
+    );
     println!("  current sources   : {}", stats.current_sources);
     println!("  voltage sources   : {}", stats.voltage_sources);
     println!("  distinct nodes    : {}", stats.nodes);
@@ -51,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w_um = (stats.bbox.2 - stats.bbox.0).max(1) as f64 / 2000.0;
     let h_um = (stats.bbox.3 - stats.bbox.1).max(1) as f64 / 2000.0;
     let cloud = PointCloud::from_netlist(&netlist, 2000, w_um, h_um);
-    println!("\npoint cloud: {} points ({} vias)", cloud.len(), cloud.via_count());
+    println!(
+        "\npoint cloud: {} points ({} vias)",
+        cloud.len(),
+        cloud.via_count()
+    );
     let sub = cloud.subsample(256);
     println!(
         "after importance subsampling to 256: {} points, vias kept: {}",

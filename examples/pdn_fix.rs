@@ -9,9 +9,7 @@
 //! "demands iterative analysis", and a fast predictor turns each iteration
 //! from a full solve into one inference.
 
-use lmm_ir::{
-    build_sample, suggest_pad_fixes, train, LmmIr, LmmIrConfig, LntConfig, TrainConfig,
-};
+use lmm_ir::{build_sample, suggest_pad_fixes, train, LmmIr, LmmIrConfig, LntConfig, TrainConfig};
 use lmmir_features::check_budget;
 use lmmir_pdn::{CaseKind, CaseSpec};
 use lmmir_solver::{solve_ir_drop, CgConfig};

@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let input_size = 32;
     let train_specs: Vec<CaseSpec> = (0..8)
         .map(|i| {
-            let kind = if i < 6 { CaseKind::Fake } else { CaseKind::Real };
+            let kind = if i < 6 {
+                CaseKind::Fake
+            } else {
+                CaseKind::Real
+            };
             CaseSpec::new(format!("train{i}"), 32, 32, 100 + i, kind)
         })
         .collect();
@@ -67,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         oversample: (1, 2),
         ..TrainConfig::quick()
     };
-    println!("training {} epochs (+{} pre-train)...", tcfg.epochs, tcfg.pretrain_epochs);
+    println!(
+        "training {} epochs (+{} pre-train)...",
+        tcfg.epochs, tcfg.pretrain_epochs
+    );
     let report = train(&model, &train_set, &tcfg)?;
     println!(
         "  fine-tune loss: first {:.5} -> last {:.5}",

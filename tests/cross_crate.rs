@@ -41,7 +41,9 @@ fn hidden_suite_is_solvable_and_featurizable() {
     let specs = hidden_suite(1.0 / 16.0, 5);
     for spec in specs.iter().filter(|s| s.width <= 32) {
         let case = spec.generate();
-        let ir = case.solve().unwrap_or_else(|e| panic!("{} unsolvable: {e}", spec.id));
+        let ir = case
+            .solve()
+            .unwrap_or_else(|e| panic!("{} unsolvable: {e}", spec.id));
         assert!(ir.worst_drop() > 0.0, "{} has no drop", spec.id);
         let stack = FeatureStack::extended(&case);
         assert_eq!(stack.channels(), 6);

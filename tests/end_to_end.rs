@@ -70,16 +70,15 @@ fn full_pipeline_trains_and_scores() {
 #[test]
 fn multimodal_forward_consumes_cloud() {
     let input_size = 16;
-    let sample = build_sample(
-        &CaseSpec::new("c", 16, 16, 7, CaseKind::Fake),
-        input_size,
-    )
-    .unwrap();
+    let sample = build_sample(&CaseSpec::new("c", 16, 16, 7, CaseKind::Fake), input_size).unwrap();
     let model = tiny_lmm(input_size, 9);
     let images = sample.images_for(model.input_channels());
     // With and without the netlist the model must produce different maps
     // (the fusion path is live, not a no-op).
-    let with = model.forward(&images, Some(&sample.cloud)).unwrap().to_tensor();
+    let with = model
+        .forward(&images, Some(&sample.cloud))
+        .unwrap()
+        .to_tensor();
     let without = model.forward(&images, None).unwrap().to_tensor();
     assert_eq!(with.dims(), without.dims());
     let diff: f32 = with
@@ -88,7 +87,10 @@ fn multimodal_forward_consumes_cloud() {
         .zip(without.data())
         .map(|(a, b)| (a - b).abs())
         .sum();
-    assert!(diff > 1e-6, "netlist modality must influence the prediction");
+    assert!(
+        diff > 1e-6,
+        "netlist modality must influence the prediction"
+    );
 }
 
 #[test]

@@ -1,0 +1,252 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the slice of the criterion 0.5 API its bench targets use: [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — median of `sample_size` wall-clock
+//! samples after one warm-up, printed one line per benchmark. Under
+//! `cargo test` (cargo passes `--test` to `harness = false` bench binaries)
+//! benchmarks are skipped entirely so test runs stay fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exported for convenience; prefer `std::hint::black_box` directly.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let test_mode = self.test_mode;
+        run_one(&id.to_string(), 10, None, test_mode, &mut f);
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares work per iteration so results can be read as throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.sample_size,
+            self.throughput,
+            self.criterion.test_mode,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.sample_size,
+            self.throughput,
+            self.criterion.test_mode,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group. (No summary output in this stand-in.)
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier of the form `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Units of work performed per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration time of the last `iter` call.
+    median: Duration,
+}
+
+impl Bencher {
+    /// Measures `f`: one warm-up call, then `sample_size` timed calls;
+    /// records the median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        self.median = samples[samples.len() / 2];
+    }
+}
+
+fn run_one(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    if test_mode {
+        println!("bench {name}: skipped (--test mode)");
+        return;
+    }
+    let mut b = Bencher {
+        sample_size,
+        median: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.median;
+    match throughput {
+        Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+            let rate = n as f64 / per_iter.as_secs_f64() / (1024.0 * 1024.0);
+            println!("bench {name}: {per_iter:?}/iter ({rate:.1} MiB/s)");
+        }
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            let rate = n as f64 / per_iter.as_secs_f64();
+            println!("bench {name}: {per_iter:?}/iter ({rate:.0} elem/s)");
+        }
+        _ => println!("bench {name}: {per_iter:?}/iter"),
+    }
+}
+
+/// Collects benchmark functions into one callable group, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_groups_end_to_end() {
+        criterion_group!(benches, bench_demo);
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("solve", "32um").to_string(), "solve/32um");
+        assert_eq!(BenchmarkId::from_parameter(512).to_string(), "512");
+    }
+}

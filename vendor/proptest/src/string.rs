@@ -1,0 +1,195 @@
+//! Regex-subset string generation, backing the `&str`-as-strategy form.
+//!
+//! Supported syntax: literal characters, character classes `[a-z\n]`
+//! (ranges, escapes `\n \t \r \\ \] \-`), and the quantifiers `{n}`,
+//! `{m,n}`, `*`, `+`, `?` applied to the preceding atom. This covers the
+//! patterns used in the workspace's property tests (e.g. `"[ -~\n]{0,256}"`).
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`. Panics on syntax outside the
+/// supported subset so misuse fails loudly at test time.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let reps = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..reps {
+            out.push(match &piece.atom {
+                Atom::Literal(c) => *c,
+                Atom::Class(ranges) => sample_class(ranges, rng),
+            });
+        }
+    }
+    out
+}
+
+fn sample_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u32 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+        .sum();
+    let mut pick = rng.gen_range(0..total);
+    for &(lo, hi) in ranges {
+        let span = hi as u32 - lo as u32 + 1;
+        if pick < span {
+            return char::from_u32(lo as u32 + pick).expect("class range stays in char space");
+        }
+        pick -= span;
+    }
+    unreachable!("class pick exceeded total span")
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (ranges, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                Atom::Literal(unescape(c))
+            }
+            c => {
+                assert!(
+                    !matches!(c, '(' | ')' | '|' | '.' | '^' | '$'),
+                    "unsupported regex syntax {c:?} in pattern {pattern:?}"
+                );
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<(char, char)>, usize) {
+    let mut ranges = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            unescape(chars[i])
+        } else {
+            chars[i]
+        };
+        i += 1;
+        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+            i += 1;
+            let hi = if chars[i] == '\\' {
+                i += 1;
+                unescape(chars[i])
+            } else {
+                chars[i]
+            };
+            i += 1;
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(
+        i < chars.len(),
+        "unterminated character class in pattern {pattern:?}"
+    );
+    (ranges, i + 1)
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| *i + p)
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"));
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 16)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 16)
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printable_ascii_class_with_bounds() {
+        let mut rng = TestRng::for_case("string::tests", 0);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[ -~\n]{0,256}", &mut rng);
+            assert!(s.chars().count() <= 256);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literals_classes_and_quantifiers() {
+        let mut rng = TestRng::for_case("string::tests", 1);
+        assert_eq!(generate_from_pattern("abc", &mut rng), "abc");
+        let s = generate_from_pattern("x[0-9]{3}y?", &mut rng);
+        assert!(s.starts_with('x'));
+        assert!(s[1..4].chars().all(|c| c.is_ascii_digit()));
+        let t = generate_from_pattern("[a-cx]{8}", &mut rng);
+        assert!(t.chars().all(|c| matches!(c, 'a'..='c' | 'x')));
+        assert_eq!(t.len(), 8);
+    }
+}
