@@ -1,0 +1,122 @@
+//! Thread-scaling benchmarks for the `lmmir-par`-backed compute kernels:
+//! matmul, im2col convolution (forward + backward) and the CG solve, each
+//! at 1 vs 4 threads on the largest sizes the laptop harness uses.
+//!
+//! The thread count is forced per benchmark via
+//! [`lmmir_par::with_threads`], so the comparison is independent of the
+//! `LMMIR_THREADS` environment. On a ≥ 4-core machine the `4thr` rows
+//! should run ≥ 2× faster than `1thr`; on fewer cores they merely must not
+//! change results (the determinism suite pins that bitwise).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmmir_solver::{grid_laplacian, solve_cg, CgConfig};
+use lmmir_tensor::conv::{conv2d, conv2d_backward, ConvSpec};
+use lmmir_tensor::{linalg, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const THREADS: [usize; 2] = [1, 4];
+
+fn noise(count: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for side in [128usize, 320] {
+        let a = Tensor::from_vec(noise(side * side, 1), &[side, side]).unwrap();
+        let b = Tensor::from_vec(noise(side * side, 2), &[side, side]).unwrap();
+        for threads in THREADS {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{side}x{side}"), format!("{threads}thr")),
+                &threads,
+                |bench, &threads| {
+                    bench.iter(|| {
+                        lmmir_par::with_threads(threads, || {
+                            black_box(linalg::matmul(black_box(&a), black_box(&b)).unwrap())
+                        })
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    group.sample_size(10);
+    let x = Tensor::from_vec(noise(16 * 96 * 96, 3), &[1, 16, 96, 96]).unwrap();
+    let w = Tensor::from_vec(noise(32 * 16 * 9, 4), &[32, 16, 3, 3]).unwrap();
+    let spec = ConvSpec::new(1, 1);
+    let y = conv2d(&x, &w, None, spec).unwrap();
+    let g = Tensor::from_vec(noise(y.numel(), 5), y.dims()).unwrap();
+    for threads in THREADS {
+        group.bench_with_input(
+            BenchmarkId::new("forward_16x96x96", format!("{threads}thr")),
+            &threads,
+            |bench, &threads| {
+                bench.iter(|| {
+                    lmmir_par::with_threads(threads, || {
+                        black_box(conv2d(black_box(&x), black_box(&w), None, spec).unwrap())
+                    })
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("backward_16x96x96", format!("{threads}thr")),
+            &threads,
+            |bench, &threads| {
+                bench.iter(|| {
+                    lmmir_par::with_threads(threads, || {
+                        black_box(conv2d_backward(black_box(&x), &w, black_box(&g), spec).unwrap())
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cg");
+    group.sample_size(10);
+    // 262 144 unknowns (64 reduction blocks): per-phase work must dwarf the
+    // per-iteration fork/join cost for the 4-thread row to show its ≥ 2×.
+    let side = 512;
+    let a = grid_laplacian(side);
+    let b: Vec<f64> = (0..side * side)
+        .map(|i| 1.0 + 0.25 * (i as f64 * 0.37).sin())
+        .collect();
+    // A fixed iteration budget keeps the benchmark comparable across
+    // thread counts; the truncated solve is expected and ignored.
+    let cfg = CgConfig {
+        max_iters: 40,
+        tol: 1e-30,
+        jacobi: true,
+    };
+    for threads in THREADS {
+        group.bench_with_input(
+            BenchmarkId::new(format!("grid{side}_40iters"), format!("{threads}thr")),
+            &threads,
+            |bench, &threads| {
+                bench.iter(|| {
+                    lmmir_par::with_threads(threads, || match solve_cg(&a, &b, cfg) {
+                        Ok(sol) => black_box(sol.x[0]),
+                        Err(lmmir_solver::SolveCgError::NotConverged { residual, .. }) => {
+                            black_box(residual)
+                        }
+                        Err(e) => panic!("unexpected solve failure: {e}"),
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_conv, bench_cg);
+criterion_main!(benches);

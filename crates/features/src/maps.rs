@@ -101,19 +101,29 @@ pub fn effective_distance_map(
         })
         .collect();
     let mut r = Raster::zeros(width, height);
-    if pads.is_empty() {
+    if pads.is_empty() || width == 0 {
         return r;
     }
-    for y in 0..height {
-        for x in 0..width {
-            let (px, py) = (x as f64 + 0.5, y as f64 + 0.5);
-            let mut inv_sum = 0.0f64;
-            for &(vx, vy) in &pads {
-                let d = ((px - vx).powi(2) + (py - vy).powi(2)).sqrt().max(0.5);
-                inv_sum += 1.0 / d;
+    // O(W·H·pads) and every pixel independent: fan scanlines out across the
+    // pool (each row is written by the same code at any thread count).
+    let fill_rows = |y0: usize, rows: &mut [f32]| {
+        for (dy, row) in rows.chunks_mut(width).enumerate() {
+            let py = (y0 + dy) as f64 + 0.5;
+            for (x, out) in row.iter_mut().enumerate() {
+                let px = x as f64 + 0.5;
+                let mut inv_sum = 0.0f64;
+                for &(vx, vy) in &pads {
+                    let d = ((px - vx).powi(2) + (py - vy).powi(2)).sqrt().max(0.5);
+                    inv_sum += 1.0 / d;
+                }
+                *out = (1.0 / inv_sum) as f32;
             }
-            r.set(x, y, (1.0 / inv_sum) as f32);
         }
+    };
+    if lmmir_par::worth_parallelizing(height, width * height * pads.len(), 1 << 14) {
+        lmmir_par::par_chunks_mut(r.data_mut(), width, fill_rows);
+    } else {
+        fill_rows(0, r.data_mut());
     }
     r
 }

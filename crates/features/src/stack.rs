@@ -44,48 +44,60 @@ pub struct FeatureStack {
     channels: Vec<(FeatureChannel, Raster)>,
 }
 
+/// Rasterizes one feature channel of a case.
+fn build_channel(case: &Case, kind: FeatureChannel) -> Raster {
+    let (w, h) = (case.power.width(), case.power.height());
+    let dbu = case.tech.dbu_per_um;
+    match kind {
+        FeatureChannel::Current => maps::current_map(&case.power),
+        FeatureChannel::EffectiveDistance => maps::effective_distance_map(&case.netlist, w, h, dbu),
+        FeatureChannel::PdnDensity => maps::pdn_density_map(&case.netlist, w, h, dbu),
+        FeatureChannel::VoltageSource => maps::voltage_source_map(&case.netlist, w, h, dbu),
+        FeatureChannel::CurrentSource => maps::current_source_map(&case.netlist, w, h, dbu),
+        FeatureChannel::Resistance => maps::resistance_map(&case.netlist, w, h, dbu),
+    }
+}
+
 impl FeatureStack {
+    /// Rasterizes `kinds` for a case, one channel per pool worker (the
+    /// channels are independent and the ordered fan-out keeps them in the
+    /// requested order).
+    fn rasterize(case: &Case, kinds: &[FeatureChannel]) -> Self {
+        let rasters = lmmir_par::par_map_slice(kinds, |kind| build_channel(case, *kind));
+        FeatureStack {
+            channels: kinds.iter().copied().zip(rasters).collect(),
+        }
+    }
+
     /// The basic 3-channel stack (current, effective distance, PDN density)
     /// — the feature set of IREDGe and the contest baseline.
     #[must_use]
     pub fn basic(case: &Case) -> Self {
-        let (w, h) = (case.power.width(), case.power.height());
-        let dbu = case.tech.dbu_per_um;
-        FeatureStack {
-            channels: vec![
-                (FeatureChannel::Current, maps::current_map(&case.power)),
-                (
-                    FeatureChannel::EffectiveDistance,
-                    maps::effective_distance_map(&case.netlist, w, h, dbu),
-                ),
-                (
-                    FeatureChannel::PdnDensity,
-                    maps::pdn_density_map(&case.netlist, w, h, dbu),
-                ),
+        FeatureStack::rasterize(
+            case,
+            &[
+                FeatureChannel::Current,
+                FeatureChannel::EffectiveDistance,
+                FeatureChannel::PdnDensity,
             ],
-        }
+        )
     }
 
     /// The extended 6-channel stack: basic plus the paper's voltage-source,
     /// current-source and resistance maps.
     #[must_use]
     pub fn extended(case: &Case) -> Self {
-        let (w, h) = (case.power.width(), case.power.height());
-        let dbu = case.tech.dbu_per_um;
-        let mut stack = FeatureStack::basic(case);
-        stack.channels.push((
-            FeatureChannel::VoltageSource,
-            maps::voltage_source_map(&case.netlist, w, h, dbu),
-        ));
-        stack.channels.push((
-            FeatureChannel::CurrentSource,
-            maps::current_source_map(&case.netlist, w, h, dbu),
-        ));
-        stack.channels.push((
-            FeatureChannel::Resistance,
-            maps::resistance_map(&case.netlist, w, h, dbu),
-        ));
-        stack
+        FeatureStack::rasterize(
+            case,
+            &[
+                FeatureChannel::Current,
+                FeatureChannel::EffectiveDistance,
+                FeatureChannel::PdnDensity,
+                FeatureChannel::VoltageSource,
+                FeatureChannel::CurrentSource,
+                FeatureChannel::Resistance,
+            ],
+        )
     }
 
     /// Builds a stack from explicit channels.
@@ -147,13 +159,18 @@ impl FeatureStack {
     /// predictions.
     #[must_use]
     pub fn adjusted_normalized(&self, target: usize) -> (FeatureStack, SpatialInfo) {
-        let mut out = Vec::with_capacity(self.channels.len());
-        let mut info = SpatialInfo::Unchanged;
-        for (kind, r) in &self.channels {
-            let (adj, i) = spatial_adjust(r, target);
-            info = i;
+        // Channels share their spatial size, so every adjustment reports the
+        // same `SpatialInfo`; the per-channel work fans out across the pool.
+        let adjusted = lmmir_par::par_map_slice(&self.channels, |(kind, r)| {
+            let (adj, info) = spatial_adjust(r, target);
             let (norm, _) = normalize_channel(&adj);
-            out.push((*kind, norm));
+            ((*kind, norm), info)
+        });
+        let mut out = Vec::with_capacity(adjusted.len());
+        let mut info = SpatialInfo::Unchanged;
+        for (channel, i) in adjusted {
+            info = i;
+            out.push(channel);
         }
         (FeatureStack { channels: out }, info)
     }

@@ -1,0 +1,116 @@
+//! Splittable bundles of mutable buffers.
+//!
+//! [`par_parts`](crate::par_parts) distributes work by repeatedly splitting
+//! a [`Parts`] value at unit boundaries. The building block is
+//! [`UnitsMut`] — a mutable slice viewed as a sequence of fixed-size units
+//! (matrix rows, image planes, reduction blocks) — and tuples of [`Parts`]
+//! compose so a fused kernel can walk several buffers in lockstep (e.g. the
+//! CG update that advances `x`, `r`, `z` and a per-block partial table
+//! together).
+
+/// A bundle of buffers that can be split at unit boundaries.
+///
+/// Every member of a bundle must expose the same number of units (enforced
+/// by [`par_parts`](crate::par_parts) via [`unit_bounds`](Parts::unit_bounds))
+/// and must hand out disjoint pieces, which is what makes the parallel
+/// drivers race-free.
+pub trait Parts: Send + Sized {
+    /// Number of units in this bundle.
+    fn units(&self) -> usize;
+
+    /// `(min, max)` unit count across all members of the bundle.
+    fn unit_bounds(&self) -> (usize, usize);
+
+    /// Splits off the first `units` units, returning `(head, tail)`.
+    fn split(self, units: usize) -> (Self, Self);
+}
+
+/// A mutable slice viewed as consecutive units of `unit` elements each.
+///
+/// The final unit may be short when the slice length is not a multiple of
+/// `unit` — kernels see the ragged tail as a shorter chunk, never as
+/// padding.
+pub struct UnitsMut<'a, T> {
+    data: &'a mut [T],
+    unit: usize,
+}
+
+/// Wraps `data` as [`UnitsMut`] with `unit` elements per unit.
+///
+/// # Panics
+///
+/// Panics when `unit == 0`.
+pub fn units_mut<T>(data: &mut [T], unit: usize) -> UnitsMut<'_, T> {
+    assert!(unit > 0, "unit size must be positive");
+    UnitsMut { data, unit }
+}
+
+impl<'a, T> UnitsMut<'a, T> {
+    /// Consumes the view, returning the underlying slice.
+    #[must_use]
+    pub fn into_slice(self) -> &'a mut [T] {
+        self.data
+    }
+
+    /// Elements per unit.
+    #[must_use]
+    pub fn unit(&self) -> usize {
+        self.unit
+    }
+}
+
+impl<T: Send> Parts for UnitsMut<'_, T> {
+    fn units(&self) -> usize {
+        self.data.len().div_ceil(self.unit)
+    }
+
+    fn unit_bounds(&self) -> (usize, usize) {
+        let u = self.units();
+        (u, u)
+    }
+
+    fn split(self, units: usize) -> (Self, Self) {
+        let at = (units * self.unit).min(self.data.len());
+        let (head, tail) = self.data.split_at_mut(at);
+        (
+            UnitsMut {
+                data: head,
+                unit: self.unit,
+            },
+            UnitsMut {
+                data: tail,
+                unit: self.unit,
+            },
+        )
+    }
+}
+
+macro_rules! impl_parts_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Parts),+> Parts for ($($name,)+) {
+            fn units(&self) -> usize {
+                self.0.units()
+            }
+
+            fn unit_bounds(&self) -> (usize, usize) {
+                let (mut lo, mut hi) = (usize::MAX, 0usize);
+                $(
+                    let (l, h) = self.$idx.unit_bounds();
+                    lo = lo.min(l);
+                    hi = hi.max(h);
+                )+
+                (lo, hi)
+            }
+
+            fn split(self, units: usize) -> (Self, Self) {
+                let halves = ($(self.$idx.split(units),)+);
+                (($(halves.$idx.0,)+), ($(halves.$idx.1,)+))
+            }
+        }
+    };
+}
+
+impl_parts_tuple!(A: 0);
+impl_parts_tuple!(A: 0, B: 1);
+impl_parts_tuple!(A: 0, B: 1, C: 2);
+impl_parts_tuple!(A: 0, B: 1, C: 2, D: 3);

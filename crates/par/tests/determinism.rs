@@ -1,0 +1,181 @@
+//! Determinism suite: the compute kernels threaded through `lmmir-par`
+//! must produce **bitwise identical** outputs at every thread count.
+//!
+//! Each kernel runs at `LMMIR_THREADS` ∈ {1, 2, 7} — `1` is the forced
+//! sequential path, `2` the smallest real fan-out, and `7` an odd count
+//! chosen to produce ragged remainder chunks (uneven spans plus a short
+//! tail unit). Shapes are sized past the kernels' parallel-work thresholds
+//! so the parallel code path genuinely executes.
+//!
+//! A process-global mutex serializes the tests because the thread count is
+//! process-global state.
+
+use lmmir_solver::{grid_laplacian, solve_cg, CgConfig};
+use lmmir_tensor::conv::{conv2d, conv2d_backward, ConvSpec};
+use lmmir_tensor::{linalg, Tensor};
+use std::sync::{Mutex, MutexGuard};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Deterministic pseudo-random f32s (splitmix-style), no rand dependency.
+fn noise(count: usize, mut seed: u64) -> Vec<f32> {
+    (0..count)
+        .map(|_| {
+            seed = seed
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((seed >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+        .collect()
+}
+
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str, threads: usize) {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "{what}: length drift at {threads} threads"
+    );
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} drifted at {threads} threads ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn matmul_is_bitwise_identical_across_thread_counts() {
+    let _guard = lock();
+    // 96·64·80 ≈ 4.9e5 MACs — past the gemm parallel threshold.
+    let a = Tensor::from_vec(noise(96 * 64, 1), &[96, 64]).unwrap();
+    let b = Tensor::from_vec(noise(64 * 80, 2), &[64, 80]).unwrap();
+    let at = Tensor::from_vec(noise(64 * 96, 3), &[64, 96]).unwrap();
+    let bt = Tensor::from_vec(noise(80 * 64, 4), &[80, 64]).unwrap();
+
+    let reference = lmmir_par::with_threads(1, || {
+        (
+            linalg::matmul(&a, &b).unwrap(),
+            linalg::matmul_tn(&at, &b).unwrap(),
+            linalg::matmul_nt(&a, &bt).unwrap(),
+        )
+    });
+    for threads in THREAD_COUNTS {
+        let (nn, tn, nt) = lmmir_par::with_threads(threads, || {
+            (
+                linalg::matmul(&a, &b).unwrap(),
+                linalg::matmul_tn(&at, &b).unwrap(),
+                linalg::matmul_nt(&a, &bt).unwrap(),
+            )
+        });
+        assert_bits_eq(reference.0.data(), nn.data(), "matmul", threads);
+        assert_bits_eq(reference.1.data(), tn.data(), "matmul_tn", threads);
+        assert_bits_eq(reference.2.data(), nt.data(), "matmul_nt", threads);
+    }
+}
+
+#[test]
+fn conv2d_forward_and_backward_are_bitwise_identical_across_thread_counts() {
+    let _guard = lock();
+    // 8 input channels (> the odd 7-thread count), 40×40 plane: the im2col
+    // buffer (72×1600) and the gemms both cross their parallel thresholds.
+    let x = Tensor::from_vec(noise(2 * 8 * 40 * 40, 5), &[2, 8, 40, 40]).unwrap();
+    let w = Tensor::from_vec(noise(16 * 8 * 3 * 3, 6), &[16, 8, 3, 3]).unwrap();
+    let spec = ConvSpec::new(1, 1);
+
+    let y_ref = lmmir_par::with_threads(1, || conv2d(&x, &w, None, spec).unwrap());
+    let g = Tensor::from_vec(noise(y_ref.numel(), 7), y_ref.dims()).unwrap();
+    let grads_ref = lmmir_par::with_threads(1, || conv2d_backward(&x, &w, &g, spec).unwrap());
+
+    for threads in THREAD_COUNTS {
+        let (y, grads) = lmmir_par::with_threads(threads, || {
+            (
+                conv2d(&x, &w, None, spec).unwrap(),
+                conv2d_backward(&x, &w, &g, spec).unwrap(),
+            )
+        });
+        assert_bits_eq(y_ref.data(), y.data(), "conv2d forward", threads);
+        assert_bits_eq(grads_ref.0.data(), grads.0.data(), "conv2d dx", threads);
+        assert_bits_eq(
+            grads_ref.1.data(),
+            grads.1.data(),
+            "conv2d dweight",
+            threads,
+        );
+        assert_bits_eq(grads_ref.2.data(), grads.2.data(), "conv2d dbias", threads);
+    }
+}
+
+#[test]
+fn solve_cg_is_bitwise_identical_across_thread_counts() {
+    let _guard = lock();
+    // 116² = 13 456 unknowns -> 4 reduction blocks of 4096 rows, so the CG
+    // phases genuinely fan out (and 7 threads see ragged block spans).
+    let side = 116;
+    let a = grid_laplacian(side);
+    let b: Vec<f64> = (0..side * side)
+        .map(|i| 1.0 + 0.25 * (i as f64 * 0.37).sin())
+        .collect();
+    let cfg = CgConfig {
+        max_iters: 2_000,
+        tol: 1e-8,
+        jacobi: true,
+    };
+
+    let reference = lmmir_par::with_threads(1, || solve_cg(&a, &b, cfg).expect("converges"));
+    assert!(reference.iterations > 1, "non-trivial iteration count");
+    for threads in THREAD_COUNTS {
+        let sol = lmmir_par::with_threads(threads, || solve_cg(&a, &b, cfg).expect("converges"));
+        assert_eq!(
+            sol.iterations, reference.iterations,
+            "iteration count drifted at {threads} threads"
+        );
+        assert_eq!(
+            sol.residual.to_bits(),
+            reference.residual.to_bits(),
+            "residual drifted at {threads} threads"
+        );
+        for (i, (x, y)) in reference.x.iter().zip(&sol.x).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "solution element {i} drifted at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn lmmir_threads_env_var_selects_the_pool_size() {
+    let _guard = lock();
+    // Restore the pre-test variable on exit so a CI-matrix pin
+    // (`LMMIR_THREADS=4 cargo test`) survives this test.
+    struct EnvRestore(Option<String>);
+    impl Drop for EnvRestore {
+        fn drop(&mut self) {
+            match &self.0 {
+                Some(v) => std::env::set_var("LMMIR_THREADS", v),
+                None => std::env::remove_var("LMMIR_THREADS"),
+            }
+        }
+    }
+    let _env = EnvRestore(std::env::var("LMMIR_THREADS").ok());
+
+    assert_eq!(lmmir_par::thread_override(), None, "no override leaking in");
+    std::env::set_var("LMMIR_THREADS", "7");
+    assert_eq!(lmmir_par::num_threads(), 7);
+    // The env var drives real kernels exactly like the override does.
+    let a = Tensor::from_vec(noise(96 * 64, 8), &[96, 64]).unwrap();
+    let b = Tensor::from_vec(noise(64 * 80, 9), &[64, 80]).unwrap();
+    let via_env = linalg::matmul(&a, &b).unwrap();
+    std::env::set_var("LMMIR_THREADS", "1");
+    let sequential = linalg::matmul(&a, &b).unwrap();
+    assert_bits_eq(sequential.data(), via_env.data(), "env-var matmul", 7);
+}

@@ -1,7 +1,19 @@
 //! Jacobi-preconditioned conjugate-gradient solver.
+//!
+//! The iteration is organized as three fused, parallel phases per step —
+//! `Ap` + `p·Ap`, the `x`/`r`/`z` update + `r·r`/`r·z`, and the search-
+//! direction update — partitioned over fixed [`BLOCK`]-row blocks. Block
+//! boundaries and the fold order of per-block partial sums depend only on
+//! the system size, never on `LMMIR_THREADS`, so the solve is bitwise
+//! deterministic at every thread count (including the sequential `1`).
 
 use crate::sparse::Csr;
+use lmmir_par::{par_chunks_mut, par_parts, par_sum_blocks, units_mut};
 use std::fmt;
+
+/// Rows per reduction/update block. One block is also the smallest unit of
+/// parallel work, so systems below this size run inline on the caller.
+const BLOCK: usize = 4096;
 
 /// Convergence parameters for [`solve_cg`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -130,16 +142,20 @@ pub fn solve_cg(a: &Csr, b: &[f64], cfg: CgConfig) -> Result<CgSolution, SolveCg
         });
     }
 
+    let blocks = n.div_ceil(BLOCK);
+    let mut pap_partials = vec![0.0f64; blocks];
+    let mut norm_partials = vec![(0.0f64, 0.0f64); blocks];
+
     let mut x = vec![0.0f64; n];
     let mut r = b.to_vec(); // r = b - A*0
-    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut z = vec![0.0f64; n];
+    apply_preconditioner(&r, &inv_diag, &mut z);
     let mut p = z.clone();
     let mut rz = dot(&r, &z);
     let mut ap = vec![0.0f64; n];
 
     for it in 1..=cfg.max_iters {
-        a.matvec(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        let pap = matvec_pap(a, &p, &mut ap, &mut pap_partials);
         if pap <= 0.0 {
             // Matrix is not SPD on this subspace; report as non-convergence.
             return Err(SolveCgError::NotConverged {
@@ -148,11 +164,17 @@ pub fn solve_cg(a: &Csr, b: &[f64], cfg: CgConfig) -> Result<CgSolution, SolveCg
             });
         }
         let alpha = rz / pap;
-        for i in 0..n {
-            x[i] += alpha * p[i];
-            r[i] -= alpha * ap[i];
-        }
-        let rel = dot(&r, &r).sqrt() / bnorm;
+        let (rr, rz_new) = update_xrz(
+            alpha,
+            &p,
+            &ap,
+            &inv_diag,
+            &mut x,
+            &mut r,
+            &mut z,
+            &mut norm_partials,
+        );
+        let rel = rr.sqrt() / bnorm;
         if rel <= cfg.tol {
             return Ok(CgSolution {
                 x,
@@ -160,15 +182,9 @@ pub fn solve_cg(a: &Csr, b: &[f64], cfg: CgConfig) -> Result<CgSolution, SolveCg
                 residual: rel,
             });
         }
-        for i in 0..n {
-            z[i] = r[i] * inv_diag[i];
-        }
-        let rz_new = dot(&r, &z);
         let beta = rz_new / rz;
         rz = rz_new;
-        for i in 0..n {
-            p[i] = z[i] + beta * p[i];
-        }
+        update_p(beta, &z, &mut p);
     }
     Err(SolveCgError::NotConverged {
         iterations: cfg.max_iters,
@@ -176,8 +192,112 @@ pub fn solve_cg(a: &Csr, b: &[f64], cfg: CgConfig) -> Result<CgSolution, SolveCg
     })
 }
 
+/// Deterministic blocked dot product: per-[`BLOCK`] partials folded in
+/// ascending block order, bitwise identical at every thread count.
 fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    debug_assert_eq!(a.len(), b.len());
+    par_sum_blocks(a.len(), BLOCK, |range| {
+        a[range.clone()]
+            .iter()
+            .zip(&b[range])
+            .map(|(x, y)| x * y)
+            .sum()
+    })
+}
+
+/// `z = r ⊙ inv_diag`, block-partitioned.
+fn apply_preconditioner(r: &[f64], inv_diag: &[f64], z: &mut [f64]) {
+    par_chunks_mut(z, BLOCK, |u0, chunk| {
+        let g0 = u0 * BLOCK;
+        for (i, zi) in chunk.iter_mut().enumerate() {
+            *zi = r[g0 + i] * inv_diag[g0 + i];
+        }
+    });
+}
+
+/// Fused phase 1: `ap = A p` and the blockwise partials of `p · Ap`.
+///
+/// Rows of `ap` and the partial of their block are produced together by the
+/// worker owning the block; partials are folded in block order afterwards,
+/// so the returned `p·Ap` never depends on the thread count.
+fn matvec_pap(a: &Csr, p: &[f64], ap: &mut [f64], partials: &mut [f64]) -> f64 {
+    par_parts(
+        (units_mut(ap, BLOCK), units_mut(partials, 1)),
+        |k0, (ap_part, partial_part)| {
+            let ap_rows = ap_part.into_slice();
+            let parts = partial_part.into_slice();
+            for (j, partial) in parts.iter_mut().enumerate() {
+                let lo = j * BLOCK;
+                let hi = (lo + BLOCK).min(ap_rows.len());
+                let r0 = (k0 + j) * BLOCK;
+                let rows = &mut ap_rows[lo..hi];
+                a.matvec_rows(p, r0, rows);
+                *partial = rows
+                    .iter()
+                    .zip(&p[r0..r0 + rows.len()])
+                    .map(|(y, x)| x * y)
+                    .sum();
+            }
+        },
+    );
+    partials.iter().sum()
+}
+
+/// Fused phase 2: `x += α p`, `r -= α ap`, `z = r ⊙ inv_diag`, plus the
+/// blockwise partials of `r·r` and `r·z`, folded in block order.
+#[allow(clippy::too_many_arguments)]
+fn update_xrz(
+    alpha: f64,
+    p: &[f64],
+    ap: &[f64],
+    inv_diag: &[f64],
+    x: &mut [f64],
+    r: &mut [f64],
+    z: &mut [f64],
+    partials: &mut [(f64, f64)],
+) -> (f64, f64) {
+    par_parts(
+        (
+            units_mut(x, BLOCK),
+            units_mut(r, BLOCK),
+            units_mut(z, BLOCK),
+            units_mut(partials, 1),
+        ),
+        |k0, (x_part, r_part, z_part, partial_part)| {
+            let xs = x_part.into_slice();
+            let rs = r_part.into_slice();
+            let zs = z_part.into_slice();
+            let parts = partial_part.into_slice();
+            for (j, partial) in parts.iter_mut().enumerate() {
+                let lo = j * BLOCK;
+                let hi = (lo + BLOCK).min(xs.len());
+                let g0 = (k0 + j) * BLOCK;
+                let (mut rr, mut rz) = (0.0f64, 0.0f64);
+                for i in lo..hi {
+                    let gi = g0 + (i - lo);
+                    xs[i] += alpha * p[gi];
+                    rs[i] -= alpha * ap[gi];
+                    zs[i] = rs[i] * inv_diag[gi];
+                    rr += rs[i] * rs[i];
+                    rz += rs[i] * zs[i];
+                }
+                *partial = (rr, rz);
+            }
+        },
+    );
+    partials
+        .iter()
+        .fold((0.0, 0.0), |(rr, rz), &(br, bz)| (rr + br, rz + bz))
+}
+
+/// Fused phase 3: `p = z + β p`, block-partitioned.
+fn update_p(beta: f64, z: &[f64], p: &mut [f64]) {
+    par_chunks_mut(p, BLOCK, |u0, chunk| {
+        let g0 = u0 * BLOCK;
+        for (i, pi) in chunk.iter_mut().enumerate() {
+            *pi = z[g0 + i] + beta * *pi;
+        }
+    });
 }
 
 #[cfg(test)]

@@ -42,5 +42,5 @@ pub mod stamp;
 pub use cg::{solve_cg, CgConfig, CgSolution, SolveCgError};
 pub use cholesky::{CholeskyFactor, FactorizeError};
 pub use ir::{solve_ir_drop, IrDrop, SolveIrDropError};
-pub use sparse::Csr;
+pub use sparse::{grid_laplacian, Csr};
 pub use stamp::{stamp, PdnSystem, StampNetlistError};

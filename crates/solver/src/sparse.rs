@@ -79,13 +79,43 @@ impl Csr {
     pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        for (r, out) in y.iter_mut().enumerate() {
+        self.matvec_rows(x, 0, y);
+    }
+
+    /// Row-range matrix-vector product: `y_rows[i] = (A x)[r0 + i]`.
+    ///
+    /// Rows are computed with exactly the same accumulation order as
+    /// [`Csr::matvec`], so any row partition reproduces the full product
+    /// bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row range exceeds the matrix or `x.len() != n`.
+    pub fn matvec_rows(&self, x: &[f64], r0: usize, y_rows: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert!(r0 + y_rows.len() <= self.n, "row range out of bounds");
+        for (i, out) in y_rows.iter_mut().enumerate() {
+            let r = r0 + i;
             let mut acc = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.values[k] * x[self.col_ix[k]];
             }
             *out = acc;
         }
+    }
+
+    /// [`Csr::matvec`] with rows partitioned across the `lmmir-par` thread
+    /// pool. Always takes the parallel driver (no size gate), bitwise equal
+    /// to the sequential product at every thread count — used by the golden
+    /// parity tests and by callers that already know the system is large.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != n` or `y.len() != n`.
+    pub fn par_matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        lmmir_par::par_chunks_mut(y, 1, |r0, rows| self.matvec_rows(x, r0, rows));
     }
 
     /// The matrix diagonal (zeros where no entry is stored).
@@ -127,6 +157,34 @@ impl Csr {
         }
         true
     }
+}
+
+/// 5-point 2-D Dirichlet Laplacian on a `side × side` grid — the sparsity
+/// structure of a stamped PDN layer, and the standard SPD model problem
+/// the determinism tests and thread-scaling benchmarks solve.
+#[must_use]
+pub fn grid_laplacian(side: usize) -> Csr {
+    let n = side * side;
+    let mut triplets = Vec::with_capacity(5 * n);
+    for y in 0..side {
+        for x in 0..side {
+            let i = y * side + x;
+            triplets.push((i, i, 4.0));
+            if x > 0 {
+                triplets.push((i, i - 1, -1.0));
+            }
+            if x + 1 < side {
+                triplets.push((i, i + 1, -1.0));
+            }
+            if y > 0 {
+                triplets.push((i, i - side, -1.0));
+            }
+            if y + 1 < side {
+                triplets.push((i, i + side, -1.0));
+            }
+        }
+    }
+    Csr::from_triplets(n, &triplets)
 }
 
 impl fmt::Display for Csr {

@@ -115,6 +115,80 @@ fn cg_reaches_1e6_on_hand_built_spd_system() {
 }
 
 #[test]
+fn ladder_parallel_spmv_matches_sequential_bitwise() {
+    // The ladder's stamped system pushed through the parallel SpMV path at
+    // several thread counts (including the odd 7) must reproduce the
+    // sequential product bit for bit — the row partition may not change a
+    // single rounding.
+    let sys = stamp(&ladder(2.5, 0.75, 0.04, 0.01)).expect("stamps");
+    let n = sys.matrix.n();
+    let x: Vec<f64> = (0..n).map(|i| 0.3 + 0.1 * i as f64).collect();
+    let mut seq = vec![0.0; n];
+    sys.matrix.matvec(&x, &mut seq);
+    for threads in [1, 2, 7] {
+        let mut par = vec![0.0; n];
+        lmmir_par::with_threads(threads, || sys.matrix.par_matvec(&x, &mut par));
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.to_bits(), b.to_bits(), "ladder SpMV drift at {threads}");
+        }
+    }
+}
+
+#[test]
+fn ladder_solved_in_parallel_matches_closed_form_and_single_thread() {
+    let (r1, r2, i1, i2) = (2.5, 0.75, 0.04, 0.01);
+    let nl = ladder(r1, r2, i1, i2);
+    let v1 = VDD - r1 * (i1 + i2);
+    let v2 = v1 - r2 * i2;
+    let single = lmmir_par::with_threads(1, || {
+        solve_ir_drop(&nl, CgConfig::default()).expect("solves")
+    });
+    for threads in [2, 7] {
+        let ir = lmmir_par::with_threads(threads, || {
+            solve_ir_drop(&nl, CgConfig::default()).expect("solves")
+        });
+        // Same golden values as the single-thread path…
+        assert!((ir.voltage(&node(1, 0)).expect("n1 solved") - v1).abs() < 1e-6);
+        assert!((ir.voltage(&node(2, 0)).expect("n2 solved") - v2).abs() < 1e-6);
+        // …and exactly the single-thread voltages, bit for bit.
+        for (name, drop) in single.iter_drops() {
+            let other = ir.drop_at(name).expect("same node set");
+            assert_eq!(
+                drop.to_bits(),
+                other.to_bits(),
+                "drift at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn diamond_parallel_spmv_and_solve_match_single_thread() {
+    let (r, load) = (1.5, 0.08);
+    let nl = diamond(r, load);
+    let sys = stamp(&nl).expect("stamps");
+    let mut seq = vec![0.0; sys.matrix.n()];
+    sys.matrix.matvec(&sys.rhs, &mut seq);
+    for threads in [1, 2, 7] {
+        let mut par = vec![0.0; sys.matrix.n()];
+        lmmir_par::with_threads(threads, || sys.matrix.par_matvec(&sys.rhs, &mut par));
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.to_bits(), b.to_bits(), "diamond SpMV drift at {threads}");
+        }
+
+        let ir = lmmir_par::with_threads(threads, || {
+            solve_ir_drop(&nl, CgConfig::default()).expect("solves")
+        });
+        let v_mid = VDD - r * load / 2.0;
+        let v_far = VDD - r * load;
+        assert!((ir.voltage(&node(0, 1)).expect("b solved") - v_mid).abs() < 1e-6);
+        assert!((ir.voltage(&node(1, 0)).expect("c solved") - v_mid).abs() < 1e-6);
+        assert!((ir.voltage(&node(1, 1)).expect("d solved") - v_far).abs() < 1e-6);
+        assert!((ir.worst_drop() - r * load).abs() < 1e-6);
+    }
+}
+
+#[test]
 fn solve_ir_drop_is_bitwise_deterministic_across_runs() {
     let nl = diamond(1.25, 0.06);
     let first = solve_ir_drop(&nl, CgConfig::default()).expect("first run solves");

@@ -8,9 +8,19 @@
 //! * `conv_transpose2d` weights `[C, O, KH, KW]`
 
 use crate::error::TensorError;
-use crate::linalg::{gemm_nt_slices, gemm_slices, gemm_tn_slices};
+use crate::linalg::{gemm_nt_par, gemm_par, gemm_tn_par};
 use crate::tensor::Tensor;
 use crate::Result;
+
+/// Minimum element count before the im2col/col2im data movers fan out —
+/// they are memory-bound, so the bar is lower than for the gemms.
+const PAR_MIN_ELEMS: usize = 1 << 16;
+
+/// Whether a data-movement pass over `elems` elements split across `rows`
+/// independent rows should take the parallel path.
+fn par_worth_elems(rows: usize, elems: usize) -> bool {
+    lmmir_par::worth_parallelizing(rows, elems, PAR_MIN_ELEMS)
+}
 
 /// Hyper-parameters of a convolution: stride and symmetric zero padding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,33 +96,52 @@ struct PlaneGeom {
 }
 
 /// Unfolds one `[C, H, W]` image into a `[C*KH*KW, OH*OW]` column matrix.
+///
+/// Column rows are independent, so large planes are split across threads by
+/// contiguous row runs; each row is written by the same code at any thread
+/// count, keeping the unfold bitwise deterministic.
 fn im2col_plane(x: &[f32], g: PlaneGeom, cols: &mut [f32]) {
     let l = g.oh * g.ow;
-    debug_assert_eq!(cols.len(), g.c * g.kh * g.kw * l);
-    for ci in 0..g.c {
-        for ki in 0..g.kh {
-            for kj in 0..g.kw {
-                let row = ((ci * g.kh + ki) * g.kw + kj) * l;
-                for oy in 0..g.oh {
-                    let iy = (oy * g.spec.stride + ki) as isize - g.spec.padding as isize;
-                    let dst = row + oy * g.ow;
-                    if iy < 0 || iy >= g.h as isize {
-                        // Entire output row reads from the zero pad.
-                        for v in &mut cols[dst..dst + g.ow] {
-                            *v = 0.0;
-                        }
-                        continue;
-                    }
-                    let src_row = (ci * g.h + iy as usize) * g.w;
-                    for ox in 0..g.ow {
-                        let ix = (ox * g.spec.stride + kj) as isize - g.spec.padding as isize;
-                        cols[dst + ox] = if ix < 0 || ix >= g.w as isize {
-                            0.0
-                        } else {
-                            x[src_row + ix as usize]
-                        };
-                    }
+    let ckk = g.c * g.kh * g.kw;
+    debug_assert_eq!(cols.len(), ckk * l);
+    if l == 0 {
+        return;
+    }
+    if par_worth_elems(ckk, cols.len()) {
+        lmmir_par::par_chunks_mut(cols, l, |r0, chunk| im2col_rows(x, g, r0, chunk));
+    } else {
+        im2col_rows(x, g, 0, cols);
+    }
+}
+
+/// [`im2col_plane`] restricted to column rows `r0..r0 + rows.len() / (oh*ow)`;
+/// row `r` covers kernel tap `(ci, ki, kj) = (r / (kh·kw), (r / kw) % kh,
+/// r % kw)`.
+fn im2col_rows(x: &[f32], g: PlaneGeom, r0: usize, rows: &mut [f32]) {
+    let l = g.oh * g.ow;
+    for (dr, row_out) in rows.chunks_mut(l).enumerate() {
+        let r = r0 + dr;
+        let ci = r / (g.kh * g.kw);
+        let ki = (r / g.kw) % g.kh;
+        let kj = r % g.kw;
+        for oy in 0..g.oh {
+            let iy = (oy * g.spec.stride + ki) as isize - g.spec.padding as isize;
+            let dst = oy * g.ow;
+            if iy < 0 || iy >= g.h as isize {
+                // Entire output row reads from the zero pad.
+                for v in &mut row_out[dst..dst + g.ow] {
+                    *v = 0.0;
                 }
+                continue;
+            }
+            let src_row = (ci * g.h + iy as usize) * g.w;
+            for ox in 0..g.ow {
+                let ix = (ox * g.spec.stride + kj) as isize - g.spec.padding as isize;
+                row_out[dst + ox] = if ix < 0 || ix >= g.w as isize {
+                    0.0
+                } else {
+                    x[src_row + ix as usize]
+                };
             }
         }
     }
@@ -120,11 +149,32 @@ fn im2col_plane(x: &[f32], g: PlaneGeom, cols: &mut [f32]) {
 
 /// Folds a `[C*KH*KW, OH*OW]` column matrix back into a `[C, H, W]` image by
 /// scatter-add (the exact adjoint of [`im2col_plane`]).
+///
+/// Each image channel only receives scatters from its own `KH*KW` column
+/// rows, so channels split across threads without write conflicts; within a
+/// channel the accumulation order is identical at every thread count.
 fn col2im_plane(cols: &[f32], g: PlaneGeom, x: &mut [f32]) {
     let l = g.oh * g.ow;
+    let plane = g.h * g.w;
     debug_assert_eq!(cols.len(), g.c * g.kh * g.kw * l);
-    debug_assert_eq!(x.len(), g.c * g.h * g.w);
-    for ci in 0..g.c {
+    debug_assert_eq!(x.len(), g.c * plane);
+    if plane == 0 {
+        return;
+    }
+    if par_worth_elems(g.c, cols.len()) {
+        lmmir_par::par_chunks_mut(x, plane, |c0, chunk| col2im_channels(cols, g, c0, chunk));
+    } else {
+        col2im_channels(cols, g, 0, x);
+    }
+}
+
+/// [`col2im_plane`] restricted to image channels `c0..c0 + x_chunk.len() /
+/// (h*w)`.
+fn col2im_channels(cols: &[f32], g: PlaneGeom, c0: usize, x_chunk: &mut [f32]) {
+    let l = g.oh * g.ow;
+    let plane = g.h * g.w;
+    for (dc, x_plane) in x_chunk.chunks_mut(plane).enumerate() {
+        let ci = c0 + dc;
         for ki in 0..g.kh {
             for kj in 0..g.kw {
                 let row = ((ci * g.kh + ki) * g.kw + kj) * l;
@@ -133,12 +183,12 @@ fn col2im_plane(cols: &[f32], g: PlaneGeom, x: &mut [f32]) {
                     if iy < 0 || iy >= g.h as isize {
                         continue;
                     }
-                    let dst_row = (ci * g.h + iy as usize) * g.w;
+                    let dst_row = iy as usize * g.w;
                     let src = row + oy * g.ow;
                     for ox in 0..g.ow {
                         let ix = (ox * g.spec.stride + kj) as isize - g.spec.padding as isize;
                         if ix >= 0 && ix < g.w as isize {
-                            x[dst_row + ix as usize] += cols[src + ox];
+                            x_plane[dst_row + ix as usize] += cols[src + ox];
                         }
                     }
                 }
@@ -234,7 +284,7 @@ pub fn conv2d(
             geom,
             &mut cols,
         );
-        gemm_slices(
+        gemm_par(
             o,
             ckk,
             l,
@@ -323,10 +373,10 @@ pub fn conv2d_backward(
             geom,
             &mut cols,
         );
-        gemm_nt_slices(o, l, ckk, g, &cols, dw.data_mut());
+        gemm_nt_par(o, l, ckk, g, &cols, dw.data_mut());
         // dx = col2im( W^T [CKK,O] x g [O,L] )
         dcols.iter_mut().for_each(|v| *v = 0.0);
-        gemm_tn_slices(ckk, o, l, weight.data(), g, &mut dcols);
+        gemm_tn_par(ckk, o, l, weight.data(), g, &mut dcols);
         col2im_plane(
             &dcols,
             geom,
@@ -411,7 +461,7 @@ pub fn conv_transpose2d(
     for ni in 0..n {
         // cols [OKK, L] = W^T [OKK, C] x x[n] [C, L]
         cols.iter_mut().for_each(|v| *v = 0.0);
-        gemm_tn_slices(
+        gemm_tn_par(
             okk,
             c,
             l,
@@ -502,7 +552,7 @@ pub fn conv_transpose2d_backward(
         // gcols [OKK, L] = im2col(grad_out[n])
         im2col_plane(g, geom, &mut gcols);
         // dx[n] [C, L] = W [C, OKK] x gcols [OKK, L]
-        gemm_slices(
+        gemm_par(
             c,
             okk,
             l,
@@ -511,7 +561,7 @@ pub fn conv_transpose2d_backward(
             &mut dx.data_mut()[ni * c * l..(ni + 1) * c * l],
         );
         // dW [C, OKK] += x[n] [C, L] x gcols^T [L, OKK]
-        gemm_nt_slices(
+        gemm_nt_par(
             c,
             l,
             okk,

@@ -3,10 +3,26 @@
 //! All kernels use the cache-friendly `i-k-j` loop ordering, which lets the
 //! inner loop run over contiguous rows of the right-hand operand and the
 //! output so the compiler can auto-vectorize it.
+//!
+//! Large products are partitioned across threads by contiguous row blocks
+//! of the output (see `lmmir-par`). Each output row is produced by exactly
+//! the same instruction sequence as in the sequential kernels — the same
+//! `k`-ascending accumulation order — so results are bitwise identical for
+//! every `LMMIR_THREADS` setting, including the forced-sequential `1`.
 
 use crate::error::TensorError;
 use crate::tensor::Tensor;
 use crate::Result;
+
+/// Minimum multiply-accumulate count before a kernel fans out: below this,
+/// scoped-thread fork/join overhead dominates any speedup.
+pub(crate) const PAR_MIN_FLOPS: usize = 1 << 18;
+
+/// Whether a kernel of `flops` multiply-accumulates across `rows`
+/// partitionable rows should take the parallel path.
+pub(crate) fn par_worth(rows: usize, flops: usize) -> bool {
+    lmmir_par::worth_parallelizing(rows, flops, PAR_MIN_FLOPS)
+}
 
 /// Raw `C += A * B` kernel on slices: `a` is `[m,k]`, `b` is `[k,n]`,
 /// `c` is `[m,n]`, all row-major.
@@ -34,15 +50,33 @@ pub(crate) fn gemm_tn_slices(m: usize, k: usize, n: usize, a: &[f32], b: &[f32],
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    gemm_tn_rows(0, m, k, n, a, b, c);
+}
+
+/// [`gemm_tn_slices`] restricted to output rows `i0..i0 + c_rows.len() / n`
+/// (the rows of `C` correspond to *columns* of `a`, so row blocks cannot be
+/// expressed as sub-slices of the operands). Accumulation stays
+/// `p`-ascending per output element, exactly as in the full kernel.
+pub(crate) fn gemm_tn_rows(
+    i0: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+) {
+    let rows = c_rows.len().checked_div(n).unwrap_or(0);
+    debug_assert!(i0 + rows <= m);
     for p in 0..k {
         let a_row = &a[p * m..(p + 1) * m];
         let b_row = &b[p * n..(p + 1) * n];
-        for i in 0..m {
-            let aip = a_row[i];
+        for i in 0..rows {
+            let aip = a_row[i0 + i];
             if aip == 0.0 {
                 continue;
             }
-            let c_row = &mut c[i * n..(i + 1) * n];
+            let c_row = &mut c_rows[i * n..(i + 1) * n];
             for (cv, &bv) in c_row.iter_mut().zip(b_row) {
                 *cv += aip * bv;
             }
@@ -67,6 +101,42 @@ pub(crate) fn gemm_nt_slices(m: usize, k: usize, n: usize, a: &[f32], b: &[f32],
             *cv += acc;
         }
     }
+}
+
+/// `C += A * B` with output rows partitioned across threads; falls back to
+/// the sequential kernel when the product is too small to amortize forking.
+pub(crate) fn gemm_par(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    if !par_worth(m, m * k * n) {
+        gemm_slices(m, k, n, a, b, c);
+        return;
+    }
+    lmmir_par::par_chunks_mut(c, n, |i0, c_block| {
+        let rows = c_block.len() / n;
+        gemm_slices(rows, k, n, &a[i0 * k..(i0 + rows) * k], b, c_block);
+    });
+}
+
+/// `C += A^T * B` with output rows partitioned across threads.
+pub(crate) fn gemm_tn_par(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    if !par_worth(m, m * k * n) {
+        gemm_tn_slices(m, k, n, a, b, c);
+        return;
+    }
+    lmmir_par::par_chunks_mut(c, n, |i0, c_block| {
+        gemm_tn_rows(i0, m, k, n, a, b, c_block);
+    });
+}
+
+/// `C += A * B^T` with output rows partitioned across threads.
+pub(crate) fn gemm_nt_par(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    if !par_worth(m, m * k * n) {
+        gemm_nt_slices(m, k, n, a, b, c);
+        return;
+    }
+    lmmir_par::par_chunks_mut(c, n, |i0, c_block| {
+        let rows = c_block.len() / n;
+        gemm_nt_slices(rows, k, n, &a[i0 * k..(i0 + rows) * k], b, c_block);
+    });
 }
 
 fn require_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
@@ -96,7 +166,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[m, n]);
-    gemm_slices(m, k, n, a.data(), b.data(), out.data_mut());
+    gemm_par(m, k, n, a.data(), b.data(), out.data_mut());
     Ok(out)
 }
 
@@ -116,7 +186,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[m, n]);
-    gemm_tn_slices(m, k, n, a.data(), b.data(), out.data_mut());
+    gemm_tn_par(m, k, n, a.data(), b.data(), out.data_mut());
     Ok(out)
 }
 
@@ -136,7 +206,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[m, n]);
-    gemm_nt_slices(m, k, n, a.data(), b.data(), out.data_mut());
+    gemm_nt_par(m, k, n, a.data(), b.data(), out.data_mut());
     Ok(out)
 }
 
@@ -169,8 +239,65 @@ pub fn matmul_nd(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let mut out_dims = a.dims().to_vec();
     *out_dims.last_mut().expect("rank >= 1") = n;
     let mut out = Tensor::zeros(&out_dims);
-    gemm_slices(rows, k, n, a.data(), b.data(), out.data_mut());
+    gemm_par(rows, k, n, a.data(), b.data(), out.data_mut());
     Ok(out)
+}
+
+/// A rank-2 `C += op(A) op(B)` slice kernel: `(m, k, n, a, b, c)`.
+type GemmFn = fn(usize, usize, usize, &[f32], &[f32], &mut [f32]);
+
+/// Operand geometry of one batched product: `[ba]` entries with the given
+/// per-entry strides for `a` and `b` (the output stride is always `m * n`).
+struct BmmShape {
+    ba: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a_stride: usize,
+    b_stride: usize,
+}
+
+/// Shared driver for the batched products: distributes whole batch entries
+/// across threads when the batch alone can occupy the pool (each entry then
+/// runs the sequential kernel, keeping one level of forking), and otherwise
+/// loops batches on the caller, letting the row-parallel kernel split each
+/// one across every worker.
+fn bmm_driver(s: &BmmShape, a: &[f32], b: &[f32], c: &mut [f32], seq: GemmFn, par: GemmFn) {
+    let BmmShape {
+        ba,
+        m,
+        k,
+        n,
+        a_stride,
+        b_stride,
+    } = *s;
+    let plane = m * n;
+    if plane > 0 && ba >= lmmir_par::num_threads() && par_worth(ba, ba * m * k * n) {
+        lmmir_par::par_chunks_mut(c, plane, |b0, span| {
+            for (j, cb) in span.chunks_mut(plane).enumerate() {
+                let i = b0 + j;
+                seq(
+                    m,
+                    k,
+                    n,
+                    &a[i * a_stride..(i + 1) * a_stride],
+                    &b[i * b_stride..(i + 1) * b_stride],
+                    cb,
+                );
+            }
+        });
+    } else {
+        for i in 0..ba {
+            par(
+                m,
+                k,
+                n,
+                &a[i * a_stride..(i + 1) * a_stride],
+                &b[i * b_stride..(i + 1) * b_stride],
+                &mut c[i * plane..(i + 1) * plane],
+            );
+        }
+    }
 }
 
 fn require_rank3(t: &Tensor, op: &'static str) -> Result<(usize, usize, usize)> {
@@ -199,16 +326,21 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[ba, m, n]);
-    for i in 0..ba {
-        gemm_slices(
+    bmm_driver(
+        &BmmShape {
+            ba,
             m,
             k,
             n,
-            &a.data()[i * m * k..(i + 1) * m * k],
-            &b.data()[i * k * n..(i + 1) * k * n],
-            &mut out.data_mut()[i * m * n..(i + 1) * m * n],
-        );
-    }
+            a_stride: m * k,
+            b_stride: k * n,
+        },
+        a.data(),
+        b.data(),
+        out.data_mut(),
+        gemm_slices,
+        gemm_par,
+    );
     Ok(out)
 }
 
@@ -228,16 +360,21 @@ pub fn bmm_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[ba, m, n]);
-    for i in 0..ba {
-        gemm_tn_slices(
+    bmm_driver(
+        &BmmShape {
+            ba,
             m,
             k,
             n,
-            &a.data()[i * k * m..(i + 1) * k * m],
-            &b.data()[i * k * n..(i + 1) * k * n],
-            &mut out.data_mut()[i * m * n..(i + 1) * m * n],
-        );
-    }
+            a_stride: k * m,
+            b_stride: k * n,
+        },
+        a.data(),
+        b.data(),
+        out.data_mut(),
+        gemm_tn_slices,
+        gemm_tn_par,
+    );
     Ok(out)
 }
 
@@ -257,16 +394,21 @@ pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[ba, m, n]);
-    for i in 0..ba {
-        gemm_nt_slices(
+    bmm_driver(
+        &BmmShape {
+            ba,
             m,
             k,
             n,
-            &a.data()[i * m * k..(i + 1) * m * k],
-            &b.data()[i * n * k..(i + 1) * n * k],
-            &mut out.data_mut()[i * m * n..(i + 1) * m * n],
-        );
-    }
+            a_stride: m * k,
+            b_stride: n * k,
+        },
+        a.data(),
+        b.data(),
+        out.data_mut(),
+        gemm_nt_slices,
+        gemm_nt_par,
+    );
     Ok(out)
 }
 

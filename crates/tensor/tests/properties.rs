@@ -1,8 +1,89 @@
-//! Property tests: broadcasting algebra and autograd-vs-numeric gradients
-//! on randomized shapes and values.
+//! Property tests: broadcasting algebra, autograd-vs-numeric gradients, and
+//! parallel-kernel-vs-naive-reference agreement on randomized shapes and
+//! values (including degenerate ones).
 
+use lmmir_tensor::conv::{conv2d, ConvSpec};
 use lmmir_tensor::{linalg, Tensor, Var};
 use proptest::prelude::*;
+
+/// Naive triple-loop matmul: the reference the row-partitioned gemm must
+/// agree with for every shape.
+fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.data()[i * k + p] * b.data()[p * n + j];
+            }
+            out.data_mut()[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Naive 7-loop conv2d reference.
+fn conv2d_reference(x: &Tensor, w: &Tensor, spec: ConvSpec) -> Tensor {
+    let (nb, c, h, ww) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let (o, _, kh, kw) = (w.dims()[0], w.dims()[1], w.dims()[2], w.dims()[3]);
+    let oh = spec.conv_out(h, kh).unwrap();
+    let ow = spec.conv_out(ww, kw).unwrap();
+    let mut out = Tensor::zeros(&[nb, o, oh, ow]);
+    for ni in 0..nb {
+        for oi in 0..o {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ci in 0..c {
+                        for ky in 0..kh {
+                            for kx in 0..kw {
+                                let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                if iy >= 0 && iy < h as isize && ix >= 0 && ix < ww as isize {
+                                    acc += x.at(&[ni, ci, iy as usize, ix as usize])
+                                        * w.at(&[oi, ci, ky, kx]);
+                                }
+                            }
+                        }
+                    }
+                    out.set(&[ni, oi, oy, ox], acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn pseudo(count: usize, seed: u64) -> Vec<f32> {
+    (0..count)
+        .map(|i| (((seed + i as u64) as f32) * 0.53).sin())
+        .collect()
+}
+
+/// Above-threshold companion to the randomized conv property below: the
+/// small proptest shapes all fall under the parallel-work gates (they pin
+/// the sequential boundary), so this fixed shape — im2col buffer 72×1600,
+/// gemm 16·72·1600 MACs — genuinely drives the partitioned path and checks
+/// it against both the naive reference and the sequential run bitwise.
+#[test]
+fn large_conv2d_crosses_parallel_threshold_and_matches() {
+    let x = Tensor::from_vec(pseudo(8 * 40 * 40, 3), &[1, 8, 40, 40]).unwrap();
+    let w = Tensor::from_vec(pseudo(16 * 8 * 9, 41), &[16, 8, 3, 3]).unwrap();
+    let spec = ConvSpec::new(1, 1);
+    let slow = conv2d_reference(&x, &w, spec);
+    let sequential = lmmir_par::with_threads(1, || conv2d(&x, &w, None, spec).unwrap());
+    for threads in [2, 3, 7] {
+        let fast = lmmir_par::with_threads(threads, || conv2d(&x, &w, None, spec).unwrap());
+        assert_eq!(
+            fast.data(),
+            sequential.data(),
+            "bitwise drift at {threads} threads"
+        );
+        assert!(close(&fast, &slow, 1e-4), "reference mismatch at {threads}");
+    }
+}
 
 fn tensor_strategy(max_len: usize) -> impl Strategy<Value = Tensor> {
     prop::collection::vec(-3.0f32..3.0, 1..=max_len).prop_map(|v| {
@@ -224,6 +305,21 @@ proptest! {
     }
 
     #[test]
+    fn large_matmul_crosses_parallel_threshold_and_matches(
+        threads in 2usize..8, seed in 0u64..20,
+    ) {
+        // 72·96·64 ≈ 4.4e5 MACs — past the gemm parallel threshold, so this
+        // genuinely exercises the row-partitioned path (unlike the small
+        // randomized shapes above, which validate the sequential boundary).
+        let a = Tensor::from_vec(pseudo(72 * 96, seed), &[72, 96]).unwrap();
+        let b = Tensor::from_vec(pseudo(96 * 64, seed + 13), &[96, 64]).unwrap();
+        let fast = lmmir_par::with_threads(threads, || linalg::matmul(&a, &b).unwrap());
+        let slow = lmmir_par::with_threads(1, || linalg::matmul(&a, &b).unwrap());
+        prop_assert_eq!(fast.data(), slow.data(), "bitwise drift at {} threads", threads);
+        prop_assert!(close(&fast, &matmul_reference(&a, &b), 1e-4));
+    }
+
+    #[test]
     fn concat_then_slice_identity(parts in prop::collection::vec(tensor_strategy(8), 1..4)) {
         let refs: Vec<&Tensor> = parts.iter().collect();
         let joined = Tensor::concat(&refs, 0).unwrap();
@@ -233,6 +329,49 @@ proptest! {
             prop_assert_eq!(s.data(), p.data());
             off += p.numel();
         }
+    }
+
+    #[test]
+    fn parallel_matmul_matches_naive_reference(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24,
+        threads in 1usize..8, seed in 0u64..500,
+    ) {
+        // Degenerate row counts (1×N) and thread counts exceeding the row
+        // count are all legal partitions.
+        let a = Tensor::from_vec(pseudo(m * k, seed), &[m, k]).unwrap();
+        let b = Tensor::from_vec(pseudo(k * n, seed + 101), &[k, n]).unwrap();
+        let fast = lmmir_par::with_threads(threads, || linalg::matmul(&a, &b).unwrap());
+        let slow = matmul_reference(&a, &b);
+        prop_assert!(close(&fast, &slow, 1e-5), "matmul mismatch at {} threads", threads);
+    }
+
+    #[test]
+    fn parallel_matmul_row_vector_and_tall_shapes(
+        n in 1usize..64, threads in 1usize..8, seed in 0u64..200,
+    ) {
+        // 1×N row vector times N×1 column: the extreme degenerate shapes.
+        let row = Tensor::from_vec(pseudo(n, seed), &[1, n]).unwrap();
+        let col = Tensor::from_vec(pseudo(n, seed + 7), &[n, 1]).unwrap();
+        let fast = lmmir_par::with_threads(threads, || linalg::matmul(&row, &col).unwrap());
+        prop_assert!(close(&fast, &matmul_reference(&row, &col), 1e-5));
+        let outer = lmmir_par::with_threads(threads, || linalg::matmul(&col, &row).unwrap());
+        prop_assert!(close(&outer, &matmul_reference(&col, &row), 1e-5));
+    }
+
+    #[test]
+    fn parallel_conv2d_matches_naive_reference(
+        nb in 0usize..3, c in 1usize..9, side in 3usize..10,
+        threads in 1usize..8, seed in 0u64..200,
+    ) {
+        // `nb == 0` is the empty batch; `c` may exceed `threads`.
+        let o = 2;
+        let x = Tensor::from_vec(pseudo(nb * c * side * side, seed), &[nb, c, side, side]).unwrap();
+        let w = Tensor::from_vec(pseudo(o * c * 9, seed + 31), &[o, c, 3, 3]).unwrap();
+        let spec = ConvSpec::new(1, 1);
+        let fast = lmmir_par::with_threads(threads, || conv2d(&x, &w, None, spec).unwrap());
+        let slow = conv2d_reference(&x, &w, spec);
+        prop_assert_eq!(fast.dims(), slow.dims());
+        prop_assert!(close(&fast, &slow, 1e-4), "conv mismatch at {} threads", threads);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! This crate re-exports the workspace layers under stable module names so
 //! downstream users can depend on a single crate:
 //!
+//! * [`par`] — scoped fork-join layer with deterministic partitioning
 //! * [`tensor`] — dense f32 tensors + reverse-mode autograd (CPU substrate)
 //! * [`nn`] — neural-network layers (conv/norm/attention/embedding)
 //! * [`spice`] — ICCAD-2023 PDN SPICE dialect parser/writer
@@ -27,6 +28,9 @@
 //! # Ok(())
 //! # }
 //! ```
+
+/// Scoped fork-join parallelism (`LMMIR_THREADS`).
+pub use lmmir_par as par;
 
 /// Dense tensors and reverse-mode autograd.
 pub use lmmir_tensor as tensor;
