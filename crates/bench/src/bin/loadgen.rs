@@ -1,0 +1,232 @@
+//! Load generator for the `lmmir-serve` inference server.
+//!
+//! Generates a handful of designs, hammers `POST /predict` from concurrent
+//! client threads (repeating designs, so the feature cache and in-batch
+//! dedup engage), verifies responses are bitwise self-consistent per
+//! design, and reports throughput plus the server's own cache/batch
+//! metrics.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7878 [--requests 64] [--concurrency 4]
+//!         [--designs 2] [--size 16] [--model NAME] [--no-verify]
+//! loadgen --emit-request PATH [--size 16] [--seed 0]   # write one body for curl
+//! ```
+//!
+//! The batching acceptance check of the serving subsystem is driven from
+//! here: run the same load against `--max-batch 1` and `--max-batch 8`
+//! servers and compare the reported requests/second.
+
+use lmmir_pdn::{CaseKind, CaseSpec};
+use lmmir_serve::{client, PredictRequest};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Options {
+    addr: Option<String>,
+    requests: usize,
+    concurrency: usize,
+    designs: usize,
+    size: usize,
+    seed: u64,
+    model: String,
+    emit_request: Option<String>,
+    verify: bool,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut o = Options {
+            addr: None,
+            requests: 64,
+            concurrency: 4,
+            designs: 2,
+            size: 16,
+            seed: 0,
+            model: String::new(),
+            emit_request: None,
+            verify: true,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("--{name} wants a value"))
+            };
+            match a.as_str() {
+                "--addr" => o.addr = Some(value("addr")?),
+                "--requests" => o.requests = parse(&value("requests")?)?,
+                "--concurrency" => o.concurrency = parse(&value("concurrency")?)?,
+                "--designs" => o.designs = parse(&value("designs")?)?,
+                "--size" => o.size = parse(&value("size")?)?,
+                "--seed" => o.seed = parse(&value("seed")?)?,
+                "--model" => o.model = value("model")?,
+                "--emit-request" => o.emit_request = Some(value("emit-request")?),
+                "--no-verify" => o.verify = false,
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if o.designs == 0 || o.concurrency == 0 || o.requests == 0 {
+            return Err("counts must be positive".to_string());
+        }
+        Ok(o)
+    }
+}
+
+fn parse<T: std::str::FromStr>(v: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("invalid number {v:?}"))
+}
+
+fn build_requests(o: &Options) -> Vec<PredictRequest> {
+    (0..o.designs)
+        .map(|i| {
+            let id = format!("loadgen{i}");
+            let case =
+                CaseSpec::new(&id, o.size, o.size, o.seed + i as u64, CaseKind::Hidden).generate();
+            let mut req = PredictRequest::from_case(&case);
+            req.model = o.model.clone();
+            req
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = match Options::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            eprintln!(
+                "usage: loadgen --addr HOST:PORT [--requests N] [--concurrency N] \
+                 [--designs N] [--size N] [--seed N] [--model NAME] [--no-verify]\n   \
+                 or: loadgen --emit-request PATH [--size N] [--seed N] [--model NAME]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let requests = build_requests(&o);
+
+    if let Some(path) = &o.emit_request {
+        let body = requests[0].encode();
+        if let Err(e) = std::fs::write(path, &body) {
+            eprintln!("loadgen: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[loadgen] wrote {path}: predict body for design 'loadgen0' \
+             ({}×{}, {} bytes) — curl --data-binary @{path} http://ADDR/predict",
+            o.size,
+            o.size,
+            body.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let Some(addr) = o.addr.clone() else {
+        eprintln!("loadgen: --addr is required (or --emit-request)");
+        return ExitCode::from(2);
+    };
+
+    // loadgen cannot read the server's checkpoint, so verification checks
+    // *self-consistency*: every response for a design must be bitwise
+    // identical across clients, batches and cache hits. Full parity against
+    // the offline `InferenceSession` is pinned by the serve test suite.
+    let reference: Vec<std::sync::Mutex<Option<Vec<u32>>>> = (0..requests.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+
+    let requests = Arc::new(requests);
+    let reference = Arc::new(reference);
+    let next = Arc::new(AtomicUsize::new(0));
+    let errors = Arc::new(AtomicUsize::new(0));
+    let t0 = Instant::now();
+    let mut workers = Vec::new();
+    for _ in 0..o.concurrency {
+        let requests = Arc::clone(&requests);
+        let reference = Arc::clone(&reference);
+        let next = Arc::clone(&next);
+        let errors = Arc::clone(&errors);
+        let addr = addr.clone();
+        let verify = o.verify;
+        let total = o.requests;
+        workers.push(std::thread::spawn(move || {
+            let mut latencies = Vec::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    return latencies;
+                }
+                // Bias to design 0 so the repeated-design path dominates,
+                // while every fourth request rotates through the others.
+                let which = if i % 4 == 0 {
+                    (i / 4) % requests.len()
+                } else {
+                    0
+                };
+                let t = Instant::now();
+                match client::predict(&addr, &requests[which]) {
+                    Ok(resp) => {
+                        latencies.push(t.elapsed().as_secs_f64());
+                        if verify {
+                            let bits: Vec<u32> = resp.map.iter().map(|v| v.to_bits()).collect();
+                            let mut slot = reference[which].lock().unwrap();
+                            match slot.as_ref() {
+                                None => *slot = Some(bits),
+                                Some(prev) if *prev == bits => {}
+                                Some(_) => {
+                                    eprintln!("[loadgen] response drift on design {which}!");
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("[loadgen] request failed: {e}");
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+    let mut latencies: Vec<f64> = Vec::new();
+    for w in workers {
+        latencies.extend(w.join().expect("worker panicked"));
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let errors = errors.load(Ordering::Relaxed);
+    let done = latencies.len();
+    latencies.sort_by(f64::total_cmp);
+    let pct = |q: f64| {
+        if latencies.is_empty() {
+            0.0
+        } else {
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            let i = ((latencies.len() as f64 * q) as usize).min(latencies.len() - 1);
+            latencies[i] * 1e3
+        }
+    };
+    println!(
+        "[loadgen] {done}/{} ok ({errors} errors) in {elapsed:.2}s → {:.1} req/s \
+         (latency ms: p50 {:.2}, p99 {:.2})",
+        o.requests,
+        done as f64 / elapsed,
+        pct(0.50),
+        pct(0.99),
+    );
+    match client::get_text(&addr, "/metrics") {
+        Ok((_, text)) => {
+            for line in text.lines() {
+                if line.contains("cache") || line.contains("batch") || line.contains("dedup") {
+                    println!("[loadgen] server {line}");
+                }
+            }
+        }
+        Err(e) => eprintln!("[loadgen] metrics fetch failed: {e}"),
+    }
+    if errors > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -98,11 +98,24 @@ impl Harness {
     }
 
     /// Quick defaults with environment overrides applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an override variable is set but does not parse —
+    /// `LMMIR_EPOCHS=abc` aborting loudly beats silently benchmarking with
+    /// the defaults the caller thought they had overridden.
     #[must_use]
     pub fn from_env() -> Self {
         let mut h = Harness::quick();
         fn read<T: std::str::FromStr>(key: &str) -> Option<T> {
-            std::env::var(key).ok().and_then(|v| v.parse().ok())
+            std::env::var(key).ok().map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    panic!(
+                        "invalid {key}={v:?}: expected a {}",
+                        std::any::type_name::<T>()
+                    )
+                })
+            })
         }
         if let Some(s) = read::<f64>("LMMIR_SCALE") {
             h.scale = s;
@@ -334,8 +347,12 @@ mod tests {
         }
     }
 
+    /// Serializes tests that touch the process-global environment.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn env_overrides_apply() {
+        let _guard = ENV_LOCK.lock().unwrap();
         std::env::set_var("LMMIR_EPOCHS", "3");
         std::env::set_var("LMMIR_SCALE", "0.0625");
         let h = Harness::from_env();
@@ -343,6 +360,19 @@ mod tests {
         assert!((h.scale - 0.0625).abs() < 1e-12);
         std::env::remove_var("LMMIR_EPOCHS");
         std::env::remove_var("LMMIR_SCALE");
+    }
+
+    #[test]
+    fn malformed_env_override_panics_with_key_and_value() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("LMMIR_EPOCHS", "abc");
+        let err = std::panic::catch_unwind(Harness::from_env).unwrap_err();
+        std::env::remove_var("LMMIR_EPOCHS");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("LMMIR_EPOCHS") && msg.contains("abc"),
+            "panic must name the offending key and value: {msg}"
+        );
     }
 
     #[test]

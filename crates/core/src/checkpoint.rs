@@ -3,35 +3,178 @@
 //! Parameter order is defined by each model's `parameters()` and is
 //! deterministic for a fixed architecture, so checkpoints restore exactly
 //! into a freshly constructed model with the same configuration.
+//!
+//! Since checkpoint format v2, [`save_predictor`] also writes a metadata
+//! entry recording the architecture (model name, input channels, input
+//! size). [`load_predictor`] — and the serving layer's model registry —
+//! reject checkpoints whose metadata disagrees with the target model, so a
+//! wrong file fails with an attributable message instead of a bare
+//! parameter-count mismatch deep in the tensor list. Checkpoints written
+//! before the metadata entry existed (format v1) still load.
 
 use crate::model::IrPredictor;
 use lmmir_tensor::{io, Result, Tensor, TensorError};
 use std::path::Path;
 
-/// Serializes a predictor's parameters to the binary checkpoint format.
+/// Name prefix of the metadata entry; the model name rides in the entry
+/// name itself (entry names are the only string-typed field in the format).
+const META_PREFIX: &str = "meta.";
+
+/// Architecture metadata stored alongside checkpoint parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Model name as reported by [`IrPredictor::name`].
+    pub model: String,
+    /// Input image channels the model expects.
+    pub input_channels: usize,
+    /// Square input size the model was configured for.
+    pub input_size: usize,
+}
+
+impl CheckpointMeta {
+    /// Reads the metadata off a live model.
+    #[must_use]
+    pub fn of(model: &dyn IrPredictor) -> Self {
+        CheckpointMeta {
+            model: model.name().to_string(),
+            input_channels: model.input_channels(),
+            input_size: model.input_size(),
+        }
+    }
+
+    /// Serializes to a checkpoint entry. Channel count and input size are
+    /// exact in `f32` for every realistic architecture (both ≪ 2²⁴).
+    fn entry(&self) -> (String, Tensor) {
+        let payload = vec![self.input_channels as f32, self.input_size as f32];
+        (
+            format!("{META_PREFIX}{}", self.model),
+            Tensor::from_vec(payload, &[2]).expect("meta payload is rank 1"),
+        )
+    }
+
+    /// Parses a checkpoint entry previously written by [`Self::entry`].
+    fn parse(name: &str, t: &Tensor) -> Result<Self> {
+        let model = name
+            .strip_prefix(META_PREFIX)
+            .ok_or_else(|| TensorError::Io(format!("not a meta entry: '{name}'")))?;
+        let data = t.data();
+        if t.dims() != [2] || data.iter().any(|v| *v < 0.0 || v.fract() != 0.0) {
+            return Err(TensorError::Io(format!(
+                "malformed checkpoint meta entry '{name}' (dims {:?})",
+                t.dims()
+            )));
+        }
+        Ok(CheckpointMeta {
+            model: model.to_string(),
+            input_channels: data[0] as usize,
+            input_size: data[1] as usize,
+        })
+    }
+}
+
+/// A named tensor as stored in a checkpoint file.
+pub type NamedTensor = (String, Tensor);
+
+/// Splits loaded entries into the optional metadata and the parameter list
+/// (order preserved).
+///
+/// # Errors
+///
+/// Returns [`TensorError::Io`] for a malformed or duplicated meta entry.
+pub fn split_meta(entries: Vec<NamedTensor>) -> Result<(Option<CheckpointMeta>, Vec<NamedTensor>)> {
+    let mut meta = None;
+    let mut params = Vec::with_capacity(entries.len());
+    for (name, t) in entries {
+        if name.starts_with(META_PREFIX) {
+            if meta.is_some() {
+                return Err(TensorError::Io(
+                    "checkpoint has more than one meta entry".to_string(),
+                ));
+            }
+            meta = Some(CheckpointMeta::parse(&name, &t)?);
+        } else {
+            params.push((name, t));
+        }
+    }
+    Ok((meta, params))
+}
+
+/// Reads only the metadata of a checkpoint file (`None` for pre-v2 files
+/// without one).
+///
+/// # Errors
+///
+/// Returns [`TensorError::Io`] when the file cannot be read or is malformed.
+pub fn load_meta(path: impl AsRef<Path>) -> Result<Option<CheckpointMeta>> {
+    let (meta, _) = split_meta(io::load(path)?)?;
+    Ok(meta)
+}
+
+/// Serializes a predictor's parameters (plus architecture metadata) to the
+/// binary checkpoint format.
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::Io`] on filesystem failure.
 pub fn save_predictor(model: &dyn IrPredictor, path: impl AsRef<Path>) -> Result<()> {
-    let entries: Vec<(String, Tensor)> = model
-        .parameters()
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (format!("param.{i}"), p.to_tensor()))
+    let meta = CheckpointMeta::of(model);
+    let entries: Vec<(String, Tensor)> = std::iter::once(meta.entry())
+        .chain(
+            model
+                .parameters()
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (format!("param.{i}"), p.to_tensor())),
+        )
         .collect();
     io::save(path, &entries)
 }
 
 /// Restores a predictor's parameters from a checkpoint file.
 ///
+/// When the checkpoint carries metadata, the target model's name, input
+/// channel count and input size must match; a v1 checkpoint without
+/// metadata is accepted and validated by parameter count/shape alone.
+///
 /// # Errors
 ///
-/// Returns [`TensorError::Io`] when the file cannot be read or the
-/// parameter count differs, and [`TensorError::ShapeMismatch`] when a
-/// tensor's shape disagrees with the model architecture.
+/// Returns [`TensorError::Io`] when the file cannot be read, the metadata
+/// names a different architecture, or the parameter count differs; and
+/// [`TensorError::ShapeMismatch`] when a tensor's shape disagrees with the
+/// model architecture.
 pub fn load_predictor(model: &dyn IrPredictor, path: impl AsRef<Path>) -> Result<()> {
-    let entries = io::load(path)?;
+    let (meta, entries) = split_meta(io::load(path)?)?;
+    if let Some(meta) = meta {
+        let target = CheckpointMeta::of(model);
+        if meta != target {
+            return Err(TensorError::Io(format!(
+                "checkpoint architecture mismatch: file was saved from \
+                 '{}' ({} channels, {} px) but the target model is \
+                 '{}' ({} channels, {} px)",
+                meta.model,
+                meta.input_channels,
+                meta.input_size,
+                target.model,
+                target.input_channels,
+                target.input_size,
+            )));
+        }
+    }
+    restore_parameters(model, entries)
+}
+
+/// Assigns already-loaded (and meta-stripped) parameter entries into a
+/// model, validating count and shapes first — the restore half of
+/// [`load_predictor`], exposed so callers that already parsed a checkpoint
+/// (e.g. the serving registry, which reads meta and weights from one
+/// `io::load`) need not read the file twice.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Io`] when the parameter count differs and
+/// [`TensorError::ShapeMismatch`] when a tensor's shape disagrees with the
+/// model architecture.
+pub fn restore_parameters(model: &dyn IrPredictor, entries: Vec<NamedTensor>) -> Result<()> {
     let params = model.parameters();
     if entries.len() != params.len() {
         return Err(TensorError::Io(format!(
@@ -87,13 +230,83 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_wrong_architecture() {
+    fn load_rejects_wrong_architecture_by_name() {
         let a = iredge(16, 1);
         let path = tmp("mismatch.lmmt");
         save_predictor(&a, &path).unwrap();
         let other = irpnet(16, 1);
-        assert!(load_predictor(&other, &path).is_err());
+        let err = load_predictor(&other, &path).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("IREDGe") && msg.contains("IRPnet"),
+            "mismatch error should name both architectures: {msg}"
+        );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_same_model_different_input_size() {
+        let a = iredge(16, 1);
+        let path = tmp("sizes.lmmt");
+        save_predictor(&a, &path).unwrap();
+        // Same architecture family and parameter shapes — only the
+        // configured input size differs; the meta check catches it where
+        // shape validation could not.
+        let other = iredge(32, 1);
+        let err = load_predictor(&other, &path).unwrap_err();
+        assert!(err.to_string().contains("16 px"), "got {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn meta_round_trips_through_file() {
+        let a = iredge(16, 1);
+        let path = tmp("meta.lmmt");
+        save_predictor(&a, &path).unwrap();
+        let meta = load_meta(&path).unwrap().expect("v2 checkpoints have meta");
+        assert_eq!(meta, CheckpointMeta::of(&a));
+        assert_eq!(meta.model, "IREDGe");
+        assert_eq!(meta.input_channels, 3);
+        assert_eq!(meta.input_size, 16);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_checkpoint_without_meta_still_loads() {
+        let a = iredge(16, 1);
+        // Write the raw parameter entries only, as a pre-meta writer did.
+        let entries: Vec<(String, Tensor)> = a
+            .parameters()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (format!("param.{i}"), p.to_tensor()))
+            .collect();
+        let path = tmp("legacy.lmmt");
+        io::save(&path, &entries).unwrap();
+        let b = iredge(16, 2);
+        load_predictor(&b, &path).unwrap();
+        assert!(load_meta(&path).unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_meta_entry_is_rejected() {
+        let entries = vec![(
+            "meta.IREDGe".to_string(),
+            Tensor::from_vec(vec![3.5, 16.0], &[2]).unwrap(),
+        )];
+        assert!(split_meta(entries).is_err(), "fractional channel count");
+        let entries = vec![
+            (
+                "meta.A".to_string(),
+                Tensor::from_vec(vec![3.0, 16.0], &[2]).unwrap(),
+            ),
+            (
+                "meta.B".to_string(),
+                Tensor::from_vec(vec![3.0, 16.0], &[2]).unwrap(),
+            ),
+        ];
+        assert!(split_meta(entries).is_err(), "duplicate meta entries");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! original-resolution ground truth for faithful evaluation.
 
 use crate::pointcloud::PointCloud;
-use lmmir_features::{ir_drop_map, spatial::spatial_restore, FeatureStack, Raster, SpatialInfo};
+use lmmir_features::{ir_drop_map, FeatureStack, Raster, SpatialInfo};
 use lmmir_pdn::{CaseKind, CaseSpec};
 use lmmir_solver::SolveIrDropError;
 use lmmir_tensor::{Tensor, Var};
@@ -47,7 +47,7 @@ pub struct Sample {
 
 impl Sample {
     /// Images matching a model's expected channel count, as a `[1, C, S, S]`
-    /// constant variable.
+    /// tensor.
     ///
     /// `1` selects the current map alone (IRPnet's physics-window input),
     /// `3` the basic stack, `6` the extended stack.
@@ -56,7 +56,7 @@ impl Sample {
     ///
     /// Panics for channel counts other than 1, 3 or 6.
     #[must_use]
-    pub fn images_for(&self, channels: usize) -> Var {
+    pub fn images_tensor_for(&self, channels: usize) -> Tensor {
         let t = match channels {
             1 => {
                 let d = self.images_basic.dims().to_vec();
@@ -65,21 +65,28 @@ impl Sample {
                     .reshape(&[d[0], d[1] * d[2]])
                     .and_then(|t| t.slice_axis(0, 0, 1))
                     .expect("basic stack has a current channel");
-                return Var::constant(
-                    current
-                        .reshape(&[1, 1, d[1], d[2]])
-                        .expect("slice keeps spatial numel"),
-                );
+                return current
+                    .reshape(&[1, 1, d[1], d[2]])
+                    .expect("slice keeps spatial numel");
             }
             3 => &self.images_basic,
             6 => &self.images_extended,
             other => panic!("no feature stack with {other} channels"),
         };
         let d = t.dims();
-        Var::constant(
-            t.reshape(&[1, d[0], d[1], d[2]])
-                .expect("adding batch axis preserves numel"),
-        )
+        t.reshape(&[1, d[0], d[1], d[2]])
+            .expect("adding batch axis preserves numel")
+    }
+
+    /// [`Sample::images_tensor_for`] wrapped as a constant variable, ready
+    /// for a forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics for channel counts other than 1, 3 or 6.
+    #[must_use]
+    pub fn images_for(&self, channels: usize) -> Var {
+        Var::constant(self.images_tensor_for(channels))
     }
 
     /// Target as a `[1, 1, S, S]` constant variable.
@@ -95,20 +102,15 @@ impl Sample {
 
     /// Restores a model prediction `[1, 1, S, S]` to the original chip
     /// resolution and to volts (undoing [`TARGET_SCALE`]) for metric
-    /// computation.
+    /// computation. Delegates to [`crate::infer::restore_prediction`], the
+    /// path the serving layer uses too.
     ///
     /// # Panics
     ///
     /// Panics when `pred` does not have the adjusted sample shape.
     #[must_use]
     pub fn restore_prediction(&self, pred: &Tensor) -> Raster {
-        let d = pred.dims();
-        assert_eq!(d.len(), 4, "prediction must be [1,1,S,S]");
-        let flat = pred
-            .reshape(&[d[2], d[3]])
-            .expect("squeeze batch/channel axes")
-            .scale(1.0 / TARGET_SCALE);
-        spatial_restore(&Raster::from_tensor(&flat), self.info)
+        crate::infer::restore_prediction(self.info, pred)
     }
 }
 

@@ -51,6 +51,7 @@ pub mod capabilities;
 pub mod checkpoint;
 pub mod data;
 pub mod fixer;
+pub mod infer;
 pub mod lnt;
 pub mod metrics;
 pub mod model;
@@ -61,11 +62,18 @@ pub mod train;
 pub use ablation::AblationVariant;
 pub use baselines::{first_place, iredge, irpnet, second_place, IrpNet, UNetModel};
 pub use capabilities::{table1, ModelCapabilities};
-pub use checkpoint::{load_predictor, save_predictor};
+pub use checkpoint::{
+    load_meta, load_predictor, restore_parameters, save_predictor, split_meta, CheckpointMeta,
+};
 pub use data::{build_dataset, build_sample, oversample_indices, Sample, TARGET_SCALE};
 pub use fixer::{predict_case, suggest_pad_fixes, PadFix};
+pub use infer::{
+    prepare_parts, restore_prediction, InferenceSession, InputSpec, Prediction, PreparedInput,
+};
 pub use lnt::{Lnt, LntConfig};
-pub use metrics::{average, confusion, f1_score, mae, CaseMetrics, Confusion};
+pub use metrics::{
+    average, confusion, f1_score, hotspot_mask, mae, CaseMetrics, Confusion, HOTSPOT_FRAC,
+};
 pub use model::{FusionModule, IrPredictor, LmmIr, LmmIrConfig};
 pub use pipeline::{evaluate, golden_speedups};
 pub use pointcloud::{NetlistPoint, PointCloud};

@@ -8,6 +8,28 @@
 
 use lmmir_features::Raster;
 
+/// Fraction of a map's own maximum above which a pixel counts as a hotspot
+/// (the paper and the ICCAD-2023 contest use 90 %).
+pub const HOTSPOT_FRAC: f32 = 0.9;
+
+/// Classifies every pixel of a map against `thr_frac` of its own maximum,
+/// returning the threshold (volts) and the row-major 0/1 mask.
+///
+/// This is the predicate [`confusion`] applies to the prediction side, so
+/// a mask served to a client matches exactly what the evaluation pipeline
+/// would score.
+#[must_use]
+pub fn hotspot_mask(map: &Raster, thr_frac: f32) -> (f32, Vec<u8>) {
+    let max = map.max();
+    let thr = max * thr_frac;
+    let mask = map
+        .data()
+        .iter()
+        .map(|&v| u8::from(v >= thr && max > 0.0))
+        .collect();
+    (thr, mask)
+}
+
 /// Confusion counts for hotspot classification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Confusion {
@@ -88,7 +110,7 @@ pub fn confusion(pred: &Raster, truth: &Raster, thr_frac: f32) -> Confusion {
 /// F1 score at the paper's 90 % threshold.
 #[must_use]
 pub fn f1_score(pred: &Raster, truth: &Raster) -> f64 {
-    confusion(pred, truth, 0.9).f1()
+    confusion(pred, truth, HOTSPOT_FRAC).f1()
 }
 
 /// Mean absolute error in volts.
@@ -190,6 +212,17 @@ mod tests {
         assert_eq!(f1_score(&z, &t), 0.0);
         let c = confusion(&z, &z, 0.9);
         assert_eq!(c.f1(), 0.0); // no positives anywhere
+    }
+
+    #[test]
+    fn hotspot_mask_matches_confusion_predicate() {
+        let map = raster(&[1.0, 0.95, 0.5, 0.0], 2);
+        let (thr, mask) = hotspot_mask(&map, 0.9);
+        assert!((thr - 0.9).abs() < 1e-6);
+        assert_eq!(mask, vec![1, 1, 0, 0]);
+        // An all-zero map has no hotspots even though 0 >= 0·0.9.
+        let (_, mask) = hotspot_mask(&raster(&[0.0; 4], 2), 0.9);
+        assert_eq!(mask, vec![0; 4]);
     }
 
     #[test]

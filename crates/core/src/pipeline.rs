@@ -2,11 +2,12 @@
 //! against original-resolution golden ground truth.
 
 use crate::data::Sample;
+use crate::infer::{restore_prediction, InferenceSession};
 use crate::metrics::{f1_score, mae, CaseMetrics};
 use crate::model::IrPredictor;
+use lmmir_features::SpatialInfo;
 use lmmir_tensor::{Result, Tensor};
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// Evaluates a trained model on a set of samples, producing one
 /// [`CaseMetrics`] row per case (the per-case rows of Table III).
@@ -29,22 +30,23 @@ use std::time::Instant;
 /// Returns tensor errors when a sample does not match the model's input
 /// contract.
 pub fn evaluate(model: &dyn IrPredictor, samples: &[Sample]) -> Result<Vec<CaseMetrics>> {
-    model.set_training(false);
+    let session = InferenceSession::new(model);
     let mut rows = Vec::with_capacity(samples.len());
     for wave in samples.chunks(EVAL_WAVE) {
-        let mut preds: Vec<(Tensor, f64)> = Vec::with_capacity(wave.len());
+        let mut preds: Vec<(SpatialInfo, Tensor, f64)> = Vec::with_capacity(wave.len());
         for sample in wave {
-            let images = sample.images_for(model.input_channels());
-            let cloud = model.uses_netlist().then_some(&sample.cloud);
-            let t0 = Instant::now();
-            let pred = model.forward(&images, cloud)?;
-            let tat = t0.elapsed().as_secs_f64();
-            preds.push((pred.to_tensor(), tat));
+            // The prepared input is consumed by its forward pass so only
+            // one input buffer is alive at a time; the wave keeps just the
+            // (small) predictions and restore bookkeeping.
+            let prepared = session.prepare_sample(sample);
+            let info = prepared.info;
+            let (pred, tat) = session.forward_owned(prepared)?;
+            preds.push((info, pred, tat));
         }
         rows.extend(lmmir_par::par_map(wave.len(), |i| {
-            let (pred, tat) = &preds[i];
+            let (info, pred, tat) = &preds[i];
             let sample = &wave[i];
-            let restored = sample.restore_prediction(pred);
+            let restored = restore_prediction(*info, pred);
             CaseMetrics {
                 id: sample.id.clone(),
                 f1: f1_score(&restored, &sample.truth),

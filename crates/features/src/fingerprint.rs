@@ -1,0 +1,113 @@
+//! Content fingerprinting for feature inputs.
+//!
+//! The serving layer caches prepared feature stacks keyed by *what the
+//! request contains* (power-map bytes, netlist text, dimensions), so
+//! repeated queries on the same design skip rasterization entirely. The
+//! hash must be stable across processes and platforms — `std`'s
+//! `DefaultHasher` is explicitly not — so this module pins FNV-1a 64-bit,
+//! which is tiny, dependency-free and has a fixed specification.
+
+/// Incremental FNV-1a 64-bit hasher.
+///
+/// Not a cryptographic hash: it keys a cache, where collisions cost a
+/// wrong cache hit on adversarial input but the server only ever serves
+/// content the caller itself supplied.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a {
+    /// Fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` widened to `u64`, so 32- and 64-bit builds agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs an `f32` by bit pattern (distinguishes `-0.0` from `0.0`;
+    /// callers hashing model inputs want bitwise identity, not numeric).
+    pub fn write_f32(&mut self, v: f32) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    /// The accumulated hash.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// One-shot hash of a byte string.
+#[must_use]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_fnv1a_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(hash_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash_bytes(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv1a::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), hash_bytes(b"foobar"));
+    }
+
+    #[test]
+    fn field_separators_distinguish_layouts() {
+        // [1,2] vs [12] as length-prefixed fields must differ.
+        let mut a = Fnv1a::new();
+        a.write_usize(1);
+        a.write(b"1");
+        let mut b = Fnv1a::new();
+        b.write_usize(2);
+        b.write(b"1");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn f32_hash_is_bitwise() {
+        let mut a = Fnv1a::new();
+        a.write_f32(0.0);
+        let mut b = Fnv1a::new();
+        b.write_f32(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -35,6 +35,7 @@
 //! # }
 //! ```
 
+pub mod fingerprint;
 pub mod io;
 pub mod maps;
 pub mod raster;
@@ -42,6 +43,7 @@ pub mod spatial;
 pub mod stack;
 pub mod violations;
 
+pub use fingerprint::Fnv1a;
 pub use maps::{
     current_map, current_source_map, effective_distance_map, ir_drop_map, pdn_density_map,
     resistance_map, voltage_source_map,

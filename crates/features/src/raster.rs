@@ -115,6 +115,20 @@ impl Raster {
         }
     }
 
+    /// Stable 64-bit content hash over dimensions and bit-exact values
+    /// (FNV-1a; see [`crate::fingerprint`]). Two rasters hash equal iff
+    /// they are bitwise identical, including the sign of zero.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::fingerprint::Fnv1a::new();
+        h.write_usize(self.width);
+        h.write_usize(self.height);
+        for &v in &self.data {
+            h.write_f32(v);
+        }
+        h.finish()
+    }
+
     /// Converts to a rank-2 tensor `[H, W]`.
     #[must_use]
     pub fn to_tensor(&self) -> Tensor {

@@ -3,7 +3,8 @@
 use crate::maps;
 use crate::raster::Raster;
 use crate::spatial::{normalize_channel, spatial_adjust, SpatialInfo};
-use lmmir_pdn::Case;
+use lmmir_pdn::{Case, PowerMap};
+use lmmir_spice::Netlist;
 use lmmir_tensor::Tensor;
 
 /// Identity of one feature channel.
@@ -44,26 +45,44 @@ pub struct FeatureStack {
     channels: Vec<(FeatureChannel, Raster)>,
 }
 
-/// Rasterizes one feature channel of a case.
-fn build_channel(case: &Case, kind: FeatureChannel) -> Raster {
-    let (w, h) = (case.power.width(), case.power.height());
-    let dbu = case.tech.dbu_per_um;
+/// The basic 3-channel plan (IREDGe / contest-baseline feature set).
+const BASIC_CHANNELS: [FeatureChannel; 3] = [
+    FeatureChannel::Current,
+    FeatureChannel::EffectiveDistance,
+    FeatureChannel::PdnDensity,
+];
+
+/// The extended 6-channel plan: basic plus the paper's voltage-source,
+/// current-source and resistance maps.
+const EXTENDED_CHANNELS: [FeatureChannel; 6] = [
+    FeatureChannel::Current,
+    FeatureChannel::EffectiveDistance,
+    FeatureChannel::PdnDensity,
+    FeatureChannel::VoltageSource,
+    FeatureChannel::CurrentSource,
+    FeatureChannel::Resistance,
+];
+
+/// Rasterizes one feature channel from a power map and netlist.
+fn build_channel(power: &PowerMap, netlist: &Netlist, dbu: i64, kind: FeatureChannel) -> Raster {
+    let (w, h) = (power.width(), power.height());
     match kind {
-        FeatureChannel::Current => maps::current_map(&case.power),
-        FeatureChannel::EffectiveDistance => maps::effective_distance_map(&case.netlist, w, h, dbu),
-        FeatureChannel::PdnDensity => maps::pdn_density_map(&case.netlist, w, h, dbu),
-        FeatureChannel::VoltageSource => maps::voltage_source_map(&case.netlist, w, h, dbu),
-        FeatureChannel::CurrentSource => maps::current_source_map(&case.netlist, w, h, dbu),
-        FeatureChannel::Resistance => maps::resistance_map(&case.netlist, w, h, dbu),
+        FeatureChannel::Current => maps::current_map(power),
+        FeatureChannel::EffectiveDistance => maps::effective_distance_map(netlist, w, h, dbu),
+        FeatureChannel::PdnDensity => maps::pdn_density_map(netlist, w, h, dbu),
+        FeatureChannel::VoltageSource => maps::voltage_source_map(netlist, w, h, dbu),
+        FeatureChannel::CurrentSource => maps::current_source_map(netlist, w, h, dbu),
+        FeatureChannel::Resistance => maps::resistance_map(netlist, w, h, dbu),
     }
 }
 
 impl FeatureStack {
-    /// Rasterizes `kinds` for a case, one channel per pool worker (the
-    /// channels are independent and the ordered fan-out keeps them in the
-    /// requested order).
-    fn rasterize(case: &Case, kinds: &[FeatureChannel]) -> Self {
-        let rasters = lmmir_par::par_map_slice(kinds, |kind| build_channel(case, *kind));
+    /// Rasterizes `kinds` from the raw design parts, one channel per pool
+    /// worker (the channels are independent and the ordered fan-out keeps
+    /// them in the requested order).
+    fn rasterize(power: &PowerMap, netlist: &Netlist, dbu: i64, kinds: &[FeatureChannel]) -> Self {
+        let rasters =
+            lmmir_par::par_map_slice(kinds, |kind| build_channel(power, netlist, dbu, *kind));
         FeatureStack {
             channels: kinds.iter().copied().zip(rasters).collect(),
         }
@@ -73,31 +92,28 @@ impl FeatureStack {
     /// — the feature set of IREDGe and the contest baseline.
     #[must_use]
     pub fn basic(case: &Case) -> Self {
-        FeatureStack::rasterize(
-            case,
-            &[
-                FeatureChannel::Current,
-                FeatureChannel::EffectiveDistance,
-                FeatureChannel::PdnDensity,
-            ],
-        )
+        FeatureStack::basic_parts(&case.power, &case.netlist, case.tech.dbu_per_um)
+    }
+
+    /// [`FeatureStack::basic`] from the raw design parts — the entry point
+    /// for callers (like the inference server) that receive a power map and
+    /// netlist without a generated [`Case`] around them.
+    #[must_use]
+    pub fn basic_parts(power: &PowerMap, netlist: &Netlist, dbu_per_um: i64) -> Self {
+        FeatureStack::rasterize(power, netlist, dbu_per_um, &BASIC_CHANNELS)
     }
 
     /// The extended 6-channel stack: basic plus the paper's voltage-source,
     /// current-source and resistance maps.
     #[must_use]
     pub fn extended(case: &Case) -> Self {
-        FeatureStack::rasterize(
-            case,
-            &[
-                FeatureChannel::Current,
-                FeatureChannel::EffectiveDistance,
-                FeatureChannel::PdnDensity,
-                FeatureChannel::VoltageSource,
-                FeatureChannel::CurrentSource,
-                FeatureChannel::Resistance,
-            ],
-        )
+        FeatureStack::extended_parts(&case.power, &case.netlist, case.tech.dbu_per_um)
+    }
+
+    /// [`FeatureStack::extended`] from the raw design parts.
+    #[must_use]
+    pub fn extended_parts(power: &PowerMap, netlist: &Netlist, dbu_per_um: i64) -> Self {
+        FeatureStack::rasterize(power, netlist, dbu_per_um, &EXTENDED_CHANNELS)
     }
 
     /// Builds a stack from explicit channels.
@@ -175,6 +191,21 @@ impl FeatureStack {
         (FeatureStack { channels: out }, info)
     }
 
+    /// Stable 64-bit content hash over the ordered channel identities and
+    /// their bit-exact raster contents (see [`Raster::content_hash`]). Two
+    /// stacks hash equal iff they would produce bitwise-identical model
+    /// inputs — the key the serving layer caches prepared features under.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::fingerprint::Fnv1a::new();
+        h.write_usize(self.channels.len());
+        for (kind, raster) in &self.channels {
+            h.write(kind.name().as_bytes());
+            h.write_u64(raster.content_hash());
+        }
+        h.finish()
+    }
+
     /// Converts to a `[C, H, W]` tensor.
     ///
     /// # Panics
@@ -238,6 +269,29 @@ mod tests {
                 "padding shifts mean but stays bounded"
             );
         }
+    }
+
+    #[test]
+    fn parts_constructors_match_case_constructors() {
+        let c = case();
+        let from_case = FeatureStack::extended(&c);
+        let from_parts = FeatureStack::extended_parts(&c.power, &c.netlist, c.tech.dbu_per_um);
+        assert_eq!(from_case.content_hash(), from_parts.content_hash());
+        assert_eq!(
+            FeatureStack::basic(&c).content_hash(),
+            FeatureStack::basic_parts(&c.power, &c.netlist, c.tech.dbu_per_um).content_hash()
+        );
+    }
+
+    #[test]
+    fn content_hash_tracks_content_not_identity() {
+        let c = case();
+        let a = FeatureStack::basic(&c);
+        assert_eq!(a.content_hash(), a.clone().content_hash());
+        // Basic and extended stacks differ; so do stacks of different cases.
+        assert_ne!(a.content_hash(), FeatureStack::extended(&c).content_hash());
+        let other = CaseSpec::new("u", 20, 20, 6, CaseKind::Fake).generate();
+        assert_ne!(a.content_hash(), FeatureStack::basic(&other).content_hash());
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! The inference thread: job queue, batching, dedup, cache, forward.
+//!
+//! Handler threads enqueue decoded predict jobs on an MPSC channel; the
+//! single inference thread (models are `Rc`-based and not `Send`) drains up
+//! to `max_batch` jobs or waits at most `max_wait`, then processes the
+//! batch:
+//!
+//! 1. jobs are **grouped** by `(model, design content hash)` — duplicates
+//!    in one batch share a single forward pass;
+//! 2. each group's prepared input comes from the **LRU feature cache** or,
+//!    on a miss, is rasterized — misses of one batch fan out across the
+//!    `lmmir-par` pool (feature preparation is plain data work);
+//! 3. one **forward pass per unique group** runs on the inference thread,
+//!    its internal kernels parallelized by the same pool;
+//! 4. every job of the group receives the identical response.
+//!
+//! The loop exits when every sender is gone (acceptor drained and handler
+//! threads finished), which is exactly the graceful-shutdown order.
+
+use crate::cache::LruCache;
+use crate::metrics::Metrics;
+use crate::proto::{PredictRequest, PredictResponse};
+use crate::registry::{ModelRegistry, RegistrySpec};
+use crate::server::ServeConfig;
+use crate::ServeError;
+use lmm_ir::{prepare_parts, InferenceSession, InputSpec, PreparedInput};
+use lmmir_spice::Netlist;
+use std::rc::Rc;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The feature cache: prepared inputs are shared by `Rc`, so a cache hit
+/// never copies the images or the point cloud (the cache and the models
+/// live on the same thread).
+type FeatureCache = LruCache<(String, u64), Rc<PreparedInput>>;
+
+/// Reply to one predict job: a response or a client-visible error message.
+pub type PredictReply = Result<PredictResponse, String>;
+
+/// One queued prediction.
+pub struct PredictJob {
+    /// The decoded request.
+    pub request: PredictRequest,
+    /// Content fingerprint (precomputed on the handler thread).
+    pub fingerprint: u64,
+    /// Where the handler thread waits for the outcome.
+    pub reply: Sender<PredictReply>,
+}
+
+/// A queue entry.
+pub enum Job {
+    /// Run a prediction.
+    Predict(PredictJob),
+    /// Reload the registry from disk; replies with the model count or an
+    /// error description.
+    Reload(Sender<Result<usize, String>>),
+}
+
+/// Prepares one request for a model input contract — the *identical* code
+/// path the offline pipeline uses ([`lmm_ir::prepare_parts`]), exposed so
+/// tests and clients can compute the reference prediction the server must
+/// match bitwise.
+///
+/// # Errors
+///
+/// Returns a client-visible message for an unparsable netlist or a request
+/// the model contract cannot consume.
+pub fn prepare_request(spec: InputSpec, request: &PredictRequest) -> Result<PreparedInput, String> {
+    let netlist = match &request.netlist {
+        Some(text) => {
+            Some(Netlist::parse_str(text).map_err(|e| format!("netlist does not parse: {e}"))?)
+        }
+        None => None,
+    };
+    prepare_parts(
+        spec,
+        &request.power_map(),
+        netlist.as_ref(),
+        i64::from(request.dbu_per_um),
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// Runs the inference loop until the job channel disconnects.
+///
+/// Sends the registry-load outcome over `ready` exactly once before
+/// entering the loop, so `Server::start` can fail fast on a bad checkpoint.
+pub(crate) fn run(
+    cfg: &ServeConfig,
+    spec: RegistrySpec,
+    jobs: Receiver<Job>,
+    metrics: &Arc<Metrics>,
+    ready: &Sender<Result<(), ServeError>>,
+) {
+    // The inference thread owns its thread-count override (`lmmir-par`
+    // overrides are thread-local): every kernel and fan-out below honours
+    // `cfg.threads`, falling back to `LMMIR_THREADS` / core count.
+    lmmir_par::set_thread_override(cfg.threads);
+    let mut registry = match ModelRegistry::load(spec) {
+        Ok(r) => {
+            let _ = ready.send(Ok(()));
+            r
+        }
+        Err(e) => {
+            let _ = ready.send(Err(e));
+            return;
+        }
+    };
+    metrics
+        .models_loaded
+        .store(registry.len() as u64, std::sync::atomic::Ordering::Relaxed);
+    let mut cache: FeatureCache = LruCache::new(cfg.cache_capacity);
+
+    loop {
+        // Block for the first job of a batch.
+        let first = match jobs.recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders gone: drained, shut down
+        };
+        let mut batch = Vec::with_capacity(cfg.max_batch);
+        dispatch(first, &mut batch, &mut registry, &mut cache, metrics);
+        // Drain more predict jobs until the batch is full or the window
+        // closes; the window only starts once one job is waiting, so an
+        // idle server adds no latency.
+        let deadline = Instant::now() + cfg.max_wait;
+        while batch.len() < cfg.max_batch {
+            let now = Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            match jobs.recv_timeout(left) {
+                Ok(job) => dispatch(job, &mut batch, &mut registry, &mut cache, metrics),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        if !batch.is_empty() {
+            process_batch(batch, &registry, &mut cache, metrics);
+        }
+    }
+}
+
+/// Routes one queue entry: predict jobs join the batch, admin jobs run
+/// immediately (a reload between batches can never interleave a forward).
+fn dispatch(
+    job: Job,
+    batch: &mut Vec<PredictJob>,
+    registry: &mut ModelRegistry,
+    cache: &mut FeatureCache,
+    metrics: &Arc<Metrics>,
+) {
+    match job {
+        Job::Predict(p) => batch.push(p),
+        Job::Reload(reply) => {
+            let outcome = registry.reload().map_err(|e| e.to_string());
+            if outcome.is_ok() {
+                // Prepared inputs are per-architecture; a swapped registry
+                // must not serve stale features.
+                cache.clear();
+                Metrics::inc(&metrics.reloads_total);
+                metrics
+                    .models_loaded
+                    .store(registry.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            }
+            let _ = reply.send(outcome);
+        }
+    }
+}
+
+/// One group: jobs of a batch that share a model and a design fingerprint,
+/// answered by a single forward pass.
+struct Group {
+    model: String,
+    fingerprint: u64,
+    jobs: Vec<PredictJob>,
+}
+
+fn process_batch(
+    batch: Vec<PredictJob>,
+    registry: &ModelRegistry,
+    cache: &mut FeatureCache,
+    metrics: &Arc<Metrics>,
+) {
+    metrics.observe_batch(batch.len());
+
+    // Group by (canonical model name, fingerprint), preserving first-seen
+    // order so replies are deterministic. The canonical name makes `""`
+    // and the default model's explicit name share forwards and cache.
+    let mut groups: Vec<Group> = Vec::new();
+    for job in batch {
+        let Some(name) = registry
+            .canonical_name(&job.request.model)
+            .map(str::to_string)
+        else {
+            let _ = job.reply.send(Err(format!(
+                "unknown model '{}' (loaded: {})",
+                job.request.model,
+                registry.names().join(", ")
+            )));
+            Metrics::inc(&metrics.predict_error_total);
+            continue;
+        };
+        match groups
+            .iter_mut()
+            .find(|g| g.fingerprint == job.fingerprint && g.model == name)
+        {
+            Some(g) => g.jobs.push(job),
+            None => groups.push(Group {
+                model: name,
+                fingerprint: job.fingerprint,
+                jobs: vec![job],
+            }),
+        }
+    }
+
+    // Resolve cached features per group; collect the misses.
+    let mut prepared: Vec<Option<(Rc<PreparedInput>, bool)>> = Vec::with_capacity(groups.len());
+    let mut misses: Vec<(usize, InputSpec)> = Vec::new();
+    for (i, group) in groups.iter().enumerate() {
+        let loaded = registry
+            .resolve(&group.model)
+            .expect("group built from resolvable jobs");
+        let key = (group.model.clone(), group.fingerprint);
+        if let Some(hit) = cache.get(&key) {
+            Metrics::inc(&metrics.cache_hits_total);
+            prepared.push(Some((Rc::clone(hit), true)));
+        } else {
+            Metrics::inc(&metrics.cache_misses_total);
+            prepared.push(None);
+            misses.push((i, InputSpec::of(loaded.model.as_ref())));
+        }
+    }
+
+    // Rasterize the misses in parallel: feature prep is pure data work, so
+    // it fans out across the pool while the models stay on this thread.
+    let miss_results: Vec<Result<PreparedInput, String>> = lmmir_par::par_map(misses.len(), |k| {
+        let (gi, spec) = &misses[k];
+        prepare_request(*spec, &groups[*gi].jobs[0].request)
+    });
+    for ((gi, _), result) in misses.iter().zip(miss_results) {
+        match result {
+            Ok(input) => {
+                let key = (groups[*gi].model.clone(), groups[*gi].fingerprint);
+                let input = Rc::new(input);
+                cache.insert(key, Rc::clone(&input));
+                prepared[*gi] = Some((input, false));
+            }
+            Err(msg) => {
+                // Leave `prepared[gi]` empty; the reply loop below reports.
+                for job in &groups[*gi].jobs {
+                    let _ = job.reply.send(Err(msg.clone()));
+                    Metrics::inc(&metrics.predict_error_total);
+                }
+            }
+        }
+    }
+
+    // One forward pass per group; every job of the group gets the result.
+    for (group, slot) in groups.into_iter().zip(prepared) {
+        let Some((input, cache_hit)) = slot else {
+            continue; // preparation failed; already replied
+        };
+        let loaded = registry
+            .resolve(&group.model)
+            .expect("group built from resolvable jobs");
+        let session = InferenceSession::new(loaded.model.as_ref());
+        let outcome = session.predict(&input).map_err(|e| e.to_string());
+        if outcome.is_ok() {
+            // Count only passes actually saved: a failed forward saved none.
+            metrics.dedup_saved_total.fetch_add(
+                (group.jobs.len() - 1) as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+        }
+        for job in group.jobs {
+            let reply = match &outcome {
+                Ok(p) => {
+                    Metrics::inc(&metrics.predict_ok_total);
+                    Ok(PredictResponse {
+                        width: p.map.width() as u32,
+                        height: p.map.height() as u32,
+                        threshold: p.threshold,
+                        cache_hit,
+                        map: p.map.data().to_vec(),
+                        mask: p.mask.clone(),
+                    })
+                }
+                Err(msg) => {
+                    Metrics::inc(&metrics.predict_error_total);
+                    Err(msg.clone())
+                }
+            };
+            let _ = job.reply.send(reply);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! The `serve` CLI: run the batched inference server, or produce a demo
+//! checkpoint to serve.
+//!
+//! ```text
+//! serve [--addr A] --ckpt NAME=PATH [--ckpt NAME=PATH ...] [--default NAME]
+//!       [--max-batch N] [--max-wait-ms N] [--cache N] [--threads N]
+//! serve demo-ckpt PATH [--arch IREDGe] [--size 16] [--epochs 2] [--cases 2] [--seed 7]
+//! ```
+//!
+//! Environment fallbacks: `LMMIR_SERVE_ADDR`, `LMMIR_MAX_BATCH`,
+//! `LMMIR_MAX_WAIT_MS`, `LMMIR_CACHE_CAP` (flags win).
+
+use lmm_ir::{build_sample, save_predictor, train, CheckpointMeta, TrainConfig};
+use lmmir_pdn::{CaseKind, CaseSpec};
+use lmmir_serve::{instantiate, ModelSpec, RegistrySpec, ServeConfig, Server};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  serve [--addr A] --ckpt NAME=PATH [--ckpt ...] [--default NAME] \
+         [--max-batch N] [--max-wait-ms N] [--cache N] [--threads N]\n  \
+         serve demo-ckpt PATH [--arch IREDGe|IRPnet|LMM-IR|'1st Place'|'2nd Place'] \
+         [--size 16] [--epochs 2] [--cases 2] [--seed 7]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("demo-ckpt") => demo_ckpt(&args[1..]),
+        Some(_) => run_server(&args),
+        None => usage(),
+    }
+}
+
+/// A parsed `--flag VALUE` pair.
+type Flag = (String, String);
+
+/// Parses `--flag VALUE` pairs into a list, rejecting unknown flags.
+fn parse_flags(args: &[String], positional_max: usize) -> Option<(Vec<String>, Vec<Flag>)> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it.next()?;
+            flags.push((name.to_string(), value.clone()));
+        } else {
+            if positional.len() >= positional_max {
+                return None;
+            }
+            positional.push(a.clone());
+        }
+    }
+    Some((positional, flags))
+}
+
+fn parse<T: std::str::FromStr>(name: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid --{name} {value:?}"))
+}
+
+fn run_server(args: &[String]) -> ExitCode {
+    let Some((positional, flags)) = parse_flags(args, 0) else {
+        return usage();
+    };
+    debug_assert!(positional.is_empty());
+    let mut cfg = match ServeConfig::from_env() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut spec = RegistrySpec {
+        models: Vec::new(),
+        default_model: None,
+    };
+    for (name, value) in &flags {
+        let result: Result<(), String> = match name.as_str() {
+            "addr" => {
+                cfg.addr = value.clone();
+                Ok(())
+            }
+            "ckpt" => match value.split_once('=') {
+                Some((n, p)) if !n.is_empty() && !p.is_empty() => {
+                    spec.models.push(ModelSpec {
+                        name: n.to_string(),
+                        path: p.into(),
+                    });
+                    Ok(())
+                }
+                _ => Err(format!("--ckpt wants NAME=PATH, got {value:?}")),
+            },
+            "default" => {
+                spec.default_model = Some(value.clone());
+                Ok(())
+            }
+            "max-batch" => parse("max-batch", value).map(|n: usize| cfg.max_batch = n.max(1)),
+            "max-wait-ms" => {
+                parse("max-wait-ms", value).map(|n: u64| cfg.max_wait = Duration::from_millis(n))
+            }
+            "cache" => parse("cache", value).map(|n| cfg.cache_capacity = n),
+            "threads" => parse("threads", value).map(|n: usize| cfg.threads = Some(n.max(1))),
+            other => Err(format!("unknown flag --{other}")),
+        };
+        if let Err(e) = result {
+            eprintln!("serve: {e}");
+            return usage();
+        }
+    }
+    if spec.models.is_empty() {
+        eprintln!("serve: at least one --ckpt NAME=PATH is required");
+        return usage();
+    }
+    let server = match Server::start(cfg.clone(), spec) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[serve] listening on http://{} (max_batch {}, max_wait {:?}, cache {}) — \
+         POST /predict, GET /healthz, GET /metrics, POST /reload, POST /shutdown",
+        server.addr(),
+        cfg.max_batch,
+        cfg.max_wait,
+        cfg.cache_capacity,
+    );
+    server.wait();
+    eprintln!("[serve] drained, bye");
+    ExitCode::SUCCESS
+}
+
+/// Trains a small model on generated cases and writes a checkpoint the
+/// server can load — the zero-to-serving path used by CI's smoke job.
+fn demo_ckpt(args: &[String]) -> ExitCode {
+    let Some((positional, flags)) = parse_flags(args, 1) else {
+        return usage();
+    };
+    let Some(path) = positional.first() else {
+        return usage();
+    };
+    let mut arch = "IREDGe".to_string();
+    let mut size = 16usize;
+    let mut epochs = 2usize;
+    let mut cases = 2usize;
+    let mut seed = 7u64;
+    for (name, value) in &flags {
+        let result: Result<(), String> = match name.as_str() {
+            "arch" => {
+                arch = value.clone();
+                Ok(())
+            }
+            "size" => parse("size", value).map(|v| size = v),
+            "epochs" => parse("epochs", value).map(|v| epochs = v),
+            "cases" => parse("cases", value).map(|v| cases = v),
+            "seed" => parse("seed", value).map(|v| seed = v),
+            other => Err(format!("unknown flag --{other}")),
+        };
+        if let Err(e) = result {
+            eprintln!("serve: {e}");
+            return usage();
+        }
+    }
+    let channels = match arch.as_str() {
+        "IREDGe" => 3,
+        "IRPnet" => 1,
+        "1st Place" | "2nd Place" | "LMM-IR" => 6,
+        other => {
+            eprintln!("serve: unknown --arch {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let meta = CheckpointMeta {
+        model: arch.clone(),
+        input_channels: channels,
+        input_size: size,
+    };
+    let model = match instantiate(&meta) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let samples: Result<Vec<_>, _> = (0..cases)
+        .map(|i| {
+            build_sample(
+                &CaseSpec::new(
+                    format!("demo{i}"),
+                    size,
+                    size,
+                    seed + i as u64,
+                    CaseKind::Fake,
+                ),
+                size,
+            )
+        })
+        .collect();
+    let samples = match samples {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: demo case generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let train_cfg = TrainConfig {
+        epochs,
+        pretrain_epochs: 0,
+        oversample: (1, 1),
+        seed,
+        ..TrainConfig::quick()
+    };
+    if let Err(e) = train(model.as_ref(), &samples, &train_cfg) {
+        eprintln!("serve: demo training failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = save_predictor(model.as_ref(), path) {
+        eprintln!("serve: saving checkpoint failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[serve] wrote {path}: {arch} ({channels} channels, {size} px), \
+         trained {epochs} epoch(s) on {cases} generated case(s)"
+    );
+    ExitCode::SUCCESS
+}

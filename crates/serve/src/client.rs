@@ -1,0 +1,118 @@
+//! A minimal blocking client for the serve endpoints.
+//!
+//! Shared by the integration tests, the `loadgen` benchmark driver and the
+//! `serve_client` example, so every consumer speaks the exact protocol the
+//! server implements.
+
+use crate::proto::{PredictRequest, PredictResponse};
+use crate::ServeError;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Performs one HTTP exchange (`Connection: close`), returning the status
+/// code and body.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] on transport failure and
+/// [`ServeError::Proto`] on a malformed response.
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> Result<(u16, Vec<u8>), ServeError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(300)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(300)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: lmmir\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ServeError::Proto(format!("bad status line {status_line:?}")))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) if n > crate::http::MAX_BODY => {
+            return Err(ServeError::Proto(format!(
+                "response declares {n}-byte body (cap {})",
+                crate::http::MAX_BODY
+            )));
+        }
+        // Same discipline as the server side: grow the buffer with the
+        // bytes actually received, never from the peer's declared length
+        // alone (a typo'd --addr may be talking to anything).
+        Some(n) => {
+            let mut buf = Vec::with_capacity(n.min(1 << 16));
+            let mut chunk = [0u8; 16 * 1024];
+            let mut remaining = n;
+            while remaining > 0 {
+                let take = remaining.min(chunk.len());
+                reader.read_exact(&mut chunk[..take])?;
+                buf.extend_from_slice(&chunk[..take]);
+                remaining -= take;
+            }
+            buf
+        }
+        None => {
+            let mut buf = Vec::new();
+            reader
+                .by_ref()
+                .take(crate::http::MAX_BODY as u64)
+                .read_to_end(&mut buf)?;
+            buf
+        }
+    };
+    Ok((status, body))
+}
+
+/// `GET` returning the body as text (any status).
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get_text(addr: impl ToSocketAddrs, path: &str) -> Result<(u16, String), ServeError> {
+    let (status, body) = request(addr, "GET", path, &[])?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// Sends one predict request and decodes the response; a server-side error
+/// frame (any status) surfaces as [`ServeError::Proto`] with the message.
+///
+/// # Errors
+///
+/// See [`request`]; additionally fails on an undecodable response frame.
+pub fn predict(
+    addr: impl ToSocketAddrs,
+    req: &PredictRequest,
+) -> Result<PredictResponse, ServeError> {
+    let (status, body) = request(addr, "POST", "/predict", &req.encode())?;
+    if body.is_empty() {
+        return Err(ServeError::Proto(format!("HTTP {status} with empty body")));
+    }
+    PredictResponse::decode(&body)
+}

@@ -1,0 +1,240 @@
+//! A minimal HTTP/1.1 layer over blocking streams.
+//!
+//! Just enough protocol for the server's five endpoints and the bundled
+//! client: request line + headers + `Content-Length` bodies, one exchange
+//! per connection (`Connection: close`). Every length a peer controls is
+//! capped before allocation.
+
+use crate::ServeError;
+use std::io::{BufRead, Read, Write};
+
+/// Longest accepted request line or header line (bytes).
+const MAX_LINE: u64 = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted body (a full-scale 870×870 design with netlist is ~20
+/// MiB; leave generous headroom).
+pub const MAX_BODY: usize = 256 << 20;
+
+/// One parsed HTTP request (the subset the server routes on).
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path (query strings are not interpreted).
+    pub target: String,
+    /// Request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Reads one line, capped at [`MAX_LINE`], stripping the trailing CRLF.
+fn read_line(r: &mut impl BufRead) -> Result<String, ServeError> {
+    let mut line = Vec::new();
+    let mut limited = r.by_ref().take(MAX_LINE);
+    limited.read_until(b'\n', &mut line)?;
+    if !line.ends_with(b"\n") {
+        return Err(ServeError::Proto(if line.is_empty() {
+            "connection closed mid-request".to_string()
+        } else {
+            format!("header line exceeds {MAX_LINE} bytes or is unterminated")
+        }));
+    }
+    while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|e| ServeError::Proto(format!("non-UTF-8 header: {e}")))
+}
+
+/// Parses one request from a blocking reader.
+///
+/// `w` receives an interim `100 Continue` when the client sent
+/// `Expect: 100-continue` (curl does for bodies over 1 KiB; without the
+/// interim response it stalls ~1 s before transmitting the body).
+///
+/// # Errors
+///
+/// Returns [`ServeError::Proto`] for malformed or oversized requests and
+/// [`ServeError::Io`] on transport failure.
+pub fn read_request(r: &mut impl BufRead, w: &mut impl Write) -> Result<Request, ServeError> {
+    let request_line = read_line(r)?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v),
+        _ => {
+            return Err(ServeError::Proto(format!(
+                "malformed request line: {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ServeError::Proto(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+    let mut content_length = 0usize;
+    let mut expects_continue = false;
+    for i in 0.. {
+        if i > MAX_HEADERS {
+            return Err(ServeError::Proto(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let line = read_line(r)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("expect")
+                && value.trim().eq_ignore_ascii_case("100-continue")
+            {
+                expects_continue = true;
+            }
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n <= MAX_BODY)
+                    .ok_or_else(|| {
+                        ServeError::Proto(format!(
+                            "bad content-length {:?} (cap {MAX_BODY})",
+                            value.trim()
+                        ))
+                    })?;
+            }
+        }
+    }
+    if expects_continue && content_length > 0 {
+        w.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+        w.flush()?;
+    }
+    // Grow the body buffer as bytes actually arrive (same discipline as
+    // `lmmir_tensor::io`): a peer declaring a huge Content-Length and then
+    // stalling holds a socket, not 256 MiB of zeroed memory.
+    let mut body = Vec::with_capacity(content_length.min(1 << 16));
+    let mut chunk = [0u8; 16 * 1024];
+    let mut remaining = content_length;
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        r.read_exact(&mut chunk[..take])?;
+        body.extend_from_slice(&chunk[..take]);
+        remaining -= take;
+    }
+    Ok(Request {
+        method,
+        target,
+        body,
+    })
+}
+
+/// Writes one response and flushes; the connection is then closed by the
+/// caller (`Connection: close` is always advertised).
+///
+/// # Errors
+///
+/// Returns the underlying transport error.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Canonical reason phrases for the statuses the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Request, ServeError> {
+        read_request(&mut BufReader::new(raw), &mut Vec::new())
+    }
+
+    #[test]
+    fn expect_100_continue_gets_interim_response() {
+        let mut interim = Vec::new();
+        let req = read_request(
+            &mut BufReader::new(
+                &b"POST /predict HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\nhi"[..],
+            ),
+            &mut interim,
+        )
+        .unwrap();
+        assert_eq!(req.body, b"hi");
+        assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+        // No Expect header: nothing interim is written.
+        let mut silent = Vec::new();
+        read_request(
+            &mut BufReader::new(&b"GET /healthz HTTP/1.1\r\n\r\n"[..]),
+            &mut silent,
+        )
+        .unwrap();
+        assert!(silent.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            parse(b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/predict");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(parse(b"").is_err());
+        assert!(parse(b"GARBAGE\r\n\r\n").is_err());
+        assert!(parse(b"GET / SPDY/3\r\n\r\n").is_err());
+        assert!(parse(b"POST / HTTP/1.1\r\nContent-Length: zero\r\n\r\n").is_err());
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert!(parse(huge.as_bytes()).is_err());
+        // Truncated body.
+        assert!(parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").is_err());
+        // Unterminated over-long header line.
+        let mut long = b"GET / HTTP/1.1\r\nX: ".to_vec();
+        long.extend(std::iter::repeat(b'a').take(MAX_LINE as usize + 10));
+        assert!(parse(&long).is_err());
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "text/plain", b"ok\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: close"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+    }
+}

@@ -1,0 +1,105 @@
+//! # lmmir-serve
+//!
+//! An always-on batched inference server for the LMM-IR reproduction: the
+//! paper's whole pitch is trading golden-solver hours for inference
+//! seconds, and this crate is the deployment story — load a trained
+//! checkpoint once, answer IR-drop queries in milliseconds.
+//!
+//! Std-only by construction (the build environment has no registry access,
+//! so the HTTP layer is hand-rolled over [`std::net::TcpListener`]) and
+//! `unsafe`-free like the rest of the workspace.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  clients ──> acceptor thread ──> handler threads (parse HTTP + proto)
+//!                                        │ mpsc jobs
+//!                                        v
+//!                               inference thread (owns the models)
+//!                               │ drain ≤ max_batch / ≤ max_wait_ms
+//!                               │ dedupe by content hash
+//!                               │ feature cache (LRU) / prepare on pool
+//!                               │ forward per unique input
+//!                               └─> per-job reply channels
+//! ```
+//!
+//! Model internals are `Rc`-based (the autograd tape is deliberately not
+//! thread-safe), so every model lives on the single inference thread; the
+//! parallelism inside a forward pass comes from `lmmir-par`, and request
+//! concurrency comes from batching: jobs drained together that share a
+//! design content hash are served by **one** forward pass.
+//!
+//! ## Endpoints
+//!
+//! | endpoint | method | body |
+//! |---|---|---|
+//! | `/predict` | POST | binary predict request ([`proto`]) → IR map + hotspot mask |
+//! | `/healthz` | GET | — → `ok` |
+//! | `/metrics` | GET | — → Prometheus-style text ([`metrics`]) |
+//! | `/reload` | POST | — → reloads every checkpoint from disk |
+//! | `/shutdown` | POST | — → graceful shutdown (drain, then exit) |
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use lmmir_serve::{RegistrySpec, ServeConfig, Server};
+//!
+//! # fn main() -> Result<(), lmmir_serve::ServeError> {
+//! let spec = RegistrySpec::single("demo", "demo.lmmt");
+//! let server = Server::start(ServeConfig::default(), spec)?;
+//! println!("serving on http://{}", server.addr());
+//! server.wait(); // blocks until POST /shutdown, then drains
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod batch;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod proto;
+pub mod registry;
+
+mod server;
+
+pub use batch::prepare_request;
+pub use cache::LruCache;
+pub use metrics::Metrics;
+pub use proto::{PredictRequest, PredictResponse};
+pub use registry::{instantiate, ModelRegistry, ModelSpec, RegistrySpec};
+pub use server::{ServeConfig, Server};
+
+use std::fmt;
+
+/// Error type of the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket / filesystem failure.
+    Io(std::io::Error),
+    /// Invalid configuration (flags or environment).
+    Config(String),
+    /// Checkpoint loading / model registry failure.
+    Registry(String),
+    /// Malformed wire payload (HTTP or predict protocol).
+    Proto(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Config(m) => write!(f, "configuration error: {m}"),
+            ServeError::Registry(m) => write!(f, "registry error: {m}"),
+            ServeError::Proto(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

@@ -1,0 +1,214 @@
+//! Server observability: lock-free counters and a bucketed latency
+//! histogram, rendered as Prometheus-style text at `GET /metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds of the latency buckets, in microseconds. The final bucket
+/// is open-ended.
+const BUCKET_BOUNDS_US: [u64; 15] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 10_000_000,
+];
+
+/// Shared server counters. Every field is monotonically increasing (except
+/// the gauges noted), updated with relaxed atomics — consistency between
+/// counters is best-effort, as scrapes race updates by design.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// HTTP requests accepted, any endpoint.
+    pub requests_total: AtomicU64,
+    /// Successful predictions served.
+    pub predict_ok_total: AtomicU64,
+    /// Predictions answered with an error frame.
+    pub predict_error_total: AtomicU64,
+    /// Batches the inference thread drained.
+    pub batches_total: AtomicU64,
+    /// Predict jobs across all batches (÷ batches = mean batch size).
+    pub batched_jobs_total: AtomicU64,
+    /// Largest batch drained so far (gauge).
+    pub batch_max_size: AtomicU64,
+    /// Feature-cache lookups that hit.
+    pub cache_hits_total: AtomicU64,
+    /// Feature-cache lookups that missed (and rasterized).
+    pub cache_misses_total: AtomicU64,
+    /// Forward passes saved by in-batch deduplication (jobs sharing a
+    /// design content hash answered by one pass).
+    pub dedup_saved_total: AtomicU64,
+    /// Successful registry (re)loads.
+    pub reloads_total: AtomicU64,
+    /// Models currently loaded (gauge).
+    pub models_loaded: AtomicU64,
+    /// End-to-end predict latency histogram (handler-observed).
+    latency_buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    latency_sum_us: AtomicU64,
+    latency_count: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one drained batch of `jobs` predict jobs.
+    pub fn observe_batch(&self, jobs: usize) {
+        self.batches_total.fetch_add(1, Ordering::Relaxed);
+        self.batched_jobs_total
+            .fetch_add(jobs as u64, Ordering::Relaxed);
+        self.batch_max_size
+            .fetch_max(jobs as u64, Ordering::Relaxed);
+    }
+
+    /// Records one end-to-end predict latency.
+    pub fn observe_latency(&self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Approximate latency quantile in seconds: the upper bound of the
+    /// bucket where the cumulative count crosses `q` (`None` before any
+    /// observation).
+    #[must_use]
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        let total = self.latency_count.load(Ordering::Relaxed);
+        if total == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.latency_buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                let bound_us = BUCKET_BOUNDS_US
+                    .get(i)
+                    .copied()
+                    .unwrap_or(BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1] * 10);
+                return Some(bound_us as f64 / 1e6);
+            }
+        }
+        None
+    }
+
+    /// Cache hit rate in `[0, 1]` (`0` before any lookup).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_hits_total.load(Ordering::Relaxed);
+        let misses = self.cache_misses_total.load(Ordering::Relaxed);
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Renders the Prometheus-style exposition text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut out = String::with_capacity(1024);
+        let mut line = |name: &str, value: String| {
+            let _ = writeln!(out, "lmmir_{name} {value}");
+        };
+        line("requests_total", g(&self.requests_total).to_string());
+        line("predict_ok_total", g(&self.predict_ok_total).to_string());
+        line(
+            "predict_error_total",
+            g(&self.predict_error_total).to_string(),
+        );
+        line("batches_total", g(&self.batches_total).to_string());
+        line(
+            "batched_jobs_total",
+            g(&self.batched_jobs_total).to_string(),
+        );
+        line("batch_max_size", g(&self.batch_max_size).to_string());
+        line("cache_hits_total", g(&self.cache_hits_total).to_string());
+        line(
+            "cache_misses_total",
+            g(&self.cache_misses_total).to_string(),
+        );
+        line("cache_hit_rate", format!("{:.4}", self.cache_hit_rate()));
+        line("dedup_saved_total", g(&self.dedup_saved_total).to_string());
+        line("reloads_total", g(&self.reloads_total).to_string());
+        line("models_loaded", g(&self.models_loaded).to_string());
+        for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
+            if let Some(v) = self.latency_quantile(q) {
+                line(
+                    &format!("predict_latency_seconds{{quantile=\"{label}\"}}"),
+                    format!("{v:.6}"),
+                );
+            }
+        }
+        line(
+            "predict_latency_seconds_sum",
+            format!("{:.6}", g(&self.latency_sum_us) as f64 / 1e6),
+        );
+        line(
+            "predict_latency_seconds_count",
+            g(&self.latency_count).to_string(),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_buckets() {
+        let m = Metrics::new();
+        assert_eq!(m.latency_quantile(0.5), None);
+        for _ in 0..99 {
+            m.observe_latency(Duration::from_micros(80)); // ≤ 100µs bucket
+        }
+        m.observe_latency(Duration::from_millis(40)); // ≤ 50ms bucket
+        assert!((m.latency_quantile(0.5).unwrap() - 100e-6).abs() < 1e-9);
+        assert!((m.latency_quantile(0.99).unwrap() - 100e-6).abs() < 1e-9);
+        assert!((m.latency_quantile(1.0).unwrap() - 50e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_and_cache_counters() {
+        let m = Metrics::new();
+        m.observe_batch(3);
+        m.observe_batch(7);
+        assert_eq!(m.batches_total.load(Ordering::Relaxed), 2);
+        assert_eq!(m.batched_jobs_total.load(Ordering::Relaxed), 10);
+        assert_eq!(m.batch_max_size.load(Ordering::Relaxed), 7);
+        Metrics::inc(&m.cache_hits_total);
+        Metrics::inc(&m.cache_hits_total);
+        Metrics::inc(&m.cache_misses_total);
+        assert!((m.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_every_series() {
+        let m = Metrics::new();
+        m.observe_latency(Duration::from_millis(1));
+        let text = m.render();
+        for key in [
+            "lmmir_requests_total",
+            "lmmir_cache_hit_rate",
+            "lmmir_batch_max_size",
+            "lmmir_predict_latency_seconds{quantile=\"0.99\"}",
+            "lmmir_predict_latency_seconds_count 1",
+        ] {
+            assert!(text.contains(key), "missing {key} in:\n{text}");
+        }
+    }
+}

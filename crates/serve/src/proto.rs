@@ -1,0 +1,491 @@
+//! The binary predict protocol: length-prefixed little-endian frames.
+//!
+//! JSON needs a parser the container cannot download, so the wire format is
+//! a deliberately tiny binary layout — every field length-prefixed, every
+//! count validated against a cap before it reaches an allocator (the same
+//! discipline as `lmmir_tensor::io`).
+//!
+//! ### Request (`POST /predict` body)
+//!
+//! ```text
+//! magic "LMIQ" | u8 version | u16 model_len, model | u16 design_len, design
+//! | u32 width | u32 height | u32 dbu_per_um | f32 power[width*height]
+//! | u8 has_netlist | (u32 netlist_len, netlist SPICE text)
+//! ```
+//!
+//! ### Response
+//!
+//! ```text
+//! magic "LMIS" | u8 version | u8 status
+//! status 0: u8 cache_hit | u32 width | u32 height | f32 threshold
+//!           | f32 map[width*height] | u8 mask[width*height]
+//! status 1: u32 msg_len, msg
+//! ```
+
+use crate::ServeError;
+use lmmir_features::Fnv1a;
+use lmmir_pdn::{Case, PowerMap};
+use lmmir_spice::Netlist;
+
+const REQUEST_MAGIC: &[u8; 4] = b"LMIQ";
+const RESPONSE_MAGIC: &[u8; 4] = b"LMIS";
+const VERSION: u8 = 1;
+
+/// Caps on attacker-controlled lengths.
+const MAX_NAME: usize = 256;
+/// Longest raster edge accepted (the paper's largest case is 870 px).
+pub const MAX_EDGE: u32 = 8192;
+/// Most pixels accepted per request (16M ≈ a 4096² design).
+pub const MAX_PIXELS: u64 = 1 << 24;
+/// Longest SPICE netlist accepted (64 MiB).
+pub const MAX_NETLIST: usize = 64 << 20;
+/// Largest accepted database-unit scale (the contest uses 2000 dbu/µm).
+pub const MAX_DBU_PER_UM: u32 = 1_000_000;
+
+/// Default database units per µm when a caller builds a request without a
+/// technology in hand (`lmmir_pdn::PdnTech::standard()` uses the same).
+pub const DEFAULT_DBU_PER_UM: u32 = 2000;
+
+/// One IR-drop query: a design's power map plus (optionally) its netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictRequest {
+    /// Registry name of the model to use (empty = server default).
+    pub model: String,
+    /// Caller-chosen design identifier (informational; not hashed).
+    pub design: String,
+    /// Power-map width in pixels (µm).
+    pub width: u32,
+    /// Power-map height in pixels (µm).
+    pub height: u32,
+    /// Database units per µm the netlist coordinates are expressed in.
+    pub dbu_per_um: u32,
+    /// Row-major per-pixel drawn current (A), `width × height` values.
+    pub power: Vec<f32>,
+    /// SPICE netlist text; required by models that consume netlist-derived
+    /// feature channels or the point-cloud modality.
+    pub netlist: Option<String>,
+}
+
+impl PredictRequest {
+    /// Builds a request from in-memory design parts (the power map is
+    /// narrowed to `f32`, the transport precision), assuming the contest's
+    /// [`DEFAULT_DBU_PER_UM`] — set [`PredictRequest::dbu_per_um`] (or use
+    /// [`PredictRequest::from_case`]) when the technology differs.
+    #[must_use]
+    pub fn from_parts(design: &str, power: &PowerMap, netlist: Option<&Netlist>) -> Self {
+        PredictRequest {
+            model: String::new(),
+            design: design.to_string(),
+            width: power.width() as u32,
+            height: power.height() as u32,
+            dbu_per_um: DEFAULT_DBU_PER_UM,
+            power: power.data().iter().map(|&v| v as f32).collect(),
+            netlist: netlist.map(Netlist::to_spice),
+        }
+    }
+
+    /// Builds a request from a generated benchmark case, carrying the
+    /// case's own technology scale.
+    #[must_use]
+    pub fn from_case(case: &Case) -> Self {
+        let mut req = PredictRequest::from_parts(&case.spec.id, &case.power, Some(&case.netlist));
+        req.dbu_per_um = u32::try_from(case.tech.dbu_per_um).unwrap_or(DEFAULT_DBU_PER_UM);
+        req
+    }
+
+    /// The power map as the solver-precision type the feature pipeline
+    /// consumes. This widening is exact, so every caller (server and
+    /// offline reference alike) sees the identical map.
+    #[must_use]
+    pub fn power_map(&self) -> PowerMap {
+        PowerMap::from_vec(
+            self.width as usize,
+            self.height as usize,
+            self.power.iter().map(|&v| f64::from(v)).collect(),
+        )
+    }
+
+    /// Content fingerprint of the design payload (dimensions, bit-exact
+    /// power values, netlist text). The model and design names are *not*
+    /// hashed: the cache keys on content per model separately, and renaming
+    /// a design must not defeat it.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(u64::from(self.width));
+        h.write_u64(u64::from(self.height));
+        h.write_u64(u64::from(self.dbu_per_um));
+        for &v in &self.power {
+            h.write_f32(v);
+        }
+        match &self.netlist {
+            Some(nl) => {
+                h.write_u64(1);
+                h.write(nl.as_bytes());
+            }
+            None => h.write_u64(0),
+        }
+        h.finish()
+    }
+
+    /// Serializes to the wire format.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a field exceeds the caps `decode` enforces (name over
+    /// [`MAX_NAME`] bytes, netlist over [`MAX_NETLIST`]) — failing fast at
+    /// the encoder beats a silently length-wrapped frame the server would
+    /// reject with a misleading parse error.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        if let Some(nl) = &self.netlist {
+            assert!(
+                nl.len() <= MAX_NETLIST,
+                "netlist of {} bytes exceeds protocol cap {MAX_NETLIST}",
+                nl.len()
+            );
+        }
+        let mut out = Vec::with_capacity(32 + self.power.len() * 4);
+        out.extend_from_slice(REQUEST_MAGIC);
+        out.push(VERSION);
+        put_str16(&mut out, &self.model);
+        put_str16(&mut out, &self.design);
+        out.extend_from_slice(&self.width.to_le_bytes());
+        out.extend_from_slice(&self.height.to_le_bytes());
+        out.extend_from_slice(&self.dbu_per_um.to_le_bytes());
+        for &v in &self.power {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        match &self.netlist {
+            Some(nl) => {
+                out.push(1);
+                out.extend_from_slice(&(nl.len() as u32).to_le_bytes());
+                out.extend_from_slice(nl.as_bytes());
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Parses a request frame, validating every length against its cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Proto`] on malformed or oversized input.
+    pub fn decode(buf: &[u8]) -> Result<Self, ServeError> {
+        let mut r = Cursor::new(buf);
+        r.magic(REQUEST_MAGIC, "request")?;
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(proto(format!("unsupported request version {version}")));
+        }
+        let model = r.str16("model name")?;
+        let design = r.str16("design name")?;
+        let width = r.u32()?;
+        let height = r.u32()?;
+        let pixels = check_dims(width, height)?;
+        let dbu_per_um = r.u32()?;
+        if dbu_per_um == 0 || dbu_per_um > MAX_DBU_PER_UM {
+            return Err(proto(format!(
+                "dbu_per_um {dbu_per_um} outside 1..={MAX_DBU_PER_UM}"
+            )));
+        }
+        let power = r.f32s(pixels)?;
+        let netlist = match r.u8()? {
+            0 => None,
+            1 => {
+                let len = r.u32()? as usize;
+                if len > MAX_NETLIST {
+                    return Err(proto(format!(
+                        "netlist of {len} bytes exceeds cap {MAX_NETLIST}"
+                    )));
+                }
+                Some(r.utf8(len, "netlist")?)
+            }
+            other => return Err(proto(format!("bad has_netlist flag {other}"))),
+        };
+        r.finish()?;
+        Ok(PredictRequest {
+            model,
+            design,
+            width,
+            height,
+            dbu_per_um,
+            power,
+            netlist,
+        })
+    }
+}
+
+/// A served prediction (or, on the wire, an error frame).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictResponse {
+    /// Map width in pixels — the design's original resolution.
+    pub width: u32,
+    /// Map height in pixels.
+    pub height: u32,
+    /// Hotspot threshold in volts (90 % of the map maximum).
+    pub threshold: f32,
+    /// Whether the feature cache served this request's prepared input.
+    pub cache_hit: bool,
+    /// Row-major IR-drop map in volts.
+    pub map: Vec<f32>,
+    /// Row-major hotspot mask (1 = hotspot).
+    pub mask: Vec<u8>,
+}
+
+impl PredictResponse {
+    /// Serializes a success frame.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.map.len() * 5);
+        out.extend_from_slice(RESPONSE_MAGIC);
+        out.push(VERSION);
+        out.push(0);
+        out.push(u8::from(self.cache_hit));
+        out.extend_from_slice(&self.width.to_le_bytes());
+        out.extend_from_slice(&self.height.to_le_bytes());
+        out.extend_from_slice(&self.threshold.to_le_bytes());
+        for &v in &self.map {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.mask);
+        out
+    }
+
+    /// Serializes an error frame.
+    #[must_use]
+    pub fn encode_error(msg: &str) -> Vec<u8> {
+        let mut out = Vec::with_capacity(10 + msg.len());
+        out.extend_from_slice(RESPONSE_MAGIC);
+        out.push(VERSION);
+        out.push(1);
+        out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+        out.extend_from_slice(msg.as_bytes());
+        out
+    }
+
+    /// Parses a response frame; a served error frame surfaces as
+    /// [`ServeError::Proto`] carrying the server's message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Proto`] on malformed input or an error frame.
+    pub fn decode(buf: &[u8]) -> Result<Self, ServeError> {
+        let mut r = Cursor::new(buf);
+        r.magic(RESPONSE_MAGIC, "response")?;
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(proto(format!("unsupported response version {version}")));
+        }
+        match r.u8()? {
+            0 => {}
+            1 => {
+                let len = r.u32()? as usize;
+                let msg = r.utf8(len.min(1 << 20), "error message")?;
+                return Err(proto(format!("server error: {msg}")));
+            }
+            other => return Err(proto(format!("bad response status {other}"))),
+        }
+        let cache_hit = r.u8()? != 0;
+        let width = r.u32()?;
+        let height = r.u32()?;
+        let pixels = check_dims(width, height)?;
+        let threshold = f32::from_le_bytes(r.bytes(4)?.try_into().expect("4 bytes"));
+        let map = r.f32s(pixels)?;
+        let mask = r.bytes(pixels)?.to_vec();
+        r.finish()?;
+        Ok(PredictResponse {
+            width,
+            height,
+            threshold,
+            cache_hit,
+            map,
+            mask,
+        })
+    }
+}
+
+fn proto(msg: String) -> ServeError {
+    ServeError::Proto(msg)
+}
+
+/// Validates raster dimensions, returning the pixel count.
+fn check_dims(width: u32, height: u32) -> Result<usize, ServeError> {
+    if width == 0 || height == 0 || width > MAX_EDGE || height > MAX_EDGE {
+        return Err(proto(format!(
+            "raster {width}×{height} outside 1..={MAX_EDGE} per edge"
+        )));
+    }
+    let pixels = u64::from(width) * u64::from(height);
+    if pixels > MAX_PIXELS {
+        return Err(proto(format!(
+            "raster {width}×{height} exceeds {MAX_PIXELS} pixels"
+        )));
+    }
+    Ok(pixels as usize)
+}
+
+fn put_str16(out: &mut Vec<u8>, s: &str) {
+    assert!(
+        s.len() <= MAX_NAME,
+        "name of {} bytes exceeds protocol cap {MAX_NAME}",
+        s.len()
+    );
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| proto(format!("truncated frame: need {n} more bytes")))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn magic(&mut self, expect: &[u8; 4], what: &str) -> Result<(), ServeError> {
+        if self.bytes(4)? != expect {
+            return Err(proto(format!("bad {what} magic")));
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, ServeError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ServeError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4")))
+    }
+
+    fn u16(&mut self) -> Result<u16, ServeError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().expect("2")))
+    }
+
+    fn str16(&mut self, what: &str) -> Result<String, ServeError> {
+        let len = self.u16()? as usize;
+        if len > MAX_NAME {
+            return Err(proto(format!("{what} of {len} bytes exceeds {MAX_NAME}")));
+        }
+        self.utf8(len, what)
+    }
+
+    fn utf8(&mut self, len: usize, what: &str) -> Result<String, ServeError> {
+        String::from_utf8(self.bytes(len)?.to_vec())
+            .map_err(|e| proto(format!("{what} is not UTF-8: {e}")))
+    }
+
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, ServeError> {
+        let raw = self.bytes(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect())
+    }
+
+    fn finish(&self) -> Result<(), ServeError> {
+        if self.pos != self.buf.len() {
+            return Err(proto(format!(
+                "{} trailing bytes after frame",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmmir_pdn::{CaseKind, CaseSpec};
+
+    fn request() -> PredictRequest {
+        let case = CaseSpec::new("d", 12, 10, 3, CaseKind::Fake).generate();
+        let mut req = PredictRequest::from_parts("d", &case.power, Some(&case.netlist));
+        req.model = "demo".to_string();
+        req
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = request();
+        let back = PredictRequest::decode(&req.encode()).unwrap();
+        assert_eq!(req, back);
+        assert_eq!(req.fingerprint(), back.fingerprint());
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = PredictResponse {
+            width: 3,
+            height: 2,
+            threshold: 0.009,
+            cache_hit: true,
+            map: vec![0.001, 0.002, 0.003, 0.004, 0.005, 0.01],
+            mask: vec![0, 0, 0, 0, 0, 1],
+        };
+        let back = PredictResponse::decode(&resp.encode()).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn error_frame_surfaces_message() {
+        let err = PredictResponse::decode(&PredictResponse::encode_error("boom")).unwrap_err();
+        assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn fingerprint_is_content_only() {
+        let mut a = request();
+        let mut b = request();
+        b.model = "other".to_string();
+        b.design = "renamed".to_string();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.power[0] += 1.0;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn decode_rejects_hostile_frames() {
+        let good = request().encode();
+        // Truncations at every prefix length fail cleanly.
+        for cut in [0, 3, 5, 9, 20, good.len() - 1] {
+            assert!(PredictRequest::decode(&good[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage is rejected too.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(PredictRequest::decode(&long).is_err());
+        // Oversized dims are rejected before any allocation.
+        let mut huge = good;
+        let dims_at = 4 + 1 + 2 + "demo".len() + 2 + 1;
+        huge[dims_at..dims_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(PredictRequest::decode(&huge).is_err());
+    }
+
+    #[test]
+    fn power_map_round_trips_exactly() {
+        let case = CaseSpec::new("d", 8, 8, 1, CaseKind::Fake).generate();
+        let req = PredictRequest::from_parts("d", &case.power, None);
+        let pm = req.power_map();
+        // f32 → f64 widening is exact, so a second narrowing is stable.
+        let again = PredictRequest::from_parts("d", &pm, None);
+        assert_eq!(req.power, again.power);
+        assert_eq!(req.fingerprint(), again.fingerprint());
+    }
+}

@@ -1,0 +1,363 @@
+//! The model registry: named checkpoints loaded into live predictors.
+//!
+//! Each checkpoint carries architecture metadata (`lmm_ir::CheckpointMeta`,
+//! format v2), so the registry can instantiate the right model family at
+//! the right input size and then let `load_predictor` restore — and
+//! validate — the weights. Checkpoints without metadata are rejected here
+//! even though offline loading tolerates them: a server must not guess
+//! which architecture a parameter list belongs to.
+//!
+//! The registry lives on the inference thread (model internals are
+//! `Rc`-based); `/reload` re-reads every checkpoint path and swaps the
+//! table only if *all* of them load, so a half-broken reload never takes
+//! down serving.
+
+use crate::ServeError;
+use lmm_ir::{
+    first_place, iredge, irpnet, restore_parameters, second_place, split_meta, CheckpointMeta,
+    IrPredictor, LmmIr, LmmIrConfig,
+};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// One named checkpoint to serve.
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// Registry name clients address the model by.
+    pub name: String,
+    /// Checkpoint path on disk.
+    pub path: PathBuf,
+}
+
+/// The set of models a server loads at startup (and re-reads on reload).
+#[derive(Debug, Clone)]
+pub struct RegistrySpec {
+    /// Models to load.
+    pub models: Vec<ModelSpec>,
+    /// Name answering requests that leave the model field empty; defaults
+    /// to the first listed model.
+    pub default_model: Option<String>,
+}
+
+impl RegistrySpec {
+    /// Spec for a single model, which is also the default.
+    #[must_use]
+    pub fn single(name: impl Into<String>, path: impl Into<PathBuf>) -> Self {
+        RegistrySpec {
+            models: vec![ModelSpec {
+                name: name.into(),
+                path: path.into(),
+            }],
+            default_model: None,
+        }
+    }
+}
+
+/// A loaded model with its provenance.
+pub struct LoadedModel {
+    /// Architecture metadata from the checkpoint.
+    pub meta: CheckpointMeta,
+    /// The live predictor, weights restored.
+    pub model: Box<dyn IrPredictor>,
+    /// The checkpoint path it came from.
+    pub path: PathBuf,
+}
+
+/// Constructs the architecture a checkpoint's metadata names, at the
+/// recorded input size (weights are overwritten by the subsequent restore,
+/// so the seed is irrelevant).
+///
+/// Known limitation: `LMM-IR` is rebuilt from [`LmmIrConfig::quick`] with
+/// only the input size overridden — the metadata records name, channels
+/// and size, not the full width/LNT plan, so an LMM-IR trained with a
+/// custom config fails the subsequent weight restore with a shape
+/// mismatch. Serving such a model needs config serialization in the
+/// checkpoint (tracked in ROADMAP.md).
+///
+/// # Errors
+///
+/// Returns [`ServeError::Registry`] for an unknown architecture name or an
+/// input size the architecture cannot be built at.
+pub fn instantiate(meta: &CheckpointMeta) -> Result<Box<dyn IrPredictor>, ServeError> {
+    let size = meta.input_size;
+    let model: Box<dyn IrPredictor> = match meta.model.as_str() {
+        "IREDGe" => Box::new(iredge(size, 0)),
+        "1st Place" => Box::new(first_place(size, 0)),
+        "2nd Place" => Box::new(second_place(size, 0)),
+        "IRPnet" => Box::new(irpnet(size, 0)),
+        "LMM-IR" => {
+            let cfg = LmmIrConfig {
+                input_size: size,
+                ..LmmIrConfig::quick()
+            };
+            cfg.validate().map_err(|e| {
+                ServeError::Registry(format!("cannot build LMM-IR at {size} px: {e}"))
+            })?;
+            Box::new(LmmIr::new(cfg))
+        }
+        other => {
+            return Err(ServeError::Registry(format!(
+                "checkpoint names unknown architecture '{other}' \
+                 (known: IREDGe, 1st Place, 2nd Place, IRPnet, LMM-IR)"
+            )))
+        }
+    };
+    if model.input_channels() != meta.input_channels {
+        return Err(ServeError::Registry(format!(
+            "architecture '{}' consumes {} channels but the checkpoint \
+             metadata claims {}",
+            meta.model,
+            model.input_channels(),
+            meta.input_channels
+        )));
+    }
+    Ok(model)
+}
+
+fn load_one(spec: &ModelSpec) -> Result<LoadedModel, ServeError> {
+    let describe = |e: &dyn std::fmt::Display| {
+        ServeError::Registry(format!(
+            "model '{}' ({}): {e}",
+            spec.name,
+            spec.path.display()
+        ))
+    };
+    // One read serves both the meta check and the weight restore, so a
+    // file swapped mid-load cannot pass one and fail (or skew) the other.
+    let entries = lmmir_tensor::io::load(&spec.path).map_err(|e| describe(&e))?;
+    let (meta, params) = split_meta(entries).map_err(|e| describe(&e))?;
+    let meta = meta.ok_or_else(|| {
+        describe(
+            &"checkpoint carries no architecture metadata; re-save it with the \
+                   current `save_predictor`",
+        )
+    })?;
+    let model = instantiate(&meta).map_err(|e| describe(&e))?;
+    restore_parameters(model.as_ref(), params).map_err(|e| describe(&e))?;
+    Ok(LoadedModel {
+        meta,
+        model,
+        path: spec.path.clone(),
+    })
+}
+
+/// Named, loaded models plus the default route.
+pub struct ModelRegistry {
+    spec: RegistrySpec,
+    entries: HashMap<String, LoadedModel>,
+    default_name: String,
+}
+
+impl ModelRegistry {
+    /// Loads every model in the spec; fails if any checkpoint is missing,
+    /// malformed or metadata-less, or if the default name is unknown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Registry`] describing the offending model.
+    pub fn load(spec: RegistrySpec) -> Result<Self, ServeError> {
+        if spec.models.is_empty() {
+            return Err(ServeError::Registry(
+                "registry spec lists no models".to_string(),
+            ));
+        }
+        let mut entries = HashMap::new();
+        for m in &spec.models {
+            if entries.insert(m.name.clone(), load_one(m)?).is_some() {
+                return Err(ServeError::Registry(format!(
+                    "duplicate model name '{}'",
+                    m.name
+                )));
+            }
+        }
+        let default_name = spec
+            .default_model
+            .clone()
+            .unwrap_or_else(|| spec.models[0].name.clone());
+        if !entries.contains_key(&default_name) {
+            return Err(ServeError::Registry(format!(
+                "default model '{default_name}' is not among the loaded models"
+            )));
+        }
+        Ok(ModelRegistry {
+            spec,
+            entries,
+            default_name,
+        })
+    }
+
+    /// The registry key a request's model name resolves to (empty = the
+    /// default), if loaded. Cache and dedup group on this canonical name so
+    /// `""` and the default model's explicit name share entries.
+    #[must_use]
+    pub fn canonical_name<'a>(&'a self, name: &'a str) -> Option<&'a str> {
+        let key = if name.is_empty() {
+            self.default_name.as_str()
+        } else {
+            name
+        };
+        self.entries.contains_key(key).then_some(key)
+    }
+
+    /// Resolves a request's model name (empty = the default).
+    #[must_use]
+    pub fn resolve(&self, name: &str) -> Option<&LoadedModel> {
+        self.entries.get(self.canonical_name(name)?)
+    }
+
+    /// Re-reads every checkpoint from disk, swapping the live table only
+    /// when all of them load successfully.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Registry`]; the previous models keep serving.
+    pub fn reload(&mut self) -> Result<usize, ServeError> {
+        let fresh = ModelRegistry::load(self.spec.clone())?;
+        self.entries = fresh.entries;
+        self.default_name = fresh.default_name;
+        Ok(self.entries.len())
+    }
+
+    /// Loaded model names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.entries.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of loaded models.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty (never true for a loaded registry).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmm_ir::save_predictor;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("lmmir_serve_registry");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn loads_and_resolves_by_name_and_default() {
+        let model = iredge(16, 7);
+        let path = tmp("reg_a.lmmt");
+        save_predictor(&model, &path).unwrap();
+        let reg = ModelRegistry::load(RegistrySpec::single("a", &path)).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.names(), vec!["a".to_string()]);
+        assert!(reg.resolve("a").is_some());
+        assert!(reg.resolve("").is_some(), "empty name routes to default");
+        assert!(reg.resolve("nope").is_none());
+        assert_eq!(reg.resolve("").unwrap().meta.model, "IREDGe");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn instantiates_every_known_architecture() {
+        for (name, channels) in [
+            ("IREDGe", 3),
+            ("1st Place", 6),
+            ("2nd Place", 6),
+            ("IRPnet", 1),
+            ("LMM-IR", 6),
+        ] {
+            let meta = CheckpointMeta {
+                model: name.to_string(),
+                input_channels: channels,
+                input_size: 16,
+            };
+            let model = instantiate(&meta).unwrap();
+            assert_eq!(model.name(), name);
+            assert_eq!(model.input_channels(), channels);
+            assert_eq!(model.input_size(), 16);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_architecture_and_channel_mismatch() {
+        let meta = CheckpointMeta {
+            model: "ResNet".to_string(),
+            input_channels: 3,
+            input_size: 16,
+        };
+        assert!(instantiate(&meta).is_err());
+        let meta = CheckpointMeta {
+            model: "IREDGe".to_string(),
+            input_channels: 6,
+            input_size: 16,
+        };
+        assert!(instantiate(&meta).is_err());
+    }
+
+    #[test]
+    fn rejects_metadata_less_checkpoint() {
+        // Raw entries without meta, as a legacy writer produced.
+        let model = iredge(16, 7);
+        let entries: Vec<(String, lmmir_tensor::Tensor)> = model
+            .parameters()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (format!("param.{i}"), p.to_tensor()))
+            .collect();
+        let path = tmp("reg_legacy.lmmt");
+        lmmir_tensor::io::save(&path, &entries).unwrap();
+        let err = ModelRegistry::load(RegistrySpec::single("a", &path))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("metadata"), "got {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_missing_default_and_duplicates() {
+        let model = iredge(16, 7);
+        let path = tmp("reg_dup.lmmt");
+        save_predictor(&model, &path).unwrap();
+        let mut spec = RegistrySpec::single("a", &path);
+        spec.default_model = Some("zzz".to_string());
+        assert!(ModelRegistry::load(spec).is_err());
+        let spec = RegistrySpec {
+            models: vec![
+                ModelSpec {
+                    name: "a".to_string(),
+                    path: path.clone(),
+                },
+                ModelSpec {
+                    name: "a".to_string(),
+                    path: path.clone(),
+                },
+            ],
+            default_model: None,
+        };
+        assert!(ModelRegistry::load(spec).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reload_keeps_serving_on_failure_and_swaps_on_success() {
+        let path = tmp("reg_reload.lmmt");
+        save_predictor(&iredge(16, 1), &path).unwrap();
+        let mut reg = ModelRegistry::load(RegistrySpec::single("a", &path)).unwrap();
+        // Break the file: reload fails, old model keeps serving.
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(reg.reload().is_err());
+        assert!(reg.resolve("a").is_some());
+        // Fix the file with different weights: reload swaps.
+        save_predictor(&iredge(16, 2), &path).unwrap();
+        assert_eq!(reg.reload().unwrap(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,360 @@
+//! Server lifecycle: configuration, accept loop, request routing,
+//! graceful shutdown.
+
+use crate::batch::{self, Job, PredictJob};
+use crate::http;
+use crate::metrics::Metrics;
+use crate::proto::{PredictRequest, PredictResponse};
+use crate::registry::RegistrySpec;
+use crate::ServeError;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Server knobs. [`ServeConfig::from_env`] reads the documented
+/// environment overrides; unset fields fall back to these defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`LMMIR_SERVE_ADDR`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Most predict jobs answered by one batch (`LMMIR_MAX_BATCH`).
+    pub max_batch: usize,
+    /// How long a non-empty batch waits for company (`LMMIR_MAX_WAIT_MS`).
+    pub max_wait: Duration,
+    /// Feature-cache capacity in designs (`LMMIR_CACHE_CAP`; 0 disables).
+    pub cache_capacity: usize,
+    /// Most concurrently served connections; excess get `503`.
+    pub max_connections: usize,
+    /// Thread-count override for the inference thread's `lmmir-par` pool
+    /// (`None` = `LMMIR_THREADS` / available cores).
+    pub threads: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            max_batch: 8,
+            max_wait: Duration::from_millis(5),
+            cache_capacity: 64,
+            max_connections: 64,
+            threads: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults with environment overrides applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] naming the offending variable and
+    /// value when one is set but does not parse — a malformed
+    /// `LMMIR_MAX_BATCH=lots` must not silently serve with the default.
+    pub fn from_env() -> Result<Self, ServeError> {
+        let mut cfg = ServeConfig::default();
+        fn read<T: std::str::FromStr>(key: &str) -> Result<Option<T>, ServeError> {
+            match std::env::var(key) {
+                Ok(v) => v.parse().map(Some).map_err(|_| {
+                    ServeError::Config(format!(
+                        "invalid {key}={v:?}: expected a {}",
+                        std::any::type_name::<T>()
+                    ))
+                }),
+                Err(_) => Ok(None),
+            }
+        }
+        if let Some(v) = read::<String>("LMMIR_SERVE_ADDR")? {
+            cfg.addr = v;
+        }
+        if let Some(v) = read::<usize>("LMMIR_MAX_BATCH")? {
+            cfg.max_batch = v.max(1);
+        }
+        if let Some(v) = read::<u64>("LMMIR_MAX_WAIT_MS")? {
+            cfg.max_wait = Duration::from_millis(v);
+        }
+        if let Some(v) = read::<usize>("LMMIR_CACHE_CAP")? {
+            cfg.cache_capacity = v;
+        }
+        Ok(cfg)
+    }
+}
+
+/// A running server: bound address, background threads, shutdown control.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
+    acceptor: JoinHandle<()>,
+    batcher: JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds, loads the registry and starts serving.
+    ///
+    /// Returns only after the registry finished loading, so a missing or
+    /// mismatched checkpoint fails here rather than on the first request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the address cannot be bound and
+    /// [`ServeError::Registry`] when a checkpoint fails to load.
+    pub fn start(cfg: ServeConfig, spec: RegistrySpec) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let (ready_tx, ready_rx) = mpsc::channel();
+
+        let batcher = {
+            let cfg = cfg.clone();
+            let metrics = Arc::clone(&metrics);
+            thread::Builder::new()
+                .name("lmmir-inference".to_string())
+                .spawn(move || batch::run(&cfg, spec, job_rx, &metrics, &ready_tx))?
+        };
+        match ready_rx.recv_timeout(Duration::from_secs(120)) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                let _ = batcher.join();
+                return Err(e);
+            }
+            Err(_) => {
+                return Err(ServeError::Registry(
+                    "inference thread did not come up within 120 s".to_string(),
+                ))
+            }
+        }
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let metrics = Arc::clone(&metrics);
+            let max_connections = cfg.max_connections;
+            thread::Builder::new()
+                .name("lmmir-accept".to_string())
+                .spawn(move || {
+                    accept_loop(&listener, &job_tx, &shutdown, &metrics, max_connections)
+                })?
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            metrics,
+            acceptor,
+            batcher,
+        })
+    }
+
+    /// The bound address (resolved, so port 0 shows the real port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live server counters.
+    #[must_use]
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Requests shutdown (also triggered by `POST /shutdown`): the
+    /// acceptor stops taking connections, in-flight connections finish,
+    /// queued jobs are answered, then the threads exit.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the server shut down (via [`Server::shutdown`] or
+    /// `POST /shutdown`) and every thread drained.
+    pub fn wait(self) {
+        let _ = self.acceptor.join();
+        let _ = self.batcher.join();
+    }
+
+    /// [`Server::shutdown`] + [`Server::wait`] in one call.
+    pub fn stop(self) {
+        self.shutdown();
+        self.wait();
+    }
+}
+
+/// Accepts connections until shutdown, then joins every handler (drain).
+fn accept_loop(
+    listener: &TcpListener,
+    job_tx: &Sender<Job>,
+    shutdown: &Arc<AtomicBool>,
+    metrics: &Arc<Metrics>,
+    max_connections: usize,
+) {
+    let live = Arc::new(AtomicUsize::new(0));
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                handlers.retain(|h| !h.is_finished());
+                if live.load(Ordering::SeqCst) >= max_connections {
+                    let mut stream = stream;
+                    let _ = http::write_response(
+                        &mut stream,
+                        503,
+                        "text/plain",
+                        b"connection limit reached\n",
+                    );
+                    continue;
+                }
+                live.fetch_add(1, Ordering::SeqCst);
+                let job_tx = job_tx.clone();
+                let shutdown = Arc::clone(shutdown);
+                let metrics = Arc::clone(metrics);
+                let live_worker = Arc::clone(&live);
+                let spawned =
+                    thread::Builder::new()
+                        .name("lmmir-conn".to_string())
+                        .spawn(move || {
+                            handle_connection(stream, &job_tx, &shutdown, &metrics);
+                            live_worker.fetch_sub(1, Ordering::SeqCst);
+                        });
+                match spawned {
+                    Ok(h) => handlers.push(h),
+                    Err(_) => {
+                        live.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+    // Connection drain: every accepted request finishes before the job
+    // sender drops, which in turn lets the inference thread exit.
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// Serves one connection (one request, `Connection: close`).
+fn handle_connection(
+    stream: TcpStream,
+    job_tx: &Sender<Job>,
+    shutdown: &Arc<AtomicBool>,
+    metrics: &Arc<Metrics>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    Metrics::inc(&metrics.requests_total);
+    let request = match http::read_request(&mut reader, &mut writer) {
+        Ok(r) => r,
+        Err(e) => {
+            respond(&mut writer, 400, "text/plain", format!("{e}\n").as_bytes());
+            return;
+        }
+    };
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/healthz") => respond(&mut writer, 200, "text/plain", b"ok\n"),
+        ("GET", "/metrics") => {
+            respond(&mut writer, 200, "text/plain", metrics.render().as_bytes());
+        }
+        ("POST", "/shutdown") => {
+            shutdown.store(true, Ordering::SeqCst);
+            respond(&mut writer, 200, "text/plain", b"shutting down\n");
+        }
+        ("POST", "/reload") => {
+            let (tx, rx) = mpsc::channel();
+            if job_tx.send(Job::Reload(tx)).is_err() {
+                respond(&mut writer, 503, "text/plain", b"server shutting down\n");
+                return;
+            }
+            match rx.recv_timeout(Duration::from_secs(120)) {
+                Ok(Ok(n)) => respond(
+                    &mut writer,
+                    200,
+                    "text/plain",
+                    format!("reloaded {n} model(s)\n").as_bytes(),
+                ),
+                Ok(Err(msg)) => respond(
+                    &mut writer,
+                    500,
+                    "text/plain",
+                    format!("{msg}\n").as_bytes(),
+                ),
+                Err(_) => respond(&mut writer, 504, "text/plain", b"reload timed out\n"),
+            }
+        }
+        ("POST", "/predict") => handle_predict(&mut writer, &request.body, job_tx, metrics),
+        ("GET" | "POST", _) => respond(&mut writer, 404, "text/plain", b"no such endpoint\n"),
+        _ => respond(&mut writer, 405, "text/plain", b"method not allowed\n"),
+    }
+}
+
+fn handle_predict(
+    writer: &mut TcpStream,
+    body: &[u8],
+    job_tx: &Sender<Job>,
+    metrics: &Arc<Metrics>,
+) {
+    let t0 = std::time::Instant::now();
+    let request = match PredictRequest::decode(body) {
+        Ok(r) => r,
+        Err(e) => {
+            respond(
+                writer,
+                400,
+                "application/octet-stream",
+                &PredictResponse::encode_error(&e.to_string()),
+            );
+            return;
+        }
+    };
+    let fingerprint = request.fingerprint();
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job::Predict(PredictJob {
+        request,
+        fingerprint,
+        reply: reply_tx,
+    });
+    if job_tx.send(job).is_err() {
+        respond(
+            writer,
+            503,
+            "application/octet-stream",
+            &PredictResponse::encode_error("server shutting down"),
+        );
+        return;
+    }
+    match reply_rx.recv_timeout(Duration::from_secs(300)) {
+        Ok(Ok(resp)) => {
+            metrics.observe_latency(t0.elapsed());
+            respond(writer, 200, "application/octet-stream", &resp.encode());
+        }
+        Ok(Err(msg)) => respond(
+            writer,
+            422,
+            "application/octet-stream",
+            &PredictResponse::encode_error(&msg),
+        ),
+        Err(_) => respond(
+            writer,
+            504,
+            "application/octet-stream",
+            &PredictResponse::encode_error("prediction timed out"),
+        ),
+    }
+}
+
+fn respond(writer: &mut impl Write, status: u16, content_type: &str, body: &[u8]) {
+    let _ = http::write_response(writer, status, content_type, body);
+}

@@ -11,7 +11,25 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"LMMT";
-const VERSION: u32 = 1;
+/// Current on-disk version. Version 2 marks checkpoints that carry a
+/// metadata entry (see `lmm_ir::checkpoint`); the wire format of the
+/// entries themselves is unchanged, so readers accept 1 and 2 alike.
+const VERSION: u32 = 2;
+const OLDEST_READABLE_VERSION: u32 = 1;
+
+/// Hard caps on header-declared quantities. Every count in the format is
+/// attacker-controlled (a checkpoint may come off the network or a corrupt
+/// disk), so nothing from the header reaches an allocator unchecked — a
+/// hostile file fails with a clean [`TensorError::Io`] instead of driving a
+/// multi-gigabyte `Vec::with_capacity`.
+const MAX_ENTRIES: u64 = 1 << 20;
+const MAX_NAME_LEN: u32 = 4096;
+const MAX_RANK: u32 = 16;
+const MAX_NUMEL: usize = 1 << 31;
+
+/// Largest single allocation made before any payload bytes confirm the
+/// header (64 KiB); beyond it, buffers grow only as data actually arrives.
+const PREALLOC_LIMIT: usize = 1 << 16;
 
 /// Writes named tensors to `w` in checkpoint format.
 ///
@@ -39,6 +57,10 @@ pub fn write_tensors<W: Write>(mut w: W, entries: &[(String, Tensor)]) -> Result
 
 /// Reads named tensors from `r` (checkpoint format).
 ///
+/// Header-declared sizes are validated against hard caps and buffers grow
+/// with the bytes actually read, so truncated or hostile input fails with a
+/// clean error instead of a huge allocation.
+///
 /// # Errors
 ///
 /// Returns [`TensorError::Io`] on malformed input or read failure.
@@ -51,34 +73,68 @@ pub fn read_tensors<R: Read>(mut r: R) -> Result<Vec<(String, Tensor)>> {
     let mut u32b = [0u8; 4];
     r.read_exact(&mut u32b)?;
     let version = u32::from_le_bytes(u32b);
-    if version != VERSION {
+    if !(OLDEST_READABLE_VERSION..=VERSION).contains(&version) {
         return Err(TensorError::Io(format!(
-            "unsupported checkpoint version {version}"
+            "unsupported checkpoint version {version} (readable: \
+             {OLDEST_READABLE_VERSION}..={VERSION})"
         )));
     }
     let mut u64b = [0u8; 8];
     r.read_exact(&mut u64b)?;
-    let count = u64::from_le_bytes(u64b) as usize;
-    let mut entries = Vec::with_capacity(count);
+    let count = u64::from_le_bytes(u64b);
+    if count > MAX_ENTRIES {
+        return Err(TensorError::Io(format!(
+            "checkpoint declares {count} entries (cap {MAX_ENTRIES})"
+        )));
+    }
+    let mut entries = Vec::with_capacity((count as usize).min(PREALLOC_LIMIT));
     for _ in 0..count {
         r.read_exact(&mut u32b)?;
-        let name_len = u32::from_le_bytes(u32b) as usize;
-        let mut name_bytes = vec![0u8; name_len];
+        let name_len = u32::from_le_bytes(u32b);
+        if name_len > MAX_NAME_LEN {
+            return Err(TensorError::Io(format!(
+                "tensor name of {name_len} bytes (cap {MAX_NAME_LEN})"
+            )));
+        }
+        let mut name_bytes = vec![0u8; name_len as usize];
         r.read_exact(&mut name_bytes)?;
         let name = String::from_utf8(name_bytes)
             .map_err(|e| TensorError::Io(format!("invalid tensor name: {e}")))?;
         r.read_exact(&mut u32b)?;
-        let rank = u32::from_le_bytes(u32b) as usize;
-        let mut dims = Vec::with_capacity(rank);
+        let rank = u32::from_le_bytes(u32b);
+        if rank > MAX_RANK {
+            return Err(TensorError::Io(format!(
+                "tensor '{name}' declares rank {rank} (cap {MAX_RANK})"
+            )));
+        }
+        let mut dims = Vec::with_capacity(rank as usize);
         for _ in 0..rank {
             r.read_exact(&mut u64b)?;
             dims.push(u64::from_le_bytes(u64b) as usize);
         }
-        let n = crate::shape::numel(&dims);
-        let mut data = Vec::with_capacity(n);
-        for _ in 0..n {
-            r.read_exact(&mut u32b)?;
-            data.push(f32::from_le_bytes(u32b));
+        let n = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .filter(|&n| n <= MAX_NUMEL)
+            .ok_or_else(|| {
+                TensorError::Io(format!(
+                    "tensor '{name}' dims {dims:?} exceed element cap {MAX_NUMEL}"
+                ))
+            })?;
+        // Grow the buffer as payload actually arrives: a header lying about
+        // the element count hits EOF instead of reserving `n` floats.
+        let mut data = Vec::with_capacity(n.min(PREALLOC_LIMIT));
+        let mut chunk = [0u8; 4096];
+        let mut remaining = n;
+        while remaining > 0 {
+            let take = remaining.min(chunk.len() / 4);
+            r.read_exact(&mut chunk[..take * 4])?;
+            data.extend(
+                chunk[..take * 4]
+                    .chunks_exact(4)
+                    .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+            );
+            remaining -= take;
         }
         entries.push((name, Tensor::from_vec(data, &dims)?));
     }
@@ -140,6 +196,69 @@ mod tests {
         write_tensors(&mut buf, &entries).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(read_tensors(&buf[..]).is_err());
+    }
+
+    /// Hand-builds a header: magic, version, entry count, then one entry
+    /// with the given name length, rank and dims — and no payload.
+    fn hostile_header(count: u64, name_len: u32, rank: u32, dims: &[u64]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&count.to_le_bytes());
+        buf.extend_from_slice(&name_len.to_le_bytes());
+        buf.extend_from_slice(&vec![b'a'; name_len.min(8) as usize]);
+        buf.extend_from_slice(&rank.to_le_bytes());
+        for d in dims {
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        buf
+    }
+
+    #[test]
+    fn rejects_header_exceeding_caps() {
+        // Entry count, name length and rank well past their caps must fail
+        // cleanly (and fast — no allocation proportional to the claim).
+        for buf in [
+            hostile_header(u64::MAX, 1, 1, &[1]),
+            hostile_header(1, u32::MAX, 1, &[1]),
+            hostile_header(1, 4, u32::MAX, &[]),
+        ] {
+            let err = read_tensors(&buf[..]).unwrap_err();
+            assert!(matches!(err, TensorError::Io(_)), "got {err:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_overflowing_and_oversized_dims() {
+        // Dim product overflows usize.
+        let buf = hostile_header(1, 4, 2, &[u64::MAX, u64::MAX]);
+        assert!(read_tensors(&buf[..]).is_err());
+        // Dim product is representable but exceeds the element cap; the
+        // stream carries no payload, so a trusting reader would reserve
+        // gigabytes before noticing EOF.
+        let buf = hostile_header(1, 4, 2, &[1 << 20, 1 << 20]);
+        assert!(read_tensors(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_fails_without_huge_allocation() {
+        // Header honestly declares 1M elements but delivers only a few
+        // bytes: the chunked reader hits EOF early.
+        let mut buf = hostile_header(1, 4, 1, &[1 << 20]);
+        buf.extend_from_slice(&[0u8; 64]);
+        assert!(read_tensors(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn accepts_version_1_rejects_future() {
+        let entries = vec![("w".to_string(), Tensor::ones(&[2]))];
+        let mut buf = Vec::new();
+        write_tensors(&mut buf, &entries).unwrap();
+        // Rewrite the version field (bytes 4..8).
+        buf[4..8].copy_from_slice(&1u32.to_le_bytes());
+        assert!(read_tensors(&buf[..]).is_ok(), "v1 stays readable");
+        buf[4..8].copy_from_slice(&(VERSION + 1).to_le_bytes());
+        assert!(read_tensors(&buf[..]).is_err(), "future versions rejected");
     }
 
     #[test]

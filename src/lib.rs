@@ -15,6 +15,7 @@
 //! * [`pdn`] — contest-style benchmark generation (BeGAN substitute)
 //! * [`features`] — circuit feature-map extraction
 //! * [`model`] — the LMM-IR model, baselines, training and metrics
+//! * [`serve`] — batched HTTP inference server (registry, cache, metrics)
 //!
 //! ```
 //! use lmm_ir_repro::pdn::{CaseKind, CaseSpec};
@@ -53,6 +54,9 @@ pub use lmmir_features as features;
 /// The LMM-IR model, baselines, training, metrics and pipeline.
 pub use lmm_ir as model;
 
+/// Batched HTTP inference serving.
+pub use lmmir_serve as serve;
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -62,5 +66,6 @@ mod tests {
         let _ = crate::spice::Netlist::new();
         let _ = crate::model::table1();
         let _ = crate::pdn::TESTCASE_SHAPES;
+        let _ = crate::serve::ServeConfig::default();
     }
 }
