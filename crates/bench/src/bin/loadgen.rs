@@ -1,23 +1,26 @@
 //! Load generator for the `lmmir-serve` inference server.
 //!
 //! Generates a handful of designs, hammers `POST /predict` from concurrent
-//! client threads (repeating designs, so the feature cache and in-batch
-//! dedup engage), verifies responses are bitwise self-consistent per
-//! design, and reports throughput plus the server's own cache/batch
-//! metrics.
+//! client threads (repeating designs, so the result cache, feature cache
+//! and in-batch dedup engage), verifies responses are bitwise
+//! self-consistent per design, and reports throughput plus the server's
+//! own cache/batch metrics.
 //!
 //! ```text
 //! loadgen --addr 127.0.0.1:7878 [--requests 64] [--concurrency 4]
 //!         [--designs 2] [--size 16] [--model NAME] [--no-verify]
+//!         [--keep-alive] [--json PATH]
 //! loadgen --emit-request PATH [--size 16] [--seed 0]   # write one body for curl
 //! ```
 //!
-//! The batching acceptance check of the serving subsystem is driven from
-//! here: run the same load against `--max-batch 1` and `--max-batch 8`
-//! servers and compare the reported requests/second.
+//! Two serving acceptance checks are driven from here: the batching win
+//! (`--max-batch 1` vs `8` servers) and the keep-alive win (`--keep-alive`
+//! vs connection-per-request against the same server). `--json` writes the
+//! measured numbers as a machine-readable benchmark record (CI uploads it
+//! as `BENCH_serve.json`).
 
 use lmmir_pdn::{CaseKind, CaseSpec};
-use lmmir_serve::{client, PredictRequest};
+use lmmir_serve::{client, Client, PredictRequest};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -33,6 +36,8 @@ struct Options {
     model: String,
     emit_request: Option<String>,
     verify: bool,
+    keep_alive: bool,
+    json: Option<String>,
 }
 
 impl Options {
@@ -47,6 +52,8 @@ impl Options {
             model: String::new(),
             emit_request: None,
             verify: true,
+            keep_alive: false,
+            json: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -65,6 +72,8 @@ impl Options {
                 "--model" => o.model = value("model")?,
                 "--emit-request" => o.emit_request = Some(value("emit-request")?),
                 "--no-verify" => o.verify = false,
+                "--keep-alive" => o.keep_alive = true,
+                "--json" => o.json = Some(value("json")?),
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -150,8 +159,13 @@ fn main() -> ExitCode {
         let errors = Arc::clone(&errors);
         let addr = addr.clone();
         let verify = o.verify;
+        let keep_alive = o.keep_alive;
         let total = o.requests;
         workers.push(std::thread::spawn(move || {
+            // Keep-alive mode: one persistent connection per worker, every
+            // request after the first reuses it. Otherwise each request
+            // opens (and the server closes) its own connection.
+            let mut persistent = keep_alive.then(|| Client::new(addr.clone()));
             let mut latencies = Vec::new();
             loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
@@ -166,7 +180,11 @@ fn main() -> ExitCode {
                     0
                 };
                 let t = Instant::now();
-                match client::predict(&addr, &requests[which]) {
+                let outcome = match &mut persistent {
+                    Some(cli) => cli.predict(&requests[which]),
+                    None => client::predict(&addr, &requests[which]),
+                };
+                match outcome {
                     Ok(resp) => {
                         latencies.push(t.elapsed().as_secs_f64());
                         if verify {
@@ -207,26 +225,73 @@ fn main() -> ExitCode {
             latencies[i] * 1e3
         }
     };
+    let rate = done as f64 / elapsed;
     println!(
-        "[loadgen] {done}/{} ok ({errors} errors) in {elapsed:.2}s → {:.1} req/s \
-         (latency ms: p50 {:.2}, p99 {:.2})",
+        "[loadgen] {done}/{} ok ({errors} errors) in {elapsed:.2}s → {rate:.1} req/s \
+         (latency ms: p50 {:.2}, p99 {:.2}){}",
         o.requests,
-        done as f64 / elapsed,
         pct(0.50),
         pct(0.99),
+        if o.keep_alive { " [keep-alive]" } else { "" },
     );
+    let mut feature_hit_rate = f64::NAN;
+    let mut result_hit_rate = f64::NAN;
     match client::get_text(&addr, "/metrics") {
         Ok((_, text)) => {
             for line in text.lines() {
                 if line.contains("cache") || line.contains("batch") || line.contains("dedup") {
                     println!("[loadgen] server {line}");
                 }
+                let gauge = |name: &str| {
+                    line.strip_prefix(name)
+                        .and_then(|rest| rest.trim().parse::<f64>().ok())
+                };
+                if let Some(v) = gauge("lmmir_cache_hit_rate ") {
+                    feature_hit_rate = v;
+                }
+                if let Some(v) = gauge("lmmir_result_cache_hit_rate ") {
+                    result_hit_rate = v;
+                }
             }
         }
         Err(e) => eprintln!("[loadgen] metrics fetch failed: {e}"),
+    }
+    if let Some(path) = &o.json {
+        // Hand-rolled JSON (no serde in the container); every field is a
+        // number or bool, so escaping is a non-issue.
+        let record = format!(
+            "{{\n  \"requests\": {},\n  \"ok\": {done},\n  \"errors\": {errors},\n  \
+             \"concurrency\": {},\n  \"designs\": {},\n  \"size\": {},\n  \
+             \"keep_alive\": {},\n  \"elapsed_s\": {elapsed:.4},\n  \
+             \"req_per_s\": {rate:.2},\n  \"p50_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \
+             \"feature_cache_hit_rate\": {},\n  \"result_cache_hit_rate\": {}\n}}\n",
+            o.requests,
+            o.concurrency,
+            o.designs,
+            o.size,
+            o.keep_alive,
+            pct(0.50),
+            pct(0.99),
+            json_num(feature_hit_rate),
+            json_num(result_hit_rate),
+        );
+        if let Err(e) = std::fs::write(path, record) {
+            eprintln!("[loadgen] writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[loadgen] wrote benchmark record to {path}");
     }
     if errors > 0 {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// JSON has no NaN; an unavailable rate serializes as null.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
 }

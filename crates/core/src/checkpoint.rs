@@ -11,14 +11,35 @@
 //! wrong file fails with an attributable message instead of a bare
 //! parameter-count mismatch deep in the tensor list. Checkpoints written
 //! before the metadata entry existed (format v1) still load.
+//!
+//! Format v3 additionally serializes the **full [`LmmIrConfig`]** (widths,
+//! stem kernel, LNT plan, ablation switches, seed) into a `config.lmmir`
+//! entry when the saved model carries one. A v3 reader reconstructs the
+//! exact trained architecture instead of assuming the `quick()` widths —
+//! which is what makes paper-scale LMM-IR checkpoints servable. v1 and v2
+//! files still load: the config entry is simply absent and
+//! [`CheckpointMeta::config`] is `None`.
 
-use crate::model::IrPredictor;
+use crate::lnt::LntConfig;
+use crate::model::{IrPredictor, LmmIrConfig};
 use lmmir_tensor::{io, Result, Tensor, TensorError};
 use std::path::Path;
 
 /// Name prefix of the metadata entry; the model name rides in the entry
 /// name itself (entry names are the only string-typed field in the format).
 const META_PREFIX: &str = "meta.";
+
+/// Name of the full-config entry written since format v3.
+const CONFIG_ENTRY: &str = "config.lmmir";
+
+/// Layout version of the `config.lmmir` payload (independent of the
+/// checkpoint format version, so the payload can evolve without touching
+/// the meta entry).
+const CONFIG_LAYOUT: u32 = 1;
+
+/// Hard cap on the serialized width-plan length — far above any realistic
+/// encoder (the paper uses 5 stages), but bounds a hostile payload.
+const MAX_WIDTHS: usize = 64;
 
 /// Architecture metadata stored alongside checkpoint parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +50,10 @@ pub struct CheckpointMeta {
     pub input_channels: usize,
     /// Square input size the model was configured for.
     pub input_size: usize,
+    /// Full LMM-IR configuration (format v3; `None` for v1/v2 files and
+    /// for baseline architectures, which are fully determined by name,
+    /// channels and size).
+    pub config: Option<LmmIrConfig>,
 }
 
 impl CheckpointMeta {
@@ -39,6 +64,19 @@ impl CheckpointMeta {
             model: model.name().to_string(),
             input_channels: model.input_channels(),
             input_size: model.input_size(),
+            config: model.lmmir_config().cloned(),
+        }
+    }
+
+    /// The checkpoint format version this metadata corresponds to: 3 when
+    /// the full config is recorded, 2 otherwise (1 — no metadata at all —
+    /// is represented by `split_meta` returning `None`).
+    #[must_use]
+    pub fn format_version(&self) -> u8 {
+        if self.config.is_some() {
+            3
+        } else {
+            2
         }
     }
 
@@ -68,24 +106,135 @@ impl CheckpointMeta {
             model: model.to_string(),
             input_channels: data[0] as usize,
             input_size: data[1] as usize,
+            config: None,
         })
     }
+}
+
+/// Serializes a full [`LmmIrConfig`] into the v3 `config.lmmir` entry.
+///
+/// Every field is an exact integer in `f32` (all ≪ 2²⁴) except the 64-bit
+/// seed, which rides as four 16-bit chunks. The payload leads with a layout
+/// version so it can evolve independently of the checkpoint format.
+fn config_entry(cfg: &LmmIrConfig) -> (String, Tensor) {
+    let mut payload = vec![
+        CONFIG_LAYOUT as f32,
+        cfg.in_channels as f32,
+        cfg.stem_kernel as f32,
+        cfg.input_size as f32,
+        f32::from(u8::from(cfg.use_lnt)),
+        f32::from(u8::from(cfg.use_attention_gates)),
+    ];
+    for i in 0..4 {
+        payload.push(((cfg.seed >> (16 * i)) & 0xFFFF) as f32);
+    }
+    payload.extend([
+        cfg.lnt.d_model as f32,
+        cfg.lnt.heads as f32,
+        cfg.lnt.layers as f32,
+        cfg.lnt.max_points as f32,
+        cfg.lnt.chunk as f32,
+        cfg.lnt.ff_mult as f32,
+        cfg.widths.len() as f32,
+    ]);
+    payload.extend(cfg.widths.iter().map(|&w| w as f32));
+    let len = payload.len();
+    (
+        CONFIG_ENTRY.to_string(),
+        Tensor::from_vec(payload, &[len]).expect("config payload is rank 1"),
+    )
+}
+
+/// Parses a `config.lmmir` entry previously written by [`config_entry`].
+fn parse_config(t: &Tensor) -> Result<LmmIrConfig> {
+    let bad = |why: &str| TensorError::Io(format!("malformed '{CONFIG_ENTRY}' entry: {why}"));
+    let data = t.data();
+    if t.dims().len() != 1 || data.len() < 17 {
+        return Err(bad("payload too short"));
+    }
+    if data
+        .iter()
+        .any(|v| *v < 0.0 || v.fract() != 0.0 || *v > (1 << 24) as f32)
+    {
+        return Err(bad("fields must be small non-negative integers"));
+    }
+    let at = |i: usize| data[i] as usize;
+    if at(0) != CONFIG_LAYOUT as usize {
+        return Err(bad(&format!(
+            "unknown config layout {} (this reader knows {CONFIG_LAYOUT})",
+            at(0)
+        )));
+    }
+    let flag = |i: usize| match at(i) {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(bad(&format!("flag field holds {other}, want 0 or 1"))),
+    };
+    let mut seed = 0u64;
+    for i in 0..4 {
+        let chunk = at(6 + i);
+        if chunk > 0xFFFF {
+            return Err(bad("seed chunk exceeds 16 bits"));
+        }
+        seed |= (chunk as u64) << (16 * i);
+    }
+    let widths_len = at(16);
+    if widths_len == 0 || widths_len > MAX_WIDTHS {
+        return Err(bad(&format!(
+            "width plan of {widths_len} (cap {MAX_WIDTHS})"
+        )));
+    }
+    if data.len() != 17 + widths_len {
+        return Err(bad(&format!(
+            "payload holds {} values but the width plan wants {}",
+            data.len(),
+            17 + widths_len
+        )));
+    }
+    Ok(LmmIrConfig {
+        in_channels: at(1),
+        stem_kernel: at(2),
+        input_size: at(3),
+        use_lnt: flag(4)?,
+        use_attention_gates: flag(5)?,
+        seed,
+        lnt: LntConfig {
+            d_model: at(10),
+            heads: at(11),
+            layers: at(12),
+            max_points: at(13),
+            chunk: at(14),
+            ff_mult: at(15),
+        },
+        widths: (0..widths_len).map(|i| at(17 + i)).collect(),
+    })
 }
 
 /// A named tensor as stored in a checkpoint file.
 pub type NamedTensor = (String, Tensor);
 
 /// Splits loaded entries into the optional metadata and the parameter list
-/// (order preserved).
+/// (order preserved). A v3 `config.lmmir` entry is folded into
+/// [`CheckpointMeta::config`] and cross-checked against the meta entry.
 ///
 /// # Errors
 ///
-/// Returns [`TensorError::Io`] for a malformed or duplicated meta entry.
+/// Returns [`TensorError::Io`] for a malformed or duplicated meta/config
+/// entry, a config entry without a meta entry, or a config that disagrees
+/// with the meta's architecture name, channel count or input size.
 pub fn split_meta(entries: Vec<NamedTensor>) -> Result<(Option<CheckpointMeta>, Vec<NamedTensor>)> {
-    let mut meta = None;
+    let mut meta: Option<CheckpointMeta> = None;
+    let mut config: Option<LmmIrConfig> = None;
     let mut params = Vec::with_capacity(entries.len());
     for (name, t) in entries {
-        if name.starts_with(META_PREFIX) {
+        if name == CONFIG_ENTRY {
+            if config.is_some() {
+                return Err(TensorError::Io(
+                    "checkpoint has more than one config entry".to_string(),
+                ));
+            }
+            config = Some(parse_config(&t)?);
+        } else if name.starts_with(META_PREFIX) {
             if meta.is_some() {
                 return Err(TensorError::Io(
                     "checkpoint has more than one meta entry".to_string(),
@@ -95,6 +244,27 @@ pub fn split_meta(entries: Vec<NamedTensor>) -> Result<(Option<CheckpointMeta>, 
         } else {
             params.push((name, t));
         }
+    }
+    if let Some(cfg) = config {
+        let Some(meta) = meta.as_mut() else {
+            return Err(TensorError::Io(format!(
+                "checkpoint has a '{CONFIG_ENTRY}' entry but no meta entry"
+            )));
+        };
+        if meta.model != "LMM-IR" {
+            return Err(TensorError::Io(format!(
+                "'{CONFIG_ENTRY}' entry on a '{}' checkpoint (configs describe LMM-IR)",
+                meta.model
+            )));
+        }
+        if cfg.in_channels != meta.input_channels || cfg.input_size != meta.input_size {
+            return Err(TensorError::Io(format!(
+                "config entry ({} channels, {} px) disagrees with meta entry \
+                 ({} channels, {} px)",
+                cfg.in_channels, cfg.input_size, meta.input_channels, meta.input_size
+            )));
+        }
+        meta.config = Some(cfg);
     }
     Ok((meta, params))
 }
@@ -110,23 +280,26 @@ pub fn load_meta(path: impl AsRef<Path>) -> Result<Option<CheckpointMeta>> {
     Ok(meta)
 }
 
-/// Serializes a predictor's parameters (plus architecture metadata) to the
-/// binary checkpoint format.
+/// Serializes a predictor's parameters (plus architecture metadata, plus —
+/// for models that carry one — the full LMM-IR configuration; format v3)
+/// to the binary checkpoint format.
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::Io`] on filesystem failure.
 pub fn save_predictor(model: &dyn IrPredictor, path: impl AsRef<Path>) -> Result<()> {
     let meta = CheckpointMeta::of(model);
-    let entries: Vec<(String, Tensor)> = std::iter::once(meta.entry())
-        .chain(
-            model
-                .parameters()
-                .iter()
-                .enumerate()
-                .map(|(i, p)| (format!("param.{i}"), p.to_tensor())),
-        )
-        .collect();
+    let mut entries: Vec<(String, Tensor)> = vec![meta.entry()];
+    if let Some(cfg) = &meta.config {
+        entries.push(config_entry(cfg));
+    }
+    entries.extend(
+        model
+            .parameters()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (format!("param.{i}"), p.to_tensor())),
+    );
     io::save(path, &entries)
 }
 
@@ -146,7 +319,10 @@ pub fn load_predictor(model: &dyn IrPredictor, path: impl AsRef<Path>) -> Result
     let (meta, entries) = split_meta(io::load(path)?)?;
     if let Some(meta) = meta {
         let target = CheckpointMeta::of(model);
-        if meta != target {
+        if meta.model != target.model
+            || meta.input_channels != target.input_channels
+            || meta.input_size != target.input_size
+        {
             return Err(TensorError::Io(format!(
                 "checkpoint architecture mismatch: file was saved from \
                  '{}' ({} channels, {} px) but the target model is \
@@ -158,6 +334,29 @@ pub fn load_predictor(model: &dyn IrPredictor, path: impl AsRef<Path>) -> Result
                 target.input_channels,
                 target.input_size,
             )));
+        }
+        // The full config is compared only when both sides record one: a
+        // v2 checkpoint (no config) restores into any same-shape model, and
+        // restore_parameters still validates every tensor shape below.
+        if let (Some(file_cfg), Some(model_cfg)) = (&meta.config, &target.config) {
+            if file_cfg.widths != model_cfg.widths
+                || file_cfg.stem_kernel != model_cfg.stem_kernel
+                || file_cfg.lnt != model_cfg.lnt
+                || file_cfg.use_lnt != model_cfg.use_lnt
+                || file_cfg.use_attention_gates != model_cfg.use_attention_gates
+            {
+                return Err(TensorError::Io(format!(
+                    "checkpoint configuration mismatch: file records widths \
+                     {:?} (lnt {}, gates {}) but the target model is built \
+                     with widths {:?} (lnt {}, gates {})",
+                    file_cfg.widths,
+                    file_cfg.use_lnt,
+                    file_cfg.use_attention_gates,
+                    model_cfg.widths,
+                    model_cfg.use_lnt,
+                    model_cfg.use_attention_gates,
+                )));
+            }
         }
     }
     restore_parameters(model, entries)
@@ -313,5 +512,146 @@ mod tests {
     fn load_missing_file_errors() {
         let a = iredge(16, 1);
         assert!(load_predictor(&a, tmp("does_not_exist.lmmt")).is_err());
+    }
+
+    fn custom_lmmir_cfg() -> LmmIrConfig {
+        // Deliberately NOT the quick() widths/LNT plan: this is the exact
+        // case a v2 reader could not serve.
+        LmmIrConfig {
+            in_channels: 6,
+            widths: vec![4, 8, 16],
+            stem_kernel: 5,
+            lnt: LntConfig {
+                d_model: 16,
+                heads: 2,
+                layers: 1,
+                max_points: 128,
+                chunk: 32,
+                ff_mult: 3,
+            },
+            use_lnt: true,
+            use_attention_gates: false,
+            input_size: 16,
+            seed: 0xDEAD_BEEF_CAFE_F00D,
+        }
+    }
+
+    #[test]
+    fn v3_full_config_round_trips() {
+        use crate::model::LmmIr;
+        let cfg = custom_lmmir_cfg();
+        let a = LmmIr::new(cfg.clone());
+        let path = tmp("v3_config.lmmt");
+        save_predictor(&a, &path).unwrap();
+        let meta = load_meta(&path).unwrap().expect("v3 checkpoints have meta");
+        assert_eq!(meta.format_version(), 3);
+        assert_eq!(meta.config.as_ref(), Some(&cfg), "config must survive");
+        assert_eq!(meta.config.unwrap().seed, 0xDEAD_BEEF_CAFE_F00D);
+        // And the weights restore into a model built from that config.
+        let b = LmmIr::new(LmmIrConfig {
+            seed: 1,
+            ..custom_lmmir_cfg()
+        });
+        load_predictor(&b, &path).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v3_rejects_config_width_mismatch() {
+        use crate::model::LmmIr;
+        let a = LmmIr::new(custom_lmmir_cfg());
+        let path = tmp("v3_mismatch.lmmt");
+        save_predictor(&a, &path).unwrap();
+        let mut other_cfg = custom_lmmir_cfg();
+        other_cfg.widths = vec![4, 8];
+        let b = LmmIr::new(other_cfg);
+        let err = load_predictor(&b, &path).unwrap_err().to_string();
+        assert!(err.contains("configuration mismatch"), "got {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_layout_checkpoint_loads_through_v3_reader() {
+        use crate::model::LmmIr;
+        // Pinned v2 writer shape: one `meta.{name}` entry of [channels,
+        // size] followed by `param.{i}` entries — exactly what PR 3's
+        // save_predictor produced, hand-written so the current writer
+        // cannot mask a compatibility break.
+        let cfg = LmmIrConfig {
+            input_size: 16,
+            widths: vec![12, 24],
+            ..LmmIrConfig::quick()
+        };
+        let a = LmmIr::new(cfg.clone());
+        let mut entries = vec![(
+            "meta.LMM-IR".to_string(),
+            Tensor::from_vec(vec![6.0, 16.0], &[2]).unwrap(),
+        )];
+        entries.extend(
+            a.parameters()
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (format!("param.{i}"), p.to_tensor())),
+        );
+        let path = tmp("v2_layout.lmmt");
+        io::save(&path, &entries).unwrap();
+        let meta = load_meta(&path).unwrap().expect("v2 files carry meta");
+        assert_eq!(meta.format_version(), 2);
+        assert!(meta.config.is_none());
+        // A v2 file restores into a same-shape model even though the model
+        // itself carries a full config (the file predates configs).
+        let b = LmmIr::new(LmmIrConfig { seed: 9, ..cfg });
+        load_predictor(&b, &path).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hostile_config_entries_are_rejected() {
+        let meta = (
+            "meta.LMM-IR".to_string(),
+            Tensor::from_vec(vec![6.0, 16.0], &[2]).unwrap(),
+        );
+        let cfg_payload = |v: Vec<f32>| {
+            let len = v.len();
+            (
+                "config.lmmir".to_string(),
+                Tensor::from_vec(v, &[len]).unwrap(),
+            )
+        };
+        // Too short.
+        let short = cfg_payload(vec![1.0; 5]);
+        assert!(split_meta(vec![meta.clone(), short]).is_err());
+        // Fractional field.
+        let mut good = vec![1.0, 6.0, 7.0, 16.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0];
+        good.extend([32.0, 4.0, 2.0, 512.0, 128.0, 2.0, 2.0, 12.0, 24.0]);
+        let mut frac = good.clone();
+        frac[10] = 32.5;
+        assert!(split_meta(vec![meta.clone(), cfg_payload(frac)]).is_err());
+        // Width-plan length lies about the payload length.
+        let mut lying = good.clone();
+        lying[16] = 40.0;
+        assert!(split_meta(vec![meta.clone(), cfg_payload(lying)]).is_err());
+        // Config without any meta entry.
+        assert!(split_meta(vec![cfg_payload(good.clone())]).is_err());
+        // Config on a non-LMM-IR checkpoint.
+        let ired_meta = (
+            "meta.IREDGe".to_string(),
+            Tensor::from_vec(vec![3.0, 16.0], &[2]).unwrap(),
+        );
+        assert!(split_meta(vec![ired_meta, cfg_payload(good.clone())]).is_err());
+        // Config disagreeing with the meta's size.
+        let big_meta = (
+            "meta.LMM-IR".to_string(),
+            Tensor::from_vec(vec![6.0, 32.0], &[2]).unwrap(),
+        );
+        assert!(split_meta(vec![big_meta, cfg_payload(good.clone())]).is_err());
+        // The well-formed payload parses.
+        let (meta_out, params) = split_meta(vec![meta, cfg_payload(good)]).unwrap();
+        let meta_out = meta_out.unwrap();
+        assert!(params.is_empty());
+        assert_eq!(meta_out.format_version(), 3);
+        let cfg = meta_out.config.unwrap();
+        assert_eq!(cfg.widths, vec![12, 24]);
+        assert_eq!(cfg.stem_kernel, 7);
     }
 }

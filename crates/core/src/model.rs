@@ -28,6 +28,14 @@ pub trait IrPredictor {
         false
     }
 
+    /// The full LMM-IR configuration, for models that carry one. Baselines
+    /// return `None` — their architecture is fully determined by name,
+    /// channel count and input size. Checkpoint format v3 serializes this,
+    /// so a trained non-`quick()` LMM-IR reconstructs exactly.
+    fn lmmir_config(&self) -> Option<&LmmIrConfig> {
+        None
+    }
+
     /// Predicts an IR-drop map `[N, 1, H, W]` from images `[N, C, H, W]`
     /// and (for multimodal models) the netlist point cloud.
     ///
@@ -104,7 +112,7 @@ impl FusionModule {
 /// The ablation switches map to the paper's Fig. 4 configurations:
 /// `use_lnt = false` → "W-LNT"; `use_attention_gates = false` → "W-Att";
 /// both off and 3 input channels → "EC" (plain encoder-decoder).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LmmIrConfig {
     /// Input image channels (6 for the paper's extended stack).
     pub in_channels: usize,
@@ -249,6 +257,10 @@ impl IrPredictor for LmmIr {
 
     fn uses_netlist(&self) -> bool {
         self.cfg.use_lnt
+    }
+
+    fn lmmir_config(&self) -> Option<&LmmIrConfig> {
+        Some(&self.cfg)
     }
 
     fn forward(&self, images: &Var, cloud: Option<&PointCloud>) -> Result<Var> {

@@ -17,7 +17,7 @@
 //! The loop exits when every sender is gone (acceptor drained and handler
 //! threads finished), which is exactly the graceful-shutdown order.
 
-use crate::cache::LruCache;
+use crate::cache::{LruCache, ResultCache};
 use crate::metrics::Metrics;
 use crate::proto::{PredictRequest, PredictResponse};
 use crate::registry::{ModelRegistry, RegistrySpec};
@@ -91,6 +91,7 @@ pub(crate) fn run(
     spec: RegistrySpec,
     jobs: Receiver<Job>,
     metrics: &Arc<Metrics>,
+    results: &ResultCache,
     ready: &Sender<Result<(), ServeError>>,
 ) {
     // The inference thread owns its thread-count override (`lmmir-par`
@@ -111,6 +112,9 @@ pub(crate) fn run(
         .models_loaded
         .store(registry.len() as u64, std::sync::atomic::Ordering::Relaxed);
     let mut cache: FeatureCache = LruCache::new(cfg.cache_capacity);
+    // A disabled result cache (capacity 0) is never locked: inserts and
+    // the reload clear are skipped along with the handlers' lookups.
+    let results = (cfg.result_cache_capacity > 0).then_some(results);
 
     loop {
         // Block for the first job of a batch.
@@ -119,7 +123,14 @@ pub(crate) fn run(
             Err(_) => return, // all senders gone: drained, shut down
         };
         let mut batch = Vec::with_capacity(cfg.max_batch);
-        dispatch(first, &mut batch, &mut registry, &mut cache, metrics);
+        dispatch(
+            first,
+            &mut batch,
+            &mut registry,
+            &mut cache,
+            results,
+            metrics,
+        );
         // Drain more predict jobs until the batch is full or the window
         // closes; the window only starts once one job is waiting, so an
         // idle server adds no latency.
@@ -133,13 +144,13 @@ pub(crate) fn run(
                 break;
             };
             match jobs.recv_timeout(left) {
-                Ok(job) => dispatch(job, &mut batch, &mut registry, &mut cache, metrics),
+                Ok(job) => dispatch(job, &mut batch, &mut registry, &mut cache, results, metrics),
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
         if !batch.is_empty() {
-            process_batch(batch, &registry, &mut cache, metrics);
+            process_batch(batch, &registry, &mut cache, results, metrics);
         }
     }
 }
@@ -151,6 +162,7 @@ fn dispatch(
     batch: &mut Vec<PredictJob>,
     registry: &mut ModelRegistry,
     cache: &mut FeatureCache,
+    results: Option<&ResultCache>,
     metrics: &Arc<Metrics>,
 ) {
     match job {
@@ -158,9 +170,19 @@ fn dispatch(
         Job::Reload(reply) => {
             let outcome = registry.reload().map_err(|e| e.to_string());
             if outcome.is_ok() {
-                // Prepared inputs are per-architecture; a swapped registry
-                // must not serve stale features.
+                // Both caches are per-model-weights and must not outlive a
+                // swap. Holding the result-cache lock across both clears
+                // makes the invalidation atomic from the handler threads'
+                // view: no handler can serve a stale prediction after
+                // observing any effect of this reload. A *failed* reload
+                // clears nothing — the old models keep serving, and their
+                // cached artifacts stay valid.
+                let mut results = results.map(|r| r.lock().expect("result cache lock"));
+                if let Some(results) = results.as_mut() {
+                    results.clear();
+                }
                 cache.clear();
+                drop(results);
                 Metrics::inc(&metrics.reloads_total);
                 metrics
                     .models_loaded
@@ -183,6 +205,7 @@ fn process_batch(
     batch: Vec<PredictJob>,
     registry: &ModelRegistry,
     cache: &mut FeatureCache,
+    results: Option<&ResultCache>,
     metrics: &Arc<Metrics>,
 ) {
     metrics.observe_batch(batch.len());
@@ -269,30 +292,51 @@ fn process_batch(
             .expect("group built from resolvable jobs");
         let session = InferenceSession::new(loaded.model.as_ref());
         let outcome = session.predict(&input).map_err(|e| e.to_string());
-        if outcome.is_ok() {
-            // Count only passes actually saved: a failed forward saved none.
-            metrics.dedup_saved_total.fetch_add(
-                (group.jobs.len() - 1) as u64,
-                std::sync::atomic::Ordering::Relaxed,
-            );
+        let response = match &outcome {
+            Ok(p) => {
+                // Count only passes actually saved: a failed forward saved
+                // none.
+                metrics.dedup_saved_total.fetch_add(
+                    (group.jobs.len() - 1) as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+                Some(PredictResponse {
+                    width: p.map.width() as u32,
+                    height: p.map.height() as u32,
+                    threshold: p.threshold,
+                    cache_hit,
+                    map: p.map.data().to_vec(),
+                    mask: p.mask.clone(),
+                })
+            }
+            Err(_) => None,
+        };
+        // Layer the result cache over the feature cache: the finished
+        // prediction is stored under every *requested* model name of the
+        // group (handlers look up by the name they were given; the empty
+        // default alias populates its own entry), so repeated queries are
+        // pure lookups on the handler threads.
+        if let (Some(results), Some(resp)) = (results, &response) {
+            let arc = std::sync::Arc::new(resp.clone());
+            let mut store = results.lock().expect("result cache lock");
+            for job in &group.jobs {
+                store.insert(
+                    (job.request.model.clone(), group.fingerprint),
+                    std::sync::Arc::clone(&arc),
+                );
+            }
         }
         for job in group.jobs {
-            let reply = match &outcome {
-                Ok(p) => {
+            let reply = match (&response, &outcome) {
+                (Some(resp), _) => {
                     Metrics::inc(&metrics.predict_ok_total);
-                    Ok(PredictResponse {
-                        width: p.map.width() as u32,
-                        height: p.map.height() as u32,
-                        threshold: p.threshold,
-                        cache_hit,
-                        map: p.map.data().to_vec(),
-                        mask: p.mask.clone(),
-                    })
+                    Ok(resp.clone())
                 }
-                Err(msg) => {
+                (None, Err(msg)) => {
                     Metrics::inc(&metrics.predict_error_total);
                     Err(msg.clone())
                 }
+                (None, Ok(_)) => unreachable!("response built from ok outcome"),
             };
             let _ = job.reply.send(reply);
         }

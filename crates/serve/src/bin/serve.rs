@@ -10,7 +10,9 @@
 //! Environment fallbacks: `LMMIR_SERVE_ADDR`, `LMMIR_MAX_BATCH`,
 //! `LMMIR_MAX_WAIT_MS`, `LMMIR_CACHE_CAP` (flags win).
 
-use lmm_ir::{build_sample, save_predictor, train, CheckpointMeta, TrainConfig};
+use lmm_ir::{
+    build_sample, save_predictor, train, CheckpointMeta, LmmIr, LmmIrConfig, TrainConfig,
+};
 use lmmir_pdn::{CaseKind, CaseSpec};
 use lmmir_serve::{instantiate, ModelSpec, RegistrySpec, ServeConfig, Server};
 use std::process::ExitCode;
@@ -19,9 +21,10 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  serve [--addr A] --ckpt NAME=PATH [--ckpt ...] [--default NAME] \
-         [--max-batch N] [--max-wait-ms N] [--cache N] [--threads N]\n  \
+         [--max-batch N] [--max-wait-ms N] [--cache N] [--result-cache N] \
+         [--idle-timeout-ms N] [--max-requests-per-conn N] [--threads N]\n  \
          serve demo-ckpt PATH [--arch IREDGe|IRPnet|LMM-IR|'1st Place'|'2nd Place'] \
-         [--size 16] [--epochs 2] [--cases 2] [--seed 7]"
+         [--size 16] [--widths 12,24,48] [--epochs 2] [--cases 2] [--seed 7]"
     );
     ExitCode::from(2)
 }
@@ -104,6 +107,11 @@ fn run_server(args: &[String]) -> ExitCode {
                 parse("max-wait-ms", value).map(|n: u64| cfg.max_wait = Duration::from_millis(n))
             }
             "cache" => parse("cache", value).map(|n| cfg.cache_capacity = n),
+            "result-cache" => parse("result-cache", value).map(|n| cfg.result_cache_capacity = n),
+            "idle-timeout-ms" => parse("idle-timeout-ms", value)
+                .map(|n: u64| cfg.idle_timeout = Duration::from_millis(n.max(1))),
+            "max-requests-per-conn" => parse("max-requests-per-conn", value)
+                .map(|n: usize| cfg.max_requests_per_conn = n.max(1)),
             "threads" => parse("threads", value).map(|n: usize| cfg.threads = Some(n.max(1))),
             other => Err(format!("unknown flag --{other}")),
         };
@@ -124,12 +132,16 @@ fn run_server(args: &[String]) -> ExitCode {
         }
     };
     eprintln!(
-        "[serve] listening on http://{} (max_batch {}, max_wait {:?}, cache {}) — \
+        "[serve] listening on http://{} (max_batch {}, max_wait {:?}, cache {}, \
+         result-cache {}, idle-timeout {:?}, max-reqs/conn {}) — \
          POST /predict, GET /healthz, GET /metrics, POST /reload, POST /shutdown",
         server.addr(),
         cfg.max_batch,
         cfg.max_wait,
         cfg.cache_capacity,
+        cfg.result_cache_capacity,
+        cfg.idle_timeout,
+        cfg.max_requests_per_conn,
     );
     server.wait();
     eprintln!("[serve] drained, bye");
@@ -150,6 +162,7 @@ fn demo_ckpt(args: &[String]) -> ExitCode {
     let mut epochs = 2usize;
     let mut cases = 2usize;
     let mut seed = 7u64;
+    let mut widths: Option<Vec<usize>> = None;
     for (name, value) in &flags {
         let result: Result<(), String> = match name.as_str() {
             "arch" => {
@@ -160,6 +173,11 @@ fn demo_ckpt(args: &[String]) -> ExitCode {
             "epochs" => parse("epochs", value).map(|v| epochs = v),
             "cases" => parse("cases", value).map(|v| cases = v),
             "seed" => parse("seed", value).map(|v| seed = v),
+            "widths" => value
+                .split(',')
+                .map(|w| parse("widths", w.trim()))
+                .collect::<Result<Vec<usize>, _>>()
+                .map(|v| widths = Some(v)),
             other => Err(format!("unknown flag --{other}")),
         };
         if let Err(e) = result {
@@ -176,16 +194,38 @@ fn demo_ckpt(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let meta = CheckpointMeta {
-        model: arch.clone(),
-        input_channels: channels,
-        input_size: size,
-    };
-    let model = match instantiate(&meta) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("serve: {e}");
+    if widths.is_some() && arch != "LMM-IR" {
+        eprintln!("serve: --widths only configures --arch LMM-IR");
+        return ExitCode::FAILURE;
+    }
+    // A custom width plan produces a *full-config* (format v3) checkpoint:
+    // the saved file records the exact architecture, and the registry
+    // rebuilds it from that record rather than assuming quick() widths.
+    let model = if let Some(widths) = widths {
+        let cfg = LmmIrConfig {
+            input_size: size,
+            widths,
+            seed,
+            ..LmmIrConfig::quick()
+        };
+        if let Err(e) = cfg.validate() {
+            eprintln!("serve: invalid LMM-IR config: {e}");
             return ExitCode::FAILURE;
+        }
+        Box::new(LmmIr::new(cfg)) as Box<dyn lmm_ir::IrPredictor>
+    } else {
+        let meta = CheckpointMeta {
+            model: arch.clone(),
+            input_channels: channels,
+            input_size: size,
+            config: None,
+        };
+        match instantiate(&meta) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("serve: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     let samples: Result<Vec<_>, _> = (0..cases)

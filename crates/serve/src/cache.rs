@@ -7,8 +7,28 @@
 //! deliberate: capacities are tens of designs, and the scan is branch-
 //! predictable, far below the cost of one rasterization it saves.
 
+use crate::proto::PredictResponse;
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+
+/// The **result cache**: finished predictions keyed by
+/// `(requested model name, design content hash)`, layered over the feature
+/// cache. Handler threads consult it *before enqueueing a job* — a hit
+/// serves the whole prediction without ever waking the inference thread —
+/// and the inference thread inserts after each successful forward and
+/// clears it atomically with the feature cache on a successful `/reload`.
+///
+/// Keyed by the *requested* name (not the registry-canonical one) because
+/// handlers must not block on the inference thread to resolve aliases; the
+/// empty default-model alias simply populates its own entries.
+pub type ResultCache = Arc<Mutex<LruCache<(String, u64), Arc<PredictResponse>>>>;
+
+/// Builds a fresh shared result cache of the given capacity (0 disables).
+#[must_use]
+pub fn result_cache(capacity: usize) -> ResultCache {
+    Arc::new(Mutex::new(LruCache::new(capacity)))
+}
 
 /// Least-recently-used cache with a fixed capacity.
 ///

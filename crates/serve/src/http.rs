@@ -1,8 +1,11 @@
 //! A minimal HTTP/1.1 layer over blocking streams.
 //!
 //! Just enough protocol for the server's five endpoints and the bundled
-//! client: request line + headers + `Content-Length` bodies, one exchange
-//! per connection (`Connection: close`). Every length a peer controls is
+//! client: request line + headers + `Content-Length` bodies, with
+//! **persistent connections** — `Connection: keep-alive` / `close`
+//! semantics (HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close), exact
+//! `Content-Length` framing so sequential — even pipelined — requests on
+//! one socket never bleed into each other. Every length a peer controls is
 //! capped before allocation.
 
 use crate::ServeError;
@@ -25,27 +28,38 @@ pub struct Request {
     pub target: String,
     /// Request body (empty without a `Content-Length`).
     pub body: Vec<u8>,
+    /// Whether the peer asked to close the connection after this exchange
+    /// (`Connection: close`, or HTTP/1.0 without `keep-alive`).
+    pub close: bool,
 }
 
 /// Reads one line, capped at [`MAX_LINE`], stripping the trailing CRLF.
-fn read_line(r: &mut impl BufRead) -> Result<String, ServeError> {
+/// A clean EOF before any byte returns `Ok(None)`.
+fn read_line(r: &mut impl BufRead) -> Result<Option<String>, ServeError> {
     let mut line = Vec::new();
     let mut limited = r.by_ref().take(MAX_LINE);
     limited.read_until(b'\n', &mut line)?;
     if !line.ends_with(b"\n") {
-        return Err(ServeError::Proto(if line.is_empty() {
-            "connection closed mid-request".to_string()
-        } else {
-            format!("header line exceeds {MAX_LINE} bytes or is unterminated")
-        }));
+        if line.is_empty() {
+            return Ok(None);
+        }
+        return Err(ServeError::Proto(format!(
+            "header line exceeds {MAX_LINE} bytes or is unterminated"
+        )));
     }
     while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
         line.pop();
     }
-    String::from_utf8(line).map_err(|e| ServeError::Proto(format!("non-UTF-8 header: {e}")))
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|e| ServeError::Proto(format!("non-UTF-8 header: {e}")))
 }
 
 /// Parses one request from a blocking reader.
+///
+/// Returns `Ok(None)` when the peer closed the connection cleanly before
+/// sending any byte — the normal end of a keep-alive connection, which is
+/// not an error. EOF *mid-request* still fails.
 ///
 /// `w` receives an interim `100 Continue` when the client sent
 /// `Expect: 100-continue` (curl does for bodies over 1 KiB; without the
@@ -54,9 +68,15 @@ fn read_line(r: &mut impl BufRead) -> Result<String, ServeError> {
 /// # Errors
 ///
 /// Returns [`ServeError::Proto`] for malformed or oversized requests and
-/// [`ServeError::Io`] on transport failure.
-pub fn read_request(r: &mut impl BufRead, w: &mut impl Write) -> Result<Request, ServeError> {
-    let request_line = read_line(r)?;
+/// [`ServeError::Io`] on transport failure (including an idle-timeout
+/// expiry surfacing as `WouldBlock`/`TimedOut`).
+pub fn read_request(
+    r: &mut impl BufRead,
+    w: &mut impl Write,
+) -> Result<Option<Request>, ServeError> {
+    let Some(request_line) = read_line(r)? else {
+        return Ok(None);
+    };
     let mut parts = request_line.split_ascii_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v),
@@ -71,6 +91,8 @@ pub fn read_request(r: &mut impl BufRead, w: &mut impl Write) -> Result<Request,
             "unsupported protocol version {version:?}"
         )));
     }
+    // HTTP/1.0 closes by default; 1.1 keeps alive by default.
+    let mut close = version == "HTTP/1.0";
     let mut content_length = 0usize;
     let mut expects_continue = false;
     for i in 0.. {
@@ -79,28 +101,41 @@ pub fn read_request(r: &mut impl BufRead, w: &mut impl Write) -> Result<Request,
                 "more than {MAX_HEADERS} headers"
             )));
         }
-        let line = read_line(r)?;
+        let line = read_line(r)?
+            .ok_or_else(|| ServeError::Proto("connection closed mid-request".to_string()))?;
         if line.is_empty() {
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.eq_ignore_ascii_case("expect")
-                && value.trim().eq_ignore_ascii_case("100-continue")
-            {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue") {
                 expects_continue = true;
+            }
+            if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    close = false;
+                }
             }
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
-                    .trim()
                     .parse::<usize>()
                     .ok()
                     .filter(|&n| n <= MAX_BODY)
                     .ok_or_else(|| {
-                        ServeError::Proto(format!(
-                            "bad content-length {:?} (cap {MAX_BODY})",
-                            value.trim()
-                        ))
+                        ServeError::Proto(format!("bad content-length {value:?} (cap {MAX_BODY})"))
                     })?;
+            }
+            // Bodies this server cannot frame (chunked et al.) must fail
+            // the *request*, not poison the connection: on keep-alive, an
+            // unread chunked body would be parsed as the next request line.
+            // The caller answers 400 and closes, which is framing-safe.
+            if name.eq_ignore_ascii_case("transfer-encoding") {
+                return Err(ServeError::Proto(format!(
+                    "transfer-encoding {value:?} is not supported; \
+                     send a Content-Length body"
+                )));
             }
         }
     }
@@ -120,15 +155,17 @@ pub fn read_request(r: &mut impl BufRead, w: &mut impl Write) -> Result<Request,
         body.extend_from_slice(&chunk[..take]);
         remaining -= take;
     }
-    Ok(Request {
+    Ok(Some(Request {
         method,
         target,
         body,
-    })
+        close,
+    }))
 }
 
-/// Writes one response and flushes; the connection is then closed by the
-/// caller (`Connection: close` is always advertised).
+/// Writes one response and flushes. `close` selects the advertised
+/// `Connection` header; the caller owns actually closing the socket (and
+/// must, after advertising `close` — clients block on it).
 ///
 /// # Errors
 ///
@@ -138,12 +175,14 @@ pub fn write_response(
     status: u16,
     content_type: &str,
     body: &[u8],
+    close: bool,
 ) -> std::io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         reason(status),
-        body.len()
+        body.len(),
+        if close { "close" } else { "keep-alive" }
     )?;
     w.write_all(body)?;
     w.flush()
@@ -169,7 +208,7 @@ mod tests {
     use super::*;
     use std::io::BufReader;
 
-    fn parse(raw: &[u8]) -> Result<Request, ServeError> {
+    fn parse(raw: &[u8]) -> Result<Option<Request>, ServeError> {
         read_request(&mut BufReader::new(raw), &mut Vec::new())
     }
 
@@ -182,6 +221,7 @@ mod tests {
             ),
             &mut interim,
         )
+        .unwrap()
         .unwrap();
         assert_eq!(req.body, b"hi");
         assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
@@ -191,29 +231,62 @@ mod tests {
             &mut BufReader::new(&b"GET /healthz HTTP/1.1\r\n\r\n"[..]),
             &mut silent,
         )
+        .unwrap()
         .unwrap();
         assert!(silent.is_empty());
     }
 
     #[test]
     fn parses_post_with_body() {
-        let req =
-            parse(b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        let req = parse(b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.target, "/predict");
         assert_eq!(req.body, b"abcd");
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
-    fn parses_get_without_body() {
-        let req = parse(b"GET /healthz HTTP/1.0\r\n\r\n").unwrap();
-        assert_eq!(req.method, "GET");
-        assert!(req.body.is_empty());
+    fn connection_semantics_by_version_and_header() {
+        // 1.0 closes by default; 1.0 + keep-alive stays open.
+        let req = parse(b"GET /healthz HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(req.close);
+        let req = parse(b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.close);
+        // 1.1 keeps alive by default; 1.1 + close closes.
+        let req = parse(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.close);
+        // Header matching is case-insensitive.
+        let req = parse(b"GET / HTTP/1.1\r\nCONNECTION: Close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.close);
+    }
+
+    #[test]
+    fn clean_eof_between_requests_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_sequentially() {
+        let raw =
+            b"POST /predict HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /healthz HTTP/1.1\r\n\r\n";
+        let mut r = BufReader::new(&raw[..]);
+        let first = read_request(&mut r, &mut Vec::new()).unwrap().unwrap();
+        assert_eq!(first.body, b"abc", "body must not bleed into request 2");
+        let second = read_request(&mut r, &mut Vec::new()).unwrap().unwrap();
+        assert_eq!(second.target, "/healthz");
+        assert!(read_request(&mut r, &mut Vec::new()).unwrap().is_none());
     }
 
     #[test]
     fn rejects_malformed_inputs() {
-        assert!(parse(b"").is_err());
         assert!(parse(b"GARBAGE\r\n\r\n").is_err());
         assert!(parse(b"GET / SPDY/3\r\n\r\n").is_err());
         assert!(parse(b"POST / HTTP/1.1\r\nContent-Length: zero\r\n\r\n").is_err());
@@ -221,6 +294,15 @@ mod tests {
         assert!(parse(huge.as_bytes()).is_err());
         // Truncated body.
         assert!(parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").is_err());
+        // EOF mid-header is an error, not a clean close.
+        assert!(parse(b"GET / HTTP/1.1\r\nHost: x\r\n").is_err());
+        // Chunked bodies cannot be framed: rejecting the request (the
+        // caller then closes) beats parsing the chunk stream as the next
+        // pipelined request.
+        assert!(parse(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nabcd\r\n0\r\n\r\n"
+        )
+        .is_err());
         // Unterminated over-long header line.
         let mut long = b"GET / HTTP/1.1\r\nX: ".to_vec();
         long.extend(std::iter::repeat(b'a').take(MAX_LINE as usize + 10));
@@ -230,11 +312,16 @@ mod tests {
     #[test]
     fn response_wire_format() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "text/plain", b"ok\n").unwrap();
+        write_response(&mut out, 200, "text/plain", b"ok\n", true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 3\r\n"));
         assert!(text.contains("Connection: close"));
         assert!(text.ends_with("\r\n\r\nok\n"));
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "text/plain", b"ok\n", false).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("Connection: keep-alive"));
     }
 }

@@ -12,16 +12,26 @@
 //! ## Architecture
 //!
 //! ```text
-//!  clients ──> acceptor thread ──> handler threads (parse HTTP + proto)
-//!                                        │ mpsc jobs
+//!  clients ──> acceptor thread ──> connection threads (keep-alive loop:
+//!                                  parse HTTP + proto, result-cache lookup)
+//!                                        │ mpsc jobs (result-cache misses)
 //!                                        v
 //!                               inference thread (owns the models)
 //!                               │ drain ≤ max_batch / ≤ max_wait_ms
 //!                               │ dedupe by content hash
 //!                               │ feature cache (LRU) / prepare on pool
 //!                               │ forward per unique input
+//!                               │ result cache insert (shared LRU)
 //!                               └─> per-job reply channels
 //! ```
+//!
+//! Connections are **persistent** (HTTP/1.1 keep-alive with pipelining):
+//! each connection thread loops over sequential requests until the peer
+//! sends `Connection: close`, the idle timeout expires, or the
+//! per-connection request cap is reached. The **result cache** is layered
+//! over the feature cache: a repeated query for an unchanged design is
+//! answered on the connection thread without waking the inference thread
+//! at all; `POST /reload` atomically invalidates both caches.
 //!
 //! Model internals are `Rc`-based (the autograd tape is deliberately not
 //! thread-safe), so every model lives on the single inference thread; the
@@ -64,7 +74,8 @@ pub mod registry;
 mod server;
 
 pub use batch::prepare_request;
-pub use cache::LruCache;
+pub use cache::{result_cache, LruCache, ResultCache};
+pub use client::Client;
 pub use metrics::Metrics;
 pub use proto::{PredictRequest, PredictResponse};
 pub use registry::{instantiate, ModelRegistry, ModelSpec, RegistrySpec};

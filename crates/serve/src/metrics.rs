@@ -18,6 +18,16 @@ const BUCKET_BOUNDS_US: [u64; 15] = [
 pub struct Metrics {
     /// HTTP requests accepted, any endpoint.
     pub requests_total: AtomicU64,
+    /// TCP connections accepted.
+    pub connections_total: AtomicU64,
+    /// Requests served on an already-open connection (keep-alive reuses:
+    /// every request after the first on one socket).
+    pub keepalive_reuses_total: AtomicU64,
+    /// Result-cache lookups that hit (whole prediction served without
+    /// touching the inference thread).
+    pub result_cache_hits_total: AtomicU64,
+    /// Result-cache lookups that missed (and enqueued a job).
+    pub result_cache_misses_total: AtomicU64,
     /// Successful predictions served.
     pub predict_ok_total: AtomicU64,
     /// Predictions answered with an error frame.
@@ -103,11 +113,24 @@ impl Metrics {
         None
     }
 
-    /// Cache hit rate in `[0, 1]` (`0` before any lookup).
+    /// Feature-cache hit rate in `[0, 1]` (`0` before any lookup).
     #[must_use]
     pub fn cache_hit_rate(&self) -> f64 {
-        let hits = self.cache_hits_total.load(Ordering::Relaxed);
-        let misses = self.cache_misses_total.load(Ordering::Relaxed);
+        Self::rate(&self.cache_hits_total, &self.cache_misses_total)
+    }
+
+    /// Result-cache hit rate in `[0, 1]` (`0` before any lookup).
+    #[must_use]
+    pub fn result_cache_hit_rate(&self) -> f64 {
+        Self::rate(
+            &self.result_cache_hits_total,
+            &self.result_cache_misses_total,
+        )
+    }
+
+    fn rate(hits: &AtomicU64, misses: &AtomicU64) -> f64 {
+        let hits = hits.load(Ordering::Relaxed);
+        let misses = misses.load(Ordering::Relaxed);
         if hits + misses == 0 {
             0.0
         } else {
@@ -125,6 +148,11 @@ impl Metrics {
             let _ = writeln!(out, "lmmir_{name} {value}");
         };
         line("requests_total", g(&self.requests_total).to_string());
+        line("connections_total", g(&self.connections_total).to_string());
+        line(
+            "keepalive_reuses_total",
+            g(&self.keepalive_reuses_total).to_string(),
+        );
         line("predict_ok_total", g(&self.predict_ok_total).to_string());
         line(
             "predict_error_total",
@@ -142,6 +170,18 @@ impl Metrics {
             g(&self.cache_misses_total).to_string(),
         );
         line("cache_hit_rate", format!("{:.4}", self.cache_hit_rate()));
+        line(
+            "result_cache_hits_total",
+            g(&self.result_cache_hits_total).to_string(),
+        );
+        line(
+            "result_cache_misses_total",
+            g(&self.result_cache_misses_total).to_string(),
+        );
+        line(
+            "result_cache_hit_rate",
+            format!("{:.4}", self.result_cache_hit_rate()),
+        );
         line("dedup_saved_total", g(&self.dedup_saved_total).to_string());
         line("reloads_total", g(&self.reloads_total).to_string());
         line("models_loaded", g(&self.models_loaded).to_string());
@@ -203,12 +243,27 @@ mod tests {
         let text = m.render();
         for key in [
             "lmmir_requests_total",
+            "lmmir_connections_total",
+            "lmmir_keepalive_reuses_total",
             "lmmir_cache_hit_rate",
+            "lmmir_result_cache_hits_total",
+            "lmmir_result_cache_misses_total",
+            "lmmir_result_cache_hit_rate",
             "lmmir_batch_max_size",
             "lmmir_predict_latency_seconds{quantile=\"0.99\"}",
             "lmmir_predict_latency_seconds_count 1",
         ] {
             assert!(text.contains(key), "missing {key} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn result_cache_rate_is_independent_of_feature_cache() {
+        let m = Metrics::new();
+        Metrics::inc(&m.result_cache_hits_total);
+        Metrics::inc(&m.result_cache_misses_total);
+        Metrics::inc(&m.cache_misses_total);
+        assert!((m.result_cache_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((m.cache_hit_rate() - 0.0).abs() < 1e-12);
     }
 }

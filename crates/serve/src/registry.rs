@@ -67,12 +67,11 @@ pub struct LoadedModel {
 /// recorded input size (weights are overwritten by the subsequent restore,
 /// so the seed is irrelevant).
 ///
-/// Known limitation: `LMM-IR` is rebuilt from [`LmmIrConfig::quick`] with
-/// only the input size overridden — the metadata records name, channels
-/// and size, not the full width/LNT plan, so an LMM-IR trained with a
-/// custom config fails the subsequent weight restore with a shape
-/// mismatch. Serving such a model needs config serialization in the
-/// checkpoint (tracked in ROADMAP.md).
+/// An `LMM-IR` checkpoint with a full config (format v3) is rebuilt from
+/// **exactly** that config — widths, LNT plan, ablation switches — so
+/// paper-scale checkpoints serve end-to-end. A v2 LMM-IR checkpoint (no
+/// config recorded) falls back to [`LmmIrConfig::quick`] with the input
+/// size overridden, which matches what the v2 writer could produce.
 ///
 /// # Errors
 ///
@@ -86,9 +85,12 @@ pub fn instantiate(meta: &CheckpointMeta) -> Result<Box<dyn IrPredictor>, ServeE
         "2nd Place" => Box::new(second_place(size, 0)),
         "IRPnet" => Box::new(irpnet(size, 0)),
         "LMM-IR" => {
-            let cfg = LmmIrConfig {
-                input_size: size,
-                ..LmmIrConfig::quick()
+            let cfg = match &meta.config {
+                Some(cfg) => cfg.clone(),
+                None => LmmIrConfig {
+                    input_size: size,
+                    ..LmmIrConfig::quick()
+                },
             };
             cfg.validate().map_err(|e| {
                 ServeError::Registry(format!("cannot build LMM-IR at {size} px: {e}"))
@@ -278,6 +280,7 @@ mod tests {
                 model: name.to_string(),
                 input_channels: channels,
                 input_size: 16,
+                config: None,
             };
             let model = instantiate(&meta).unwrap();
             assert_eq!(model.name(), name);
@@ -287,17 +290,86 @@ mod tests {
     }
 
     #[test]
+    fn instantiate_honours_full_lmmir_config() {
+        use lmm_ir::LntConfig;
+        // A non-quick() width/LNT plan — a v2 reader could not rebuild this.
+        let cfg = LmmIrConfig {
+            in_channels: 6,
+            widths: vec![4, 8, 16],
+            stem_kernel: 5,
+            lnt: LntConfig {
+                d_model: 16,
+                heads: 2,
+                layers: 1,
+                max_points: 128,
+                chunk: 32,
+                ff_mult: 3,
+            },
+            use_lnt: true,
+            use_attention_gates: false,
+            input_size: 16,
+            seed: 99,
+        };
+        let reference = LmmIr::new(cfg.clone());
+        let meta = CheckpointMeta {
+            model: "LMM-IR".to_string(),
+            input_channels: 6,
+            input_size: 16,
+            config: Some(cfg),
+        };
+        let built = instantiate(&meta).unwrap();
+        // Exact architecture: same parameter count and tensor shapes.
+        let (rp, bp) = (reference.parameters(), built.parameters());
+        assert_eq!(rp.len(), bp.len());
+        for (a, b) in rp.iter().zip(&bp) {
+            assert_eq!(a.value().dims(), b.value().dims());
+        }
+        // The quick()-width fallback (v2 path) builds something different.
+        let v2_meta = CheckpointMeta {
+            config: None,
+            ..meta
+        };
+        let fallback = instantiate(&v2_meta).unwrap();
+        assert_ne!(fallback.parameters().len(), rp.len());
+    }
+
+    #[test]
+    fn full_config_checkpoint_round_trips_through_registry() {
+        let cfg = LmmIrConfig {
+            widths: vec![4, 8],
+            input_size: 16,
+            ..LmmIrConfig::quick()
+        };
+        let model = LmmIr::new(cfg.clone());
+        let path = tmp("reg_v3.lmmt");
+        save_predictor(&model, &path).unwrap();
+        let reg = ModelRegistry::load(RegistrySpec::single("big", &path)).unwrap();
+        let loaded = reg.resolve("big").unwrap();
+        assert_eq!(loaded.meta.config.as_ref(), Some(&cfg));
+        assert_eq!(loaded.meta.format_version(), 3);
+        // Weights restored into the exact architecture bit-for-bit.
+        let (orig, srv) = (model.parameters(), loaded.model.parameters());
+        assert_eq!(orig.len(), srv.len());
+        for (a, b) in orig.iter().zip(&srv) {
+            assert_eq!(a.value().data(), b.value().data());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn rejects_unknown_architecture_and_channel_mismatch() {
         let meta = CheckpointMeta {
             model: "ResNet".to_string(),
             input_channels: 3,
             input_size: 16,
+            config: None,
         };
         assert!(instantiate(&meta).is_err());
         let meta = CheckpointMeta {
             model: "IREDGe".to_string(),
             input_channels: 6,
             input_size: 16,
+            config: None,
         };
         assert!(instantiate(&meta).is_err());
     }

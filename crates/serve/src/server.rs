@@ -1,7 +1,8 @@
-//! Server lifecycle: configuration, accept loop, request routing,
-//! graceful shutdown.
+//! Server lifecycle: configuration, accept loop, keep-alive request loop,
+//! request routing, graceful shutdown.
 
 use crate::batch::{self, Job, PredictJob};
+use crate::cache::{result_cache, ResultCache};
 use crate::http;
 use crate::metrics::Metrics;
 use crate::proto::{PredictRequest, PredictResponse};
@@ -27,6 +28,15 @@ pub struct ServeConfig {
     pub max_wait: Duration,
     /// Feature-cache capacity in designs (`LMMIR_CACHE_CAP`; 0 disables).
     pub cache_capacity: usize,
+    /// Result-cache capacity in predictions
+    /// (`LMMIR_RESULT_CACHE_CAP`; 0 disables).
+    pub result_cache_capacity: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it (`LMMIR_IDLE_TIMEOUT_MS`).
+    pub idle_timeout: Duration,
+    /// Most requests served on one connection before the server closes it
+    /// with `Connection: close` (`LMMIR_MAX_REQS_PER_CONN`; floor 1).
+    pub max_requests_per_conn: usize,
     /// Most concurrently served connections; excess get `503`.
     pub max_connections: usize,
     /// Thread-count override for the inference thread's `lmmir-par` pool
@@ -41,6 +51,9 @@ impl Default for ServeConfig {
             max_batch: 8,
             max_wait: Duration::from_millis(5),
             cache_capacity: 64,
+            result_cache_capacity: 64,
+            idle_timeout: Duration::from_secs(10),
+            max_requests_per_conn: 1024,
             max_connections: 64,
             threads: None,
         }
@@ -80,6 +93,15 @@ impl ServeConfig {
         if let Some(v) = read::<usize>("LMMIR_CACHE_CAP")? {
             cfg.cache_capacity = v;
         }
+        if let Some(v) = read::<usize>("LMMIR_RESULT_CACHE_CAP")? {
+            cfg.result_cache_capacity = v;
+        }
+        if let Some(v) = read::<u64>("LMMIR_IDLE_TIMEOUT_MS")? {
+            cfg.idle_timeout = Duration::from_millis(v.max(1));
+        }
+        if let Some(v) = read::<usize>("LMMIR_MAX_REQS_PER_CONN")? {
+            cfg.max_requests_per_conn = v.max(1);
+        }
         Ok(cfg)
     }
 }
@@ -109,15 +131,17 @@ impl Server {
         let addr = listener.local_addr()?;
         let metrics = Arc::new(Metrics::new());
         let shutdown = Arc::new(AtomicBool::new(false));
+        let results = result_cache(cfg.result_cache_capacity);
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         let (ready_tx, ready_rx) = mpsc::channel();
 
         let batcher = {
             let cfg = cfg.clone();
             let metrics = Arc::clone(&metrics);
+            let results = Arc::clone(&results);
             thread::Builder::new()
                 .name("lmmir-inference".to_string())
-                .spawn(move || batch::run(&cfg, spec, job_rx, &metrics, &ready_tx))?
+                .spawn(move || batch::run(&cfg, spec, job_rx, &metrics, &results, &ready_tx))?
         };
         match ready_rx.recv_timeout(Duration::from_secs(120)) {
             Ok(Ok(())) => {}
@@ -133,14 +157,18 @@ impl Server {
         }
 
         let acceptor = {
-            let shutdown = Arc::clone(&shutdown);
-            let metrics = Arc::clone(&metrics);
+            let ctx = ConnCtx {
+                job_tx,
+                shutdown: Arc::clone(&shutdown),
+                metrics: Arc::clone(&metrics),
+                results: (cfg.result_cache_capacity > 0).then_some(results),
+                idle_timeout: cfg.idle_timeout,
+                max_requests: cfg.max_requests_per_conn.max(1),
+            };
             let max_connections = cfg.max_connections;
             thread::Builder::new()
                 .name("lmmir-accept".to_string())
-                .spawn(move || {
-                    accept_loop(&listener, &job_tx, &shutdown, &metrics, max_connections)
-                })?
+                .spawn(move || accept_loop(&listener, &ctx, max_connections))?
         };
 
         Ok(Server {
@@ -185,19 +213,31 @@ impl Server {
     }
 }
 
+/// Everything a connection handler needs, bundled so the accept loop can
+/// clone one context per connection.
+#[derive(Clone)]
+struct ConnCtx {
+    job_tx: Sender<Job>,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
+    /// `None` when the result cache is disabled (capacity 0), so the hot
+    /// path never touches the shared mutex for guaranteed misses.
+    results: Option<ResultCache>,
+    idle_timeout: Duration,
+    max_requests: usize,
+}
+
 /// Accepts connections until shutdown, then joins every handler (drain).
-fn accept_loop(
-    listener: &TcpListener,
-    job_tx: &Sender<Job>,
-    shutdown: &Arc<AtomicBool>,
-    metrics: &Arc<Metrics>,
-    max_connections: usize,
-) {
+fn accept_loop(listener: &TcpListener, ctx: &ConnCtx, max_connections: usize) {
     let live = Arc::new(AtomicUsize::new(0));
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    while !shutdown.load(Ordering::SeqCst) {
+    while !ctx.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                // Keep-alive exchanges are request/response ping-pong on a
+                // warm connection; without TCP_NODELAY, Nagle + delayed
+                // ACK adds ~40 ms to every exchange after the first.
+                let _ = stream.set_nodelay(true);
                 handlers.retain(|h| !h.is_finished());
                 if live.load(Ordering::SeqCst) >= max_connections {
                     let mut stream = stream;
@@ -206,19 +246,19 @@ fn accept_loop(
                         503,
                         "text/plain",
                         b"connection limit reached\n",
+                        true,
                     );
                     continue;
                 }
                 live.fetch_add(1, Ordering::SeqCst);
-                let job_tx = job_tx.clone();
-                let shutdown = Arc::clone(shutdown);
-                let metrics = Arc::clone(metrics);
+                Metrics::inc(&ctx.metrics.connections_total);
+                let ctx = ctx.clone();
                 let live_worker = Arc::clone(&live);
                 let spawned =
                     thread::Builder::new()
                         .name("lmmir-conn".to_string())
                         .spawn(move || {
-                            handle_connection(stream, &job_tx, &shutdown, &metrics);
+                            handle_connection(stream, &ctx);
                             live_worker.fetch_sub(1, Ordering::SeqCst);
                         });
                 match spawned {
@@ -241,71 +281,111 @@ fn accept_loop(
     }
 }
 
-/// Serves one connection (one request, `Connection: close`).
-fn handle_connection(
-    stream: TcpStream,
-    job_tx: &Sender<Job>,
-    shutdown: &Arc<AtomicBool>,
-    metrics: &Arc<Metrics>,
-) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+/// Serves one connection: a keep-alive request loop. The connection closes
+/// when the peer asks (`Connection: close`), the idle timeout expires, the
+/// per-connection request cap is reached, the server is shutting down, or
+/// a request fails to parse.
+fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
+    // The idle timeout doubles as the read timeout *within* a request: a
+    // peer stalling mid-header or mid-body is indistinguishable from a
+    // dead one and holds a connection slot either way.
+    let _ = stream.set_read_timeout(Some(ctx.idle_timeout));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
-    Metrics::inc(&metrics.requests_total);
-    let request = match http::read_request(&mut reader, &mut writer) {
-        Ok(r) => r,
-        Err(e) => {
-            respond(&mut writer, 400, "text/plain", format!("{e}\n").as_bytes());
+    let mut served = 0usize;
+    loop {
+        let request = match http::read_request(&mut reader, &mut writer) {
+            Ok(Some(r)) => r,
+            // Peer closed cleanly between requests: normal keep-alive end.
+            Ok(None) => return,
+            // Idle-timeout expiry or transport death (including mid-header
+            // stalls): nothing useful to say to a peer that stopped
+            // talking; close without a response.
+            Err(ServeError::Io(_)) => return,
+            Err(e) => {
+                // Malformed request: answer 400 and close — later bytes on
+                // the socket (e.g. a pipelined follow-up) cannot be framed
+                // reliably after a parse failure.
+                respond(
+                    &mut writer,
+                    400,
+                    "text/plain",
+                    format!("{e}\n").as_bytes(),
+                    true,
+                );
+                return;
+            }
+        };
+        served += 1;
+        Metrics::inc(&ctx.metrics.requests_total);
+        if served > 1 {
+            Metrics::inc(&ctx.metrics.keepalive_reuses_total);
+        }
+        // Decide the connection's fate *before* routing so the response
+        // advertises it: peer preference, per-connection cap, shutdown.
+        let close =
+            request.close || served >= ctx.max_requests || ctx.shutdown.load(Ordering::SeqCst);
+        handle_request(&mut writer, &request, ctx, close);
+        if close {
             return;
         }
-    };
+    }
+}
+
+/// Routes one parsed request and writes its response.
+fn handle_request(writer: &mut TcpStream, request: &http::Request, ctx: &ConnCtx, close: bool) {
     match (request.method.as_str(), request.target.as_str()) {
-        ("GET", "/healthz") => respond(&mut writer, 200, "text/plain", b"ok\n"),
+        ("GET", "/healthz") => respond(writer, 200, "text/plain", b"ok\n", close),
         ("GET", "/metrics") => {
-            respond(&mut writer, 200, "text/plain", metrics.render().as_bytes());
+            respond(
+                writer,
+                200,
+                "text/plain",
+                ctx.metrics.render().as_bytes(),
+                close,
+            );
         }
         ("POST", "/shutdown") => {
-            shutdown.store(true, Ordering::SeqCst);
-            respond(&mut writer, 200, "text/plain", b"shutting down\n");
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            // Always close: the server is going away, and an open
+            // keep-alive connection would stall the drain.
+            respond(writer, 200, "text/plain", b"shutting down\n", true);
         }
         ("POST", "/reload") => {
             let (tx, rx) = mpsc::channel();
-            if job_tx.send(Job::Reload(tx)).is_err() {
-                respond(&mut writer, 503, "text/plain", b"server shutting down\n");
+            if ctx.job_tx.send(Job::Reload(tx)).is_err() {
+                respond(writer, 503, "text/plain", b"server shutting down\n", close);
                 return;
             }
             match rx.recv_timeout(Duration::from_secs(120)) {
                 Ok(Ok(n)) => respond(
-                    &mut writer,
+                    writer,
                     200,
                     "text/plain",
                     format!("reloaded {n} model(s)\n").as_bytes(),
+                    close,
                 ),
                 Ok(Err(msg)) => respond(
-                    &mut writer,
+                    writer,
                     500,
                     "text/plain",
                     format!("{msg}\n").as_bytes(),
+                    close,
                 ),
-                Err(_) => respond(&mut writer, 504, "text/plain", b"reload timed out\n"),
+                Err(_) => respond(writer, 504, "text/plain", b"reload timed out\n", close),
             }
         }
-        ("POST", "/predict") => handle_predict(&mut writer, &request.body, job_tx, metrics),
-        ("GET" | "POST", _) => respond(&mut writer, 404, "text/plain", b"no such endpoint\n"),
-        _ => respond(&mut writer, 405, "text/plain", b"method not allowed\n"),
+        ("POST", "/predict") => handle_predict(writer, &request.body, ctx, close),
+        ("GET" | "POST", _) => respond(writer, 404, "text/plain", b"no such endpoint\n", close),
+        _ => respond(writer, 405, "text/plain", b"method not allowed\n", close),
     }
 }
 
-fn handle_predict(
-    writer: &mut TcpStream,
-    body: &[u8],
-    job_tx: &Sender<Job>,
-    metrics: &Arc<Metrics>,
-) {
+fn handle_predict(writer: &mut TcpStream, body: &[u8], ctx: &ConnCtx, close: bool) {
     let t0 = std::time::Instant::now();
     let request = match PredictRequest::decode(body) {
         Ok(r) => r,
@@ -315,46 +395,83 @@ fn handle_predict(
                 400,
                 "application/octet-stream",
                 &PredictResponse::encode_error(&e.to_string()),
+                close,
             );
             return;
         }
     };
     let fingerprint = request.fingerprint();
+
+    // Layer 1: the result cache. A hit serves the finished prediction
+    // without enqueueing a job — the inference thread never wakes. With
+    // the cache disabled this path (lock, counters) is skipped entirely.
+    if let Some(results) = &ctx.results {
+        let key = (request.model.clone(), fingerprint);
+        let cached = results
+            .lock()
+            .expect("result cache lock")
+            .get(&key)
+            .cloned();
+        if let Some(resp) = cached {
+            Metrics::inc(&ctx.metrics.result_cache_hits_total);
+            Metrics::inc(&ctx.metrics.predict_ok_total);
+            ctx.metrics.observe_latency(t0.elapsed());
+            respond(
+                writer,
+                200,
+                "application/octet-stream",
+                &resp.encode(),
+                close,
+            );
+            return;
+        }
+        Metrics::inc(&ctx.metrics.result_cache_misses_total);
+    }
+
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job::Predict(PredictJob {
         request,
         fingerprint,
         reply: reply_tx,
     });
-    if job_tx.send(job).is_err() {
+    if ctx.job_tx.send(job).is_err() {
         respond(
             writer,
             503,
             "application/octet-stream",
             &PredictResponse::encode_error("server shutting down"),
+            close,
         );
         return;
     }
     match reply_rx.recv_timeout(Duration::from_secs(300)) {
         Ok(Ok(resp)) => {
-            metrics.observe_latency(t0.elapsed());
-            respond(writer, 200, "application/octet-stream", &resp.encode());
+            ctx.metrics.observe_latency(t0.elapsed());
+            respond(
+                writer,
+                200,
+                "application/octet-stream",
+                &resp.encode(),
+                close,
+            );
         }
         Ok(Err(msg)) => respond(
             writer,
             422,
             "application/octet-stream",
             &PredictResponse::encode_error(&msg),
+            close,
         ),
         Err(_) => respond(
             writer,
             504,
             "application/octet-stream",
             &PredictResponse::encode_error("prediction timed out"),
+            close,
         ),
     }
 }
 
-fn respond(writer: &mut impl Write, status: u16, content_type: &str, body: &[u8]) {
-    let _ = http::write_response(writer, status, content_type, body);
+fn respond(writer: &mut impl Write, status: u16, content_type: &str, body: &[u8], close: bool) {
+    let _ = http::write_response(writer, status, content_type, body, close);
 }

@@ -97,7 +97,13 @@ fn concurrent_mixed_load_is_bitwise_stable_across_thread_counts() {
 
     let mut responses_by_threads: Vec<Vec<PredictResponse>> = Vec::new();
     for threads in [1, 4] {
-        let server = Server::start(config(threads, 8), RegistrySpec::single("m", &path)).unwrap();
+        // Result cache off: this test pins the *feature* cache + in-batch
+        // dedup layer, which the result cache would otherwise absorb.
+        let cfg = ServeConfig {
+            result_cache_capacity: 0,
+            ..config(threads, 8)
+        };
+        let server = Server::start(cfg, RegistrySpec::single("m", &path)).unwrap();
         let addr = server.addr();
         let designs = Arc::new(designs.clone());
         let mut workers = Vec::new();

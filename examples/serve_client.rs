@@ -9,7 +9,7 @@
 
 use lmm_ir_repro::model::{build_sample, iredge, save_predictor, train, TrainConfig};
 use lmm_ir_repro::pdn::{CaseKind, CaseSpec};
-use lmm_ir_repro::serve::{client, PredictRequest, RegistrySpec, ServeConfig, Server};
+use lmm_ir_repro::serve::{client, Client, PredictRequest, RegistrySpec, ServeConfig, Server};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const SIZE: usize = 16;
@@ -43,12 +43,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let addr = server.addr();
     println!("serving on http://{addr}");
 
-    // 3. Query it: a fresh hidden-style design, power map + netlist.
+    // 3. Query it over one persistent keep-alive connection: a fresh
+    //    hidden-style design, power map + netlist. Round 0 runs a forward
+    //    pass; later rounds are served straight from the result cache.
     let case = CaseSpec::new("query", SIZE, SIZE, 99, CaseKind::Hidden).generate();
     let request = PredictRequest::from_case(&case);
-    for round in 0..2 {
+    let mut cli = Client::new(addr.to_string());
+    for round in 0..3 {
         let t0 = std::time::Instant::now();
-        let resp = client::predict(addr, &request)?;
+        let resp = cli.predict(&request)?;
         let worst = resp.map.iter().cloned().fold(0.0f32, f32::max);
         let hotspots: usize = resp.mask.iter().map(|&m| usize::from(m)).sum();
         println!(
@@ -62,6 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if resp.cache_hit { "hit" } else { "miss" },
         );
     }
+    drop(cli); // close the keep-alive connection before draining
 
     // 4. Peek at the server's own counters, then shut down gracefully.
     let (_, metrics) = client::get_text(addr, "/metrics")?;
