@@ -8,16 +8,18 @@
 //!
 //! ```text
 //! loadgen --addr 127.0.0.1:7878 [--requests 64] [--concurrency 4]
-//!         [--designs 2] [--size 16] [--model NAME] [--no-verify]
-//!         [--keep-alive] [--json PATH]
+//!         [--connections N] [--designs 2] [--size 16] [--model NAME]
+//!         [--no-verify] [--keep-alive] [--json PATH]
 //! loadgen --emit-request PATH [--size 16] [--seed 0]   # write one body for curl
 //! ```
 //!
-//! Two serving acceptance checks are driven from here: the batching win
-//! (`--max-batch 1` vs `8` servers) and the keep-alive win (`--keep-alive`
-//! vs connection-per-request against the same server). `--json` writes the
-//! measured numbers as a machine-readable benchmark record (CI uploads it
-//! as `BENCH_serve.json`).
+//! Three serving acceptance checks are driven from here: the batching win
+//! (`--max-batch 1` vs `8` servers), the keep-alive win (`--keep-alive` vs
+//! connection-per-request against the same server), and the
+//! connection-scale guard (`--connections 128 --keep-alive` holds 128
+//! persistent connections — one worker each — against the fixed event-loop
+//! pool). `--json` writes the measured numbers as a machine-readable
+//! benchmark record (CI uploads it as `BENCH_serve.json`).
 
 use lmmir_pdn::{CaseKind, CaseSpec};
 use lmmir_serve::{client, Client, PredictRequest};
@@ -30,6 +32,10 @@ struct Options {
     addr: Option<String>,
     requests: usize,
     concurrency: usize,
+    /// Hold this many concurrent connections (one worker per connection),
+    /// overriding `--concurrency`. Meant for `--keep-alive`: each worker
+    /// keeps its one persistent connection open for the whole run.
+    connections: Option<usize>,
     designs: usize,
     size: usize,
     seed: u64,
@@ -46,6 +52,7 @@ impl Options {
             addr: None,
             requests: 64,
             concurrency: 4,
+            connections: None,
             designs: 2,
             size: 16,
             seed: 0,
@@ -66,6 +73,7 @@ impl Options {
                 "--addr" => o.addr = Some(value("addr")?),
                 "--requests" => o.requests = parse(&value("requests")?)?,
                 "--concurrency" => o.concurrency = parse(&value("concurrency")?)?,
+                "--connections" => o.connections = Some(parse(&value("connections")?)?),
                 "--designs" => o.designs = parse(&value("designs")?)?,
                 "--size" => o.size = parse(&value("size")?)?,
                 "--seed" => o.seed = parse(&value("seed")?)?,
@@ -77,7 +85,7 @@ impl Options {
                 other => return Err(format!("unknown flag {other}")),
             }
         }
-        if o.designs == 0 || o.concurrency == 0 || o.requests == 0 {
+        if o.designs == 0 || o.concurrency == 0 || o.requests == 0 || o.connections == Some(0) {
             return Err("counts must be positive".to_string());
         }
         Ok(o)
@@ -109,7 +117,8 @@ fn main() -> ExitCode {
             eprintln!("loadgen: {e}");
             eprintln!(
                 "usage: loadgen --addr HOST:PORT [--requests N] [--concurrency N] \
-                 [--designs N] [--size N] [--seed N] [--model NAME] [--no-verify]\n   \
+                 [--connections N] [--designs N] [--size N] [--seed N] [--model NAME] \
+                 [--no-verify] [--keep-alive] [--json PATH]\n   \
                  or: loadgen --emit-request PATH [--size N] [--seed N] [--model NAME]"
             );
             return ExitCode::from(2);
@@ -150,9 +159,12 @@ fn main() -> ExitCode {
     let reference = Arc::new(reference);
     let next = Arc::new(AtomicUsize::new(0));
     let errors = Arc::new(AtomicUsize::new(0));
+    // --connections N holds N concurrent connections by running one worker
+    // per connection; otherwise --concurrency sets the worker count.
+    let worker_count = o.connections.unwrap_or(o.concurrency);
     let t0 = Instant::now();
     let mut workers = Vec::new();
-    for _ in 0..o.concurrency {
+    for _ in 0..worker_count {
         let requests = Arc::clone(&requests);
         let reference = Arc::clone(&reference);
         let next = Arc::clone(&next);
@@ -228,11 +240,15 @@ fn main() -> ExitCode {
     let rate = done as f64 / elapsed;
     println!(
         "[loadgen] {done}/{} ok ({errors} errors) in {elapsed:.2}s → {rate:.1} req/s \
-         (latency ms: p50 {:.2}, p99 {:.2}){}",
+         (latency ms: p50 {:.2}, p99 {:.2}){}{}",
         o.requests,
         pct(0.50),
         pct(0.99),
         if o.keep_alive { " [keep-alive]" } else { "" },
+        match o.connections {
+            Some(n) => format!(" [{n} connections]"),
+            None => String::new(),
+        },
     );
     let mut feature_hit_rate = f64::NAN;
     let mut result_hit_rate = f64::NAN;
@@ -259,14 +275,16 @@ fn main() -> ExitCode {
     if let Some(path) = &o.json {
         // Hand-rolled JSON (no serde in the container); every field is a
         // number or bool, so escaping is a non-issue.
+        // `concurrency` records the worker count that actually ran, which
+        // --connections overrides (one worker per held connection).
         let record = format!(
             "{{\n  \"requests\": {},\n  \"ok\": {done},\n  \"errors\": {errors},\n  \
-             \"concurrency\": {},\n  \"designs\": {},\n  \"size\": {},\n  \
+             \"concurrency\": {worker_count},\n  \"connections\": {worker_count},\n  \
+             \"designs\": {},\n  \"size\": {},\n  \
              \"keep_alive\": {},\n  \"elapsed_s\": {elapsed:.4},\n  \
              \"req_per_s\": {rate:.2},\n  \"p50_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \
              \"feature_cache_hit_rate\": {},\n  \"result_cache_hit_rate\": {}\n}}\n",
             o.requests,
-            o.concurrency,
             o.designs,
             o.size,
             o.keep_alive,

@@ -1,6 +1,6 @@
 //! The inference thread: job queue, batching, dedup, cache, forward.
 //!
-//! Handler threads enqueue decoded predict jobs on an MPSC channel; the
+//! Event-loop threads enqueue decoded predict jobs on an MPSC channel; the
 //! single inference thread (models are `Rc`-based and not `Send`) drains up
 //! to `max_batch` jobs or waits at most `max_wait`, then processes the
 //! batch:
@@ -14,8 +14,16 @@
 //!    its internal kernels parallelized by the same pool;
 //! 4. every job of the group receives the identical response.
 //!
-//! The loop exits when every sender is gone (acceptor drained and handler
-//! threads finished), which is exactly the graceful-shutdown order.
+//! The loop exits when every sender is gone (event loops drained and
+//! exited), which is exactly the graceful-shutdown order.
+//!
+//! Completion delivery is a callback, not a channel the submitter blocks
+//! on: event-loop threads park the connection and hand the job a boxed
+//! notifier that posts a readiness event back to the loop that owns the
+//! connection. Successful predictions are **encoded exactly once** here —
+//! the same `Arc`'d frame goes to every duplicate job of the group and
+//! into the result cache, so neither duplicates nor later cache hits pay
+//! the re-encode.
 
 use crate::cache::{LruCache, ResultCache};
 use crate::metrics::Metrics;
@@ -35,26 +43,32 @@ use std::time::Instant;
 /// live on the same thread).
 type FeatureCache = LruCache<(String, u64), Rc<PreparedInput>>;
 
-/// Reply to one predict job: a response or a client-visible error message.
-pub type PredictReply = Result<PredictResponse, String>;
+/// Reply to one predict job: the **encoded response frame** (shared with
+/// the result cache and every duplicate job of the batch group), or a
+/// client-visible error message.
+pub type PredictReply = Result<Arc<Vec<u8>>, String>;
+
+/// Completion notifier for one queued job: invoked exactly once, on the
+/// inference thread, when the job's outcome is known.
+pub type ReplyFn<T> = Box<dyn FnOnce(T) + Send>;
 
 /// One queued prediction.
 pub struct PredictJob {
     /// The decoded request.
     pub request: PredictRequest,
-    /// Content fingerprint (precomputed on the handler thread).
+    /// Content fingerprint (precomputed on the event-loop thread).
     pub fingerprint: u64,
-    /// Where the handler thread waits for the outcome.
-    pub reply: Sender<PredictReply>,
+    /// Wakes the parked connection with the outcome.
+    pub reply: ReplyFn<PredictReply>,
 }
 
 /// A queue entry.
 pub enum Job {
     /// Run a prediction.
     Predict(PredictJob),
-    /// Reload the registry from disk; replies with the model count or an
-    /// error description.
-    Reload(Sender<Result<usize, String>>),
+    /// Reload the registry from disk; the notifier receives the model
+    /// count or an error description.
+    Reload(ReplyFn<Result<usize, String>>),
 }
 
 /// Prepares one request for a model input contract — the *identical* code
@@ -188,7 +202,7 @@ fn dispatch(
                     .models_loaded
                     .store(registry.len() as u64, std::sync::atomic::Ordering::Relaxed);
             }
-            let _ = reply.send(outcome);
+            reply(outcome);
         }
     }
 }
@@ -219,7 +233,7 @@ fn process_batch(
             .canonical_name(&job.request.model)
             .map(str::to_string)
         else {
-            let _ = job.reply.send(Err(format!(
+            (job.reply)(Err(format!(
                 "unknown model '{}' (loaded: {})",
                 job.request.model,
                 registry.names().join(", ")
@@ -260,10 +274,19 @@ fn process_batch(
 
     // Rasterize the misses in parallel: feature prep is pure data work, so
     // it fans out across the pool while the models stay on this thread.
-    let miss_results: Vec<Result<PreparedInput, String>> = lmmir_par::par_map(misses.len(), |k| {
-        let (gi, spec) = &misses[k];
-        prepare_request(*spec, &groups[*gi].jobs[0].request)
-    });
+    // Borrow only the plain-data requests — the groups also hold the
+    // one-shot reply notifiers, which are `Send` but not `Sync` and must
+    // stay off the worker threads.
+    let miss_inputs: Vec<(InputSpec, &PredictRequest)> = misses
+        .iter()
+        .map(|(gi, spec)| (*spec, &groups[*gi].jobs[0].request))
+        .collect();
+    let miss_results: Vec<Result<PreparedInput, String>> =
+        lmmir_par::par_map(miss_inputs.len(), |k| {
+            let (spec, request) = &miss_inputs[k];
+            prepare_request(*spec, request)
+        });
+    drop(miss_inputs);
     for ((gi, _), result) in misses.iter().zip(miss_results) {
         match result {
             Ok(input) => {
@@ -273,9 +296,11 @@ fn process_batch(
                 prepared[*gi] = Some((input, false));
             }
             Err(msg) => {
-                // Leave `prepared[gi]` empty; the reply loop below reports.
-                for job in &groups[*gi].jobs {
-                    let _ = job.reply.send(Err(msg.clone()));
+                // Leave `prepared[gi]` empty (the forward loop skips the
+                // group) and notify every job now; `take` consumes the
+                // one-shot notifiers.
+                for job in std::mem::take(&mut groups[*gi].jobs) {
+                    (job.reply)(Err(msg.clone()));
                     Metrics::inc(&metrics.predict_error_total);
                 }
             }
@@ -292,7 +317,9 @@ fn process_batch(
             .expect("group built from resolvable jobs");
         let session = InferenceSession::new(loaded.model.as_ref());
         let outcome = session.predict(&input).map_err(|e| e.to_string());
-        let response = match &outcome {
+        // Encode the frame exactly once per group: duplicates and future
+        // result-cache hits all share these bytes by `Arc`.
+        let frame = match &outcome {
             Ok(p) => {
                 // Count only passes actually saved: a failed forward saved
                 // none.
@@ -300,45 +327,45 @@ fn process_batch(
                     (group.jobs.len() - 1) as u64,
                     std::sync::atomic::Ordering::Relaxed,
                 );
-                Some(PredictResponse {
+                let response = PredictResponse {
                     width: p.map.width() as u32,
                     height: p.map.height() as u32,
                     threshold: p.threshold,
                     cache_hit,
                     map: p.map.data().to_vec(),
                     mask: p.mask.clone(),
-                })
+                };
+                Some(Arc::new(response.encode()))
             }
             Err(_) => None,
         };
         // Layer the result cache over the feature cache: the finished
-        // prediction is stored under every *requested* model name of the
-        // group (handlers look up by the name they were given; the empty
-        // default alias populates its own entry), so repeated queries are
-        // pure lookups on the handler threads.
-        if let (Some(results), Some(resp)) = (results, &response) {
-            let arc = std::sync::Arc::new(resp.clone());
+        // frame is stored under every *requested* model name of the group
+        // (the connection layer looks up by the name it was given; the
+        // empty default alias populates its own entry), so repeated
+        // queries are pure lookups on the event-loop threads.
+        if let (Some(results), Some(frame)) = (results, &frame) {
             let mut store = results.lock().expect("result cache lock");
             for job in &group.jobs {
                 store.insert(
                     (job.request.model.clone(), group.fingerprint),
-                    std::sync::Arc::clone(&arc),
+                    Arc::clone(frame),
                 );
             }
         }
         for job in group.jobs {
-            let reply = match (&response, &outcome) {
-                (Some(resp), _) => {
+            let reply = match (&frame, &outcome) {
+                (Some(frame), _) => {
                     Metrics::inc(&metrics.predict_ok_total);
-                    Ok(resp.clone())
+                    Ok(Arc::clone(frame))
                 }
                 (None, Err(msg)) => {
                     Metrics::inc(&metrics.predict_error_total);
                     Err(msg.clone())
                 }
-                (None, Ok(_)) => unreachable!("response built from ok outcome"),
+                (None, Ok(_)) => unreachable!("frame built from ok outcome"),
             };
-            let _ = job.reply.send(reply);
+            (job.reply)(reply);
         }
     }
 }

@@ -8,7 +8,9 @@
 //! ```
 //!
 //! Environment fallbacks: `LMMIR_SERVE_ADDR`, `LMMIR_MAX_BATCH`,
-//! `LMMIR_MAX_WAIT_MS`, `LMMIR_CACHE_CAP` (flags win).
+//! `LMMIR_MAX_WAIT_MS`, `LMMIR_CACHE_CAP`, `LMMIR_RESULT_CACHE_CAP`,
+//! `LMMIR_IDLE_TIMEOUT_MS`, `LMMIR_MAX_REQS_PER_CONN`,
+//! `LMMIR_MAX_CONNECTIONS`, `LMMIR_EVENT_THREADS` (flags win).
 
 use lmm_ir::{
     build_sample, save_predictor, train, CheckpointMeta, LmmIr, LmmIrConfig, TrainConfig,
@@ -22,7 +24,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  serve [--addr A] --ckpt NAME=PATH [--ckpt ...] [--default NAME] \
          [--max-batch N] [--max-wait-ms N] [--cache N] [--result-cache N] \
-         [--idle-timeout-ms N] [--max-requests-per-conn N] [--threads N]\n  \
+         [--idle-timeout-ms N] [--max-requests-per-conn N] [--max-connections N] \
+         [--event-threads N] [--threads N]\n  \
          serve demo-ckpt PATH [--arch IREDGe|IRPnet|LMM-IR|'1st Place'|'2nd Place'] \
          [--size 16] [--widths 12,24,48] [--epochs 2] [--cases 2] [--seed 7]"
     );
@@ -112,6 +115,12 @@ fn run_server(args: &[String]) -> ExitCode {
                 .map(|n: u64| cfg.idle_timeout = Duration::from_millis(n.max(1))),
             "max-requests-per-conn" => parse("max-requests-per-conn", value)
                 .map(|n: usize| cfg.max_requests_per_conn = n.max(1)),
+            "max-connections" => {
+                parse("max-connections", value).map(|n: usize| cfg.max_connections = n.max(1))
+            }
+            "event-threads" => {
+                parse("event-threads", value).map(|n: usize| cfg.event_threads = n.max(1))
+            }
             "threads" => parse("threads", value).map(|n: usize| cfg.threads = Some(n.max(1))),
             other => Err(format!("unknown flag --{other}")),
         };
@@ -133,7 +142,8 @@ fn run_server(args: &[String]) -> ExitCode {
     };
     eprintln!(
         "[serve] listening on http://{} (max_batch {}, max_wait {:?}, cache {}, \
-         result-cache {}, idle-timeout {:?}, max-reqs/conn {}) — \
+         result-cache {}, idle-timeout {:?}, max-reqs/conn {}, max-conns {}, \
+         event-threads {}) — \
          POST /predict, GET /healthz, GET /metrics, POST /reload, POST /shutdown",
         server.addr(),
         cfg.max_batch,
@@ -142,6 +152,8 @@ fn run_server(args: &[String]) -> ExitCode {
         cfg.result_cache_capacity,
         cfg.idle_timeout,
         cfg.max_requests_per_conn,
+        cfg.max_connections,
+        cfg.event_threads,
     );
     server.wait();
     eprintln!("[serve] drained, bye");

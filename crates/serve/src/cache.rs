@@ -7,22 +7,27 @@
 //! deliberate: capacities are tens of designs, and the scan is branch-
 //! predictable, far below the cost of one rasterization it saves.
 
-use crate::proto::PredictResponse;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, Mutex};
 
 /// The **result cache**: finished predictions keyed by
 /// `(requested model name, design content hash)`, layered over the feature
-/// cache. Handler threads consult it *before enqueueing a job* — a hit
+/// cache. Event-loop threads consult it *before enqueueing a job* — a hit
 /// serves the whole prediction without ever waking the inference thread —
 /// and the inference thread inserts after each successful forward and
 /// clears it atomically with the feature cache on a successful `/reload`.
 ///
+/// The value is the **encoded response frame**, not the decoded
+/// [`crate::proto::PredictResponse`]: a hit is written to the socket as-is,
+/// skipping the re-encode (which at 870 px full-scale maps copies megabytes
+/// per hit). The frame is built exactly once, on the inference thread,
+/// right after the forward pass that produced it.
+///
 /// Keyed by the *requested* name (not the registry-canonical one) because
-/// handlers must not block on the inference thread to resolve aliases; the
-/// empty default-model alias simply populates its own entries.
-pub type ResultCache = Arc<Mutex<LruCache<(String, u64), Arc<PredictResponse>>>>;
+/// the connection layer must not block on the inference thread to resolve
+/// aliases; the empty default-model alias simply populates its own entries.
+pub type ResultCache = Arc<Mutex<LruCache<(String, u64), Arc<Vec<u8>>>>>;
 
 /// Builds a fresh shared result cache of the given capacity (0 disables).
 #[must_use]

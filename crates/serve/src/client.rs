@@ -263,6 +263,18 @@ impl Client {
         decode_predict(status, &body)
     }
 
+    /// Opens the connection eagerly without sending a request — useful to
+    /// establish an idle keep-alive connection (e.g. connection-scale
+    /// tests that hold hundreds open) or to pay the connect cost up front.
+    /// A no-op when already connected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the server is unreachable.
+    pub fn warm(&mut self) -> Result<(), ServeError> {
+        self.connect().map(|_| ())
+    }
+
     /// Whether a connection is currently held open (false before the first
     /// exchange and after the server closed it).
     #[must_use]

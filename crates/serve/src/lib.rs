@@ -12,26 +12,35 @@
 //! ## Architecture
 //!
 //! ```text
-//!  clients ──> acceptor thread ──> connection threads (keep-alive loop:
-//!                                  parse HTTP + proto, result-cache lookup)
-//!                                        │ mpsc jobs (result-cache misses)
+//!  clients ──> acceptor thread ──> event-loop threads (fixed pool:
+//!                 (round-robin)    non-blocking sockets, resumable HTTP
+//!                                  parse, per-state deadlines,
+//!                                  result-cache lookup)
+//!                                        │ mpsc jobs (result-cache misses;
+//!                                        │ connection parks)
 //!                                        v
 //!                               inference thread (owns the models)
 //!                               │ drain ≤ max_batch / ≤ max_wait_ms
 //!                               │ dedupe by content hash
 //!                               │ feature cache (LRU) / prepare on pool
-//!                               │ forward per unique input
-//!                               │ result cache insert (shared LRU)
-//!                               └─> per-job reply channels
+//!                               │ forward per unique input, encode once
+//!                               │ result cache insert (encoded frames)
+//!                               └─> completion events wake parked
+//!                                   connections on their event loop
 //! ```
 //!
-//! Connections are **persistent** (HTTP/1.1 keep-alive with pipelining):
-//! each connection thread loops over sequential requests until the peer
-//! sends `Connection: close`, the idle timeout expires, or the
-//! per-connection request cap is reached. The **result cache** is layered
-//! over the feature cache: a repeated query for an unchanged design is
-//! answered on the connection thread without waking the inference thread
-//! at all; `POST /reload` atomically invalidates both caches.
+//! Connections are **persistent** (HTTP/1.1 keep-alive with pipelining)
+//! and are *not* threads: a small fixed pool of event loops (the internal
+//! `event` module) drives every connection's state machine (`ReadingHead →
+//! ReadingBody → AwaitingInference → Writing`) over non-blocking sockets,
+//! so hundreds of idle keep-alive peers hold sockets, not stacks. Each
+//! state carries its own deadline (subsuming the old idle timeout — a
+//! peer trickling a body is cut off just like a silent one), and the
+//! per-connection request cap closes with `Connection: close`. The
+//! **result cache** is layered over the feature cache and stores
+//! **encoded response frames**: a repeated query for an unchanged design
+//! is answered on the event-loop thread — no inference-thread wakeup, no
+//! re-encode; `POST /reload` atomically invalidates both caches.
 //!
 //! Model internals are `Rc`-based (the autograd tape is deliberately not
 //! thread-safe), so every model lives on the single inference thread; the
@@ -71,6 +80,7 @@ pub mod metrics;
 pub mod proto;
 pub mod registry;
 
+mod event;
 mod server;
 
 pub use batch::prepare_request;

@@ -20,6 +20,19 @@ pub struct Metrics {
     pub requests_total: AtomicU64,
     /// TCP connections accepted.
     pub connections_total: AtomicU64,
+    /// Connections currently registered with an event loop (gauge). This
+    /// is the live-connection bookkeeping the acceptor caps against — and
+    /// the regression guard for the old per-connection `JoinHandle` leak:
+    /// closed connections must leave the gauge, not accumulate.
+    pub connections_open: AtomicU64,
+    /// Connections currently parked in `AwaitingInference`/`AwaitingReload`
+    /// (gauge): their request is queued on the inference thread and the
+    /// event loop will only touch them again on a completion wakeup.
+    pub connections_parked: AtomicU64,
+    /// Size of the event-loop thread pool (gauge, set once at startup).
+    /// Together with `connections_open` this pins the resource model:
+    /// thread count is fixed, connection count is not.
+    pub event_threads: AtomicU64,
     /// Requests served on an already-open connection (keep-alive reuses:
     /// every request after the first on one socket).
     pub keepalive_reuses_total: AtomicU64,
@@ -65,6 +78,14 @@ impl Metrics {
     /// Increments a counter by one.
     pub fn inc(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements a gauge by one (saturating at zero, so a double-
+    /// decrement bug shows up as a stuck-low gauge rather than 2^64-1).
+    pub fn dec(gauge: &AtomicU64) {
+        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
     }
 
     /// Records one drained batch of `jobs` predict jobs.
@@ -149,6 +170,12 @@ impl Metrics {
         };
         line("requests_total", g(&self.requests_total).to_string());
         line("connections_total", g(&self.connections_total).to_string());
+        line("connections_open", g(&self.connections_open).to_string());
+        line(
+            "connections_parked",
+            g(&self.connections_parked).to_string(),
+        );
+        line("event_threads", g(&self.event_threads).to_string());
         line(
             "keepalive_reuses_total",
             g(&self.keepalive_reuses_total).to_string(),
@@ -244,6 +271,9 @@ mod tests {
         for key in [
             "lmmir_requests_total",
             "lmmir_connections_total",
+            "lmmir_connections_open",
+            "lmmir_connections_parked",
+            "lmmir_event_threads",
             "lmmir_keepalive_reuses_total",
             "lmmir_cache_hit_rate",
             "lmmir_result_cache_hits_total",
@@ -255,6 +285,18 @@ mod tests {
         ] {
             assert!(text.contains(key), "missing {key} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn gauges_inc_dec_and_saturate_at_zero() {
+        let m = Metrics::new();
+        Metrics::inc(&m.connections_open);
+        Metrics::inc(&m.connections_open);
+        Metrics::dec(&m.connections_open);
+        assert_eq!(m.connections_open.load(Ordering::Relaxed), 1);
+        Metrics::dec(&m.connections_open);
+        Metrics::dec(&m.connections_open); // double-dec must not wrap
+        assert_eq!(m.connections_open.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -1,16 +1,25 @@
-//! Server lifecycle: configuration, accept loop, keep-alive request loop,
-//! request routing, graceful shutdown.
+//! Server lifecycle: configuration, the accept loop, the event-loop thread
+//! pool, and graceful shutdown.
+//!
+//! The accept loop only accepts: each admitted connection is handed
+//! (round-robin) to one of a **fixed pool** of event-loop threads
+//! ([`crate::event`]), which drive every connection's read/parse/respond
+//! state machine over non-blocking sockets. Connection count and thread
+//! count are decoupled — 500 idle keep-alive peers hold 500 sockets but
+//! zero extra threads — and closed connections leave the bookkeeping
+//! immediately (the old per-connection `JoinHandle` list, which grew until
+//! shutdown, is gone by construction; `lmmir_connections_open` in
+//! `/metrics` is the live gauge).
 
-use crate::batch::{self, Job, PredictJob};
-use crate::cache::{result_cache, ResultCache};
+use crate::batch::{self, Job};
+use crate::cache::result_cache;
+use crate::event::{Event, EventLoop, LoopCtx};
 use crate::http;
 use crate::metrics::Metrics;
-use crate::proto::{PredictRequest, PredictResponse};
 use crate::registry::RegistrySpec;
 use crate::ServeError;
-use std::io::{BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -31,14 +40,20 @@ pub struct ServeConfig {
     /// Result-cache capacity in predictions
     /// (`LMMIR_RESULT_CACHE_CAP`; 0 disables).
     pub result_cache_capacity: usize,
-    /// How long a keep-alive connection may sit idle between requests
-    /// before the server closes it (`LMMIR_IDLE_TIMEOUT_MS`).
+    /// Per-state read deadline: a keep-alive connection may sit idle this
+    /// long between requests, and a request's head and body each get this
+    /// long to arrive (`LMMIR_IDLE_TIMEOUT_MS`).
     pub idle_timeout: Duration,
     /// Most requests served on one connection before the server closes it
     /// with `Connection: close` (`LMMIR_MAX_REQS_PER_CONN`; floor 1).
     pub max_requests_per_conn: usize,
-    /// Most concurrently served connections; excess get `503`.
+    /// Most concurrently open connections; excess get `503`
+    /// (`LMMIR_MAX_CONNECTIONS`; floor 1).
     pub max_connections: usize,
+    /// Event-loop threads driving all connections
+    /// (`LMMIR_EVENT_THREADS`; floor 1). A small fixed number — the loops
+    /// are I/O-bound; inference parallelism lives in `lmmir-par`.
+    pub event_threads: usize,
     /// Thread-count override for the inference thread's `lmmir-par` pool
     /// (`None` = `LMMIR_THREADS` / available cores).
     pub threads: Option<usize>,
@@ -55,6 +70,7 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(10),
             max_requests_per_conn: 1024,
             max_connections: 64,
+            event_threads: 2,
             threads: None,
         }
     }
@@ -102,6 +118,12 @@ impl ServeConfig {
         if let Some(v) = read::<usize>("LMMIR_MAX_REQS_PER_CONN")? {
             cfg.max_requests_per_conn = v.max(1);
         }
+        if let Some(v) = read::<usize>("LMMIR_MAX_CONNECTIONS")? {
+            cfg.max_connections = v.max(1);
+        }
+        if let Some(v) = read::<usize>("LMMIR_EVENT_THREADS")? {
+            cfg.event_threads = v.max(1);
+        }
         Ok(cfg)
     }
 }
@@ -112,6 +134,7 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     metrics: Arc<Metrics>,
     acceptor: JoinHandle<()>,
+    event_loops: Vec<JoinHandle<()>>,
     batcher: JoinHandle<()>,
 }
 
@@ -156,19 +179,44 @@ impl Server {
             }
         }
 
-        let acceptor = {
-            let ctx = ConnCtx {
-                job_tx,
+        // The fixed event-loop pool: every connection lives on exactly one
+        // of these threads for its whole life.
+        let pool = cfg.event_threads.max(1);
+        metrics.event_threads.store(pool as u64, Ordering::Relaxed);
+        let mut event_txs = Vec::with_capacity(pool);
+        let mut event_loops = Vec::with_capacity(pool);
+        for k in 0..pool {
+            let (event_tx, event_rx) = mpsc::channel::<Event>();
+            let ctx = LoopCtx {
+                job_tx: job_tx.clone(),
                 shutdown: Arc::clone(&shutdown),
                 metrics: Arc::clone(&metrics),
-                results: (cfg.result_cache_capacity > 0).then_some(results),
+                results: (cfg.result_cache_capacity > 0).then(|| Arc::clone(&results)),
                 idle_timeout: cfg.idle_timeout,
                 max_requests: cfg.max_requests_per_conn.max(1),
             };
-            let max_connections = cfg.max_connections;
+            let own_tx = event_tx.clone();
+            event_loops.push(
+                thread::Builder::new()
+                    .name(format!("lmmir-event-{k}"))
+                    .spawn(move || EventLoop::new(ctx, event_rx, own_tx).run())?,
+            );
+            event_txs.push(event_tx);
+        }
+        // The event loops hold the only lasting job senders: when the last
+        // loop exits after the drain, the inference thread's queue
+        // disconnects and it exits too.
+        drop(job_tx);
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let metrics = Arc::clone(&metrics);
+            let max_connections = cfg.max_connections.max(1);
             thread::Builder::new()
                 .name("lmmir-accept".to_string())
-                .spawn(move || accept_loop(&listener, &ctx, max_connections))?
+                .spawn(move || {
+                    accept_loop(&listener, &event_txs, &metrics, &shutdown, max_connections)
+                })?
         };
 
         Ok(Server {
@@ -176,6 +224,7 @@ impl Server {
             shutdown,
             metrics,
             acceptor,
+            event_loops,
             batcher,
         })
     }
@@ -193,8 +242,9 @@ impl Server {
     }
 
     /// Requests shutdown (also triggered by `POST /shutdown`): the
-    /// acceptor stops taking connections, in-flight connections finish,
-    /// queued jobs are answered, then the threads exit.
+    /// acceptor stops taking connections, idle keep-alive connections are
+    /// closed, in-flight requests finish, queued jobs are answered, then
+    /// the threads exit.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
     }
@@ -203,6 +253,9 @@ impl Server {
     /// `POST /shutdown`) and every thread drained.
     pub fn wait(self) {
         let _ = self.acceptor.join();
+        for handle in self.event_loops {
+            let _ = handle.join();
+        }
         let _ = self.batcher.join();
     }
 
@@ -213,34 +266,27 @@ impl Server {
     }
 }
 
-/// Everything a connection handler needs, bundled so the accept loop can
-/// clone one context per connection.
-#[derive(Clone)]
-struct ConnCtx {
-    job_tx: Sender<Job>,
-    shutdown: Arc<AtomicBool>,
-    metrics: Arc<Metrics>,
-    /// `None` when the result cache is disabled (capacity 0), so the hot
-    /// path never touches the shared mutex for guaranteed misses.
-    results: Option<ResultCache>,
-    idle_timeout: Duration,
-    max_requests: usize,
-}
-
-/// Accepts connections until shutdown, then joins every handler (drain).
-fn accept_loop(listener: &TcpListener, ctx: &ConnCtx, max_connections: usize) {
-    let live = Arc::new(AtomicUsize::new(0));
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    while !ctx.shutdown.load(Ordering::SeqCst) {
+/// Accepts connections until shutdown and deals them round-robin to the
+/// event loops. No per-connection thread, no per-connection handle: the
+/// loops own all connection state and unregister connections as they
+/// close.
+fn accept_loop(
+    listener: &TcpListener,
+    loops: &[Sender<Event>],
+    metrics: &Arc<Metrics>,
+    shutdown: &AtomicBool,
+    max_connections: usize,
+) {
+    let mut next = 0usize;
+    while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
                 // Keep-alive exchanges are request/response ping-pong on a
                 // warm connection; without TCP_NODELAY, Nagle + delayed
                 // ACK adds ~40 ms to every exchange after the first.
                 let _ = stream.set_nodelay(true);
-                handlers.retain(|h| !h.is_finished());
-                if live.load(Ordering::SeqCst) >= max_connections {
-                    let mut stream = stream;
+                if metrics.connections_open.load(Ordering::SeqCst) >= max_connections as u64 {
+                    // Still blocking here, so this small write completes.
                     let _ = http::write_response(
                         &mut stream,
                         503,
@@ -250,23 +296,16 @@ fn accept_loop(listener: &TcpListener, ctx: &ConnCtx, max_connections: usize) {
                     );
                     continue;
                 }
-                live.fetch_add(1, Ordering::SeqCst);
-                Metrics::inc(&ctx.metrics.connections_total);
-                let ctx = ctx.clone();
-                let live_worker = Arc::clone(&live);
-                let spawned =
-                    thread::Builder::new()
-                        .name("lmmir-conn".to_string())
-                        .spawn(move || {
-                            handle_connection(stream, &ctx);
-                            live_worker.fetch_sub(1, Ordering::SeqCst);
-                        });
-                match spawned {
-                    Ok(h) => handlers.push(h),
-                    Err(_) => {
-                        live.fetch_sub(1, Ordering::SeqCst);
-                    }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
                 }
+                Metrics::inc(&metrics.connections_total);
+                Metrics::inc(&metrics.connections_open);
+                if loops[next % loops.len()].send(Event::Conn(stream)).is_err() {
+                    // Loop thread died (only possible mid-shutdown).
+                    Metrics::dec(&metrics.connections_open);
+                }
+                next += 1;
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(2));
@@ -274,204 +313,6 @@ fn accept_loop(listener: &TcpListener, ctx: &ConnCtx, max_connections: usize) {
             Err(_) => break,
         }
     }
-    // Connection drain: every accepted request finishes before the job
-    // sender drops, which in turn lets the inference thread exit.
-    for h in handlers {
-        let _ = h.join();
-    }
-}
-
-/// Serves one connection: a keep-alive request loop. The connection closes
-/// when the peer asks (`Connection: close`), the idle timeout expires, the
-/// per-connection request cap is reached, the server is shutting down, or
-/// a request fails to parse.
-fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
-    // The idle timeout doubles as the read timeout *within* a request: a
-    // peer stalling mid-header or mid-body is indistinguishable from a
-    // dead one and holds a connection slot either way.
-    let _ = stream.set_read_timeout(Some(ctx.idle_timeout));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut served = 0usize;
-    loop {
-        let request = match http::read_request(&mut reader, &mut writer) {
-            Ok(Some(r)) => r,
-            // Peer closed cleanly between requests: normal keep-alive end.
-            Ok(None) => return,
-            // Idle-timeout expiry or transport death (including mid-header
-            // stalls): nothing useful to say to a peer that stopped
-            // talking; close without a response.
-            Err(ServeError::Io(_)) => return,
-            Err(e) => {
-                // Malformed request: answer 400 and close — later bytes on
-                // the socket (e.g. a pipelined follow-up) cannot be framed
-                // reliably after a parse failure.
-                respond(
-                    &mut writer,
-                    400,
-                    "text/plain",
-                    format!("{e}\n").as_bytes(),
-                    true,
-                );
-                return;
-            }
-        };
-        served += 1;
-        Metrics::inc(&ctx.metrics.requests_total);
-        if served > 1 {
-            Metrics::inc(&ctx.metrics.keepalive_reuses_total);
-        }
-        // Decide the connection's fate *before* routing so the response
-        // advertises it: peer preference, per-connection cap, shutdown.
-        let close =
-            request.close || served >= ctx.max_requests || ctx.shutdown.load(Ordering::SeqCst);
-        handle_request(&mut writer, &request, ctx, close);
-        if close {
-            return;
-        }
-    }
-}
-
-/// Routes one parsed request and writes its response.
-fn handle_request(writer: &mut TcpStream, request: &http::Request, ctx: &ConnCtx, close: bool) {
-    match (request.method.as_str(), request.target.as_str()) {
-        ("GET", "/healthz") => respond(writer, 200, "text/plain", b"ok\n", close),
-        ("GET", "/metrics") => {
-            respond(
-                writer,
-                200,
-                "text/plain",
-                ctx.metrics.render().as_bytes(),
-                close,
-            );
-        }
-        ("POST", "/shutdown") => {
-            ctx.shutdown.store(true, Ordering::SeqCst);
-            // Always close: the server is going away, and an open
-            // keep-alive connection would stall the drain.
-            respond(writer, 200, "text/plain", b"shutting down\n", true);
-        }
-        ("POST", "/reload") => {
-            let (tx, rx) = mpsc::channel();
-            if ctx.job_tx.send(Job::Reload(tx)).is_err() {
-                respond(writer, 503, "text/plain", b"server shutting down\n", close);
-                return;
-            }
-            match rx.recv_timeout(Duration::from_secs(120)) {
-                Ok(Ok(n)) => respond(
-                    writer,
-                    200,
-                    "text/plain",
-                    format!("reloaded {n} model(s)\n").as_bytes(),
-                    close,
-                ),
-                Ok(Err(msg)) => respond(
-                    writer,
-                    500,
-                    "text/plain",
-                    format!("{msg}\n").as_bytes(),
-                    close,
-                ),
-                Err(_) => respond(writer, 504, "text/plain", b"reload timed out\n", close),
-            }
-        }
-        ("POST", "/predict") => handle_predict(writer, &request.body, ctx, close),
-        ("GET" | "POST", _) => respond(writer, 404, "text/plain", b"no such endpoint\n", close),
-        _ => respond(writer, 405, "text/plain", b"method not allowed\n", close),
-    }
-}
-
-fn handle_predict(writer: &mut TcpStream, body: &[u8], ctx: &ConnCtx, close: bool) {
-    let t0 = std::time::Instant::now();
-    let request = match PredictRequest::decode(body) {
-        Ok(r) => r,
-        Err(e) => {
-            respond(
-                writer,
-                400,
-                "application/octet-stream",
-                &PredictResponse::encode_error(&e.to_string()),
-                close,
-            );
-            return;
-        }
-    };
-    let fingerprint = request.fingerprint();
-
-    // Layer 1: the result cache. A hit serves the finished prediction
-    // without enqueueing a job — the inference thread never wakes. With
-    // the cache disabled this path (lock, counters) is skipped entirely.
-    if let Some(results) = &ctx.results {
-        let key = (request.model.clone(), fingerprint);
-        let cached = results
-            .lock()
-            .expect("result cache lock")
-            .get(&key)
-            .cloned();
-        if let Some(resp) = cached {
-            Metrics::inc(&ctx.metrics.result_cache_hits_total);
-            Metrics::inc(&ctx.metrics.predict_ok_total);
-            ctx.metrics.observe_latency(t0.elapsed());
-            respond(
-                writer,
-                200,
-                "application/octet-stream",
-                &resp.encode(),
-                close,
-            );
-            return;
-        }
-        Metrics::inc(&ctx.metrics.result_cache_misses_total);
-    }
-
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let job = Job::Predict(PredictJob {
-        request,
-        fingerprint,
-        reply: reply_tx,
-    });
-    if ctx.job_tx.send(job).is_err() {
-        respond(
-            writer,
-            503,
-            "application/octet-stream",
-            &PredictResponse::encode_error("server shutting down"),
-            close,
-        );
-        return;
-    }
-    match reply_rx.recv_timeout(Duration::from_secs(300)) {
-        Ok(Ok(resp)) => {
-            ctx.metrics.observe_latency(t0.elapsed());
-            respond(
-                writer,
-                200,
-                "application/octet-stream",
-                &resp.encode(),
-                close,
-            );
-        }
-        Ok(Err(msg)) => respond(
-            writer,
-            422,
-            "application/octet-stream",
-            &PredictResponse::encode_error(&msg),
-            close,
-        ),
-        Err(_) => respond(
-            writer,
-            504,
-            "application/octet-stream",
-            &PredictResponse::encode_error("prediction timed out"),
-            close,
-        ),
-    }
-}
-
-fn respond(writer: &mut impl Write, status: u16, content_type: &str, body: &[u8], close: bool) {
-    let _ = http::write_response(writer, status, content_type, body, close);
+    // Dropping the event senders here; each loop still owns a clone of its
+    // own sender, so loops drain on the shutdown flag, not on disconnect.
 }
