@@ -10,7 +10,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lmmir_solver::{grid_laplacian, solve_cg, CgConfig};
-use lmmir_tensor::conv::{conv2d, conv2d_backward, ConvSpec};
+use lmmir_tensor::conv::{conv2d, conv2d_backward, conv2d_quantized, ConvSpec};
+use lmmir_tensor::linalg::{gemm_reference, gemm_tiled};
+use lmmir_tensor::quant::QuantConvWeight;
 use lmmir_tensor::{linalg, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,6 +48,33 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+/// Naive vs cache-tiled packed GEMM, single-threaded: the two kernels are
+/// bitwise interchangeable, so this is purely the perf delta the dispatcher
+/// banks on (and the `kernels-guard` binary gates in CI at 256³).
+fn bench_gemm_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    for side in [128usize, 256] {
+        let a = noise(side * side, 11);
+        let b = noise(side * side, 12);
+        group.bench_with_input(BenchmarkId::new("naive", side), &side, |bench, &side| {
+            bench.iter(|| {
+                let mut out = vec![0.0f32; side * side];
+                gemm_reference(side, side, side, black_box(&a), black_box(&b), &mut out);
+                black_box(out)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tiled", side), &side, |bench, &side| {
+            bench.iter(|| {
+                let mut out = vec![0.0f32; side * side];
+                gemm_tiled(side, side, side, black_box(&a), black_box(&b), &mut out);
+                black_box(out)
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_conv(c: &mut Criterion) {
     let mut group = c.benchmark_group("conv2d");
     group.sample_size(10);
@@ -73,6 +102,22 @@ fn bench_conv(c: &mut Criterion) {
                 bench.iter(|| {
                     lmmir_par::with_threads(threads, || {
                         black_box(conv2d_backward(black_box(&x), &w, black_box(&g), spec).unwrap())
+                    })
+                });
+            },
+        );
+    }
+    // int8 forward of the same convolution: dynamic activation scale, i8
+    // im2col, integer GEMM. The serving win the `--quantized` flag buys.
+    let qw = QuantConvWeight::from_tensor(&w).unwrap();
+    for threads in THREADS {
+        group.bench_with_input(
+            BenchmarkId::new("forward_int8_16x96x96", format!("{threads}thr")),
+            &threads,
+            |bench, &threads| {
+                bench.iter(|| {
+                    lmmir_par::with_threads(threads, || {
+                        black_box(conv2d_quantized(black_box(&x), &qw, None, spec).unwrap())
                     })
                 });
             },
@@ -118,5 +163,11 @@ fn bench_cg(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_conv, bench_cg);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_gemm_families,
+    bench_conv,
+    bench_cg
+);
 criterion_main!(benches);

@@ -73,6 +73,10 @@ impl IrPredictor for UNetModel {
         self.encoder.set_training(training);
         self.decoder.set_training(training);
     }
+
+    fn quantize(&self) -> usize {
+        self.encoder.quantize() + self.decoder.quantize()
+    }
 }
 
 /// IREDGe (Chhabria et al., ASP-DAC 2021): a plain encoder-decoder over the
@@ -183,9 +187,15 @@ impl IrPredictor for IrpNet {
     }
 
     fn set_training(&self, training: bool) {
-        for n in &self.norms {
+        for (c, n) in self.convs.iter().zip(&self.norms) {
+            c.set_training(training);
             n.set_training(training);
         }
+        self.out.set_training(training);
+    }
+
+    fn quantize(&self) -> usize {
+        self.convs.iter().map(Module::quantize).sum::<usize>() + self.out.quantize()
     }
 }
 

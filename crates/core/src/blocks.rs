@@ -50,8 +50,14 @@ impl Module for DoubleConv {
     }
 
     fn set_training(&self, training: bool) {
+        self.c1.set_training(training);
         self.b1.set_training(training);
+        self.c2.set_training(training);
         self.b2.set_training(training);
+    }
+
+    fn quantize(&self) -> usize {
+        self.c1.quantize() + self.c2.quantize()
     }
 }
 
@@ -133,6 +139,10 @@ impl Module for UNetEncoder {
         for s in &self.stages {
             s.set_training(training);
         }
+    }
+
+    fn quantize(&self) -> usize {
+        self.stem.quantize() + self.stages.iter().map(Module::quantize).sum::<usize>()
     }
 }
 
@@ -238,9 +248,26 @@ impl Module for UNetDecoder {
     }
 
     fn set_training(&self, training: bool) {
+        if let Some(gates) = &self.gates {
+            for g in gates {
+                g.set_training(training);
+            }
+        }
         for c in &self.convs {
             c.set_training(training);
         }
+        self.out.set_training(training);
+    }
+
+    /// Deconvolutions stay f32 (`ConvTranspose2d` has no int8 kernel); the
+    /// gates, double-convs and the output head quantize.
+    fn quantize(&self) -> usize {
+        let mut n = 0;
+        if let Some(gates) = &self.gates {
+            n += gates.iter().map(Module::quantize).sum::<usize>();
+        }
+        n += self.convs.iter().map(Module::quantize).sum::<usize>();
+        n + self.out.quantize()
     }
 }
 

@@ -19,10 +19,24 @@
 //! which is what makes paper-scale LMM-IR checkpoints servable. v1 and v2
 //! files still load: the config entry is simply absent and
 //! [`CheckpointMeta::config`] is `None`.
+//!
+//! Format v4 additionally records **post-training int8 weight scales**: one
+//! `quant.{i}` entry (a rank-1 scale vector, one scale per output channel)
+//! for every rank-2/rank-4 `param.{i}`. Weights themselves stay `f32` on
+//! the wire — the scales make the quantization *reproducible and
+//! verifiable*: they are computed by [`lmmir_tensor::quant::weight_scales`],
+//! the same function the layers use when [`IrPredictor::quantize`] runs, so
+//! the loader cross-checks each stored vector bitwise against a
+//! recomputation from the adjacent parameter tensor and rejects tampered or
+//! corrupted files. v1–v3 files simply have no `quant.` entries and still
+//! load (quantized serving of an old file computes the identical scales at
+//! load time).
 
 use crate::lnt::LntConfig;
 use crate::model::{IrPredictor, LmmIrConfig};
+use lmmir_tensor::quant::weight_scales;
 use lmmir_tensor::{io, Result, Tensor, TensorError};
+use std::collections::BTreeMap;
 use std::path::Path;
 
 /// Name prefix of the metadata entry; the model name rides in the entry
@@ -31,6 +45,10 @@ const META_PREFIX: &str = "meta.";
 
 /// Name of the full-config entry written since format v3.
 const CONFIG_ENTRY: &str = "config.lmmir";
+
+/// Name prefix of the per-parameter int8 scale entries written since
+/// format v4 (`quant.{i}` describes `param.{i}`).
+const QUANT_PREFIX: &str = "quant.";
 
 /// Layout version of the `config.lmmir` payload (independent of the
 /// checkpoint format version, so the payload can evolve without touching
@@ -42,7 +60,7 @@ const CONFIG_LAYOUT: u32 = 1;
 const MAX_WIDTHS: usize = 64;
 
 /// Architecture metadata stored alongside checkpoint parameters.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CheckpointMeta {
     /// Model name as reported by [`IrPredictor::name`].
     pub model: String,
@@ -54,26 +72,41 @@ pub struct CheckpointMeta {
     /// for baseline architectures, which are fully determined by name,
     /// channels and size).
     pub config: Option<LmmIrConfig>,
+    /// Per-parameter int8 weight scales keyed by parameter index
+    /// (format v4; empty for older files). Every rank-2/rank-4 parameter
+    /// has an entry.
+    pub quant_scales: BTreeMap<usize, Vec<f32>>,
 }
 
 impl CheckpointMeta {
-    /// Reads the metadata off a live model.
+    /// Reads the metadata off a live model, including the int8 scales of
+    /// every quantizable parameter (so a save captures format v4).
     #[must_use]
     pub fn of(model: &dyn IrPredictor) -> Self {
+        let quant_scales = model
+            .parameters()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| weight_scales(&p.value()).map(|s| (i, s)))
+            .collect();
         CheckpointMeta {
             model: model.name().to_string(),
             input_channels: model.input_channels(),
             input_size: model.input_size(),
             config: model.lmmir_config().cloned(),
+            quant_scales,
         }
     }
 
-    /// The checkpoint format version this metadata corresponds to: 3 when
-    /// the full config is recorded, 2 otherwise (1 — no metadata at all —
-    /// is represented by `split_meta` returning `None`).
+    /// The checkpoint format version this metadata corresponds to: 4 when
+    /// int8 scales are recorded, 3 when the full config is, 2 otherwise
+    /// (1 — no metadata at all — is represented by `split_meta` returning
+    /// `None`).
     #[must_use]
     pub fn format_version(&self) -> u8 {
-        if self.config.is_some() {
+        if !self.quant_scales.is_empty() {
+            4
+        } else if self.config.is_some() {
             3
         } else {
             2
@@ -107,6 +140,7 @@ impl CheckpointMeta {
             input_channels: data[0] as usize,
             input_size: data[1] as usize,
             config: None,
+            quant_scales: BTreeMap::new(),
         })
     }
 }
@@ -213,18 +247,41 @@ fn parse_config(t: &Tensor) -> Result<LmmIrConfig> {
 /// A named tensor as stored in a checkpoint file.
 pub type NamedTensor = (String, Tensor);
 
+/// Parses a `quant.{i}` entry name/payload into `(index, scales)`.
+fn parse_quant(name: &str, t: &Tensor) -> Result<(usize, Vec<f32>)> {
+    let bad = |why: String| TensorError::Io(format!("malformed quant entry '{name}': {why}"));
+    let index = name
+        .strip_prefix(QUANT_PREFIX)
+        .expect("caller checked the prefix")
+        .parse::<usize>()
+        .map_err(|_| bad("suffix must be a parameter index".to_string()))?;
+    if t.rank() != 1 {
+        return Err(bad(format!("scales must be rank-1, got {:?}", t.dims())));
+    }
+    let data = t.data();
+    if let Some(v) = data.iter().find(|v| !v.is_finite() || **v <= 0.0) {
+        return Err(bad(format!("scales must be finite and positive, got {v}")));
+    }
+    Ok((index, data.to_vec()))
+}
+
 /// Splits loaded entries into the optional metadata and the parameter list
 /// (order preserved). A v3 `config.lmmir` entry is folded into
-/// [`CheckpointMeta::config`] and cross-checked against the meta entry.
+/// [`CheckpointMeta::config`] and cross-checked against the meta entry;
+/// v4 `quant.{i}` entries are folded into [`CheckpointMeta::quant_scales`]
+/// and cross-checked **bitwise** against a recomputation from the
+/// `param.{i}` tensor they describe.
 ///
 /// # Errors
 ///
-/// Returns [`TensorError::Io`] for a malformed or duplicated meta/config
-/// entry, a config entry without a meta entry, or a config that disagrees
-/// with the meta's architecture name, channel count or input size.
+/// Returns [`TensorError::Io`] for a malformed or duplicated meta/config/
+/// quant entry, a config or quant entry without a meta entry, a config that
+/// disagrees with the meta's architecture name, channel count or input
+/// size, or a quant entry whose scales disagree with its parameter.
 pub fn split_meta(entries: Vec<NamedTensor>) -> Result<(Option<CheckpointMeta>, Vec<NamedTensor>)> {
     let mut meta: Option<CheckpointMeta> = None;
     let mut config: Option<LmmIrConfig> = None;
+    let mut quant: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
     let mut params = Vec::with_capacity(entries.len());
     for (name, t) in entries {
         if name == CONFIG_ENTRY {
@@ -234,6 +291,13 @@ pub fn split_meta(entries: Vec<NamedTensor>) -> Result<(Option<CheckpointMeta>, 
                 ));
             }
             config = Some(parse_config(&t)?);
+        } else if name.starts_with(QUANT_PREFIX) {
+            let (index, scales) = parse_quant(&name, &t)?;
+            if quant.insert(index, scales).is_some() {
+                return Err(TensorError::Io(format!(
+                    "checkpoint has more than one '{name}' entry"
+                )));
+            }
         } else if name.starts_with(META_PREFIX) {
             if meta.is_some() {
                 return Err(TensorError::Io(
@@ -243,6 +307,31 @@ pub fn split_meta(entries: Vec<NamedTensor>) -> Result<(Option<CheckpointMeta>, 
             meta = Some(CheckpointMeta::parse(&name, &t)?);
         } else {
             params.push((name, t));
+        }
+    }
+    if !quant.is_empty() {
+        if meta.is_none() {
+            return Err(TensorError::Io(
+                "checkpoint has quant entries but no meta entry".to_string(),
+            ));
+        }
+        // Stored scales must match a bitwise recomputation from the very
+        // parameter tensors in this file: `weight_scales` is the one
+        // function both the writer and the quantizing layers use, so any
+        // disagreement means corruption or tampering.
+        for (index, scales) in &quant {
+            let param_name = format!("param.{index}");
+            let Some((_, p)) = params.iter().find(|(n, _)| *n == param_name) else {
+                return Err(TensorError::Io(format!(
+                    "quant entry 'quant.{index}' has no matching '{param_name}'"
+                )));
+            };
+            if weight_scales(p).as_ref() != Some(scales) {
+                return Err(TensorError::Io(format!(
+                    "quant entry 'quant.{index}' disagrees with the scales \
+                     recomputed from '{param_name}'"
+                )));
+            }
         }
     }
     if let Some(cfg) = config {
@@ -266,6 +355,9 @@ pub fn split_meta(entries: Vec<NamedTensor>) -> Result<(Option<CheckpointMeta>, 
         }
         meta.config = Some(cfg);
     }
+    if !quant.is_empty() {
+        meta.as_mut().expect("checked above").quant_scales = quant;
+    }
     Ok((meta, params))
 }
 
@@ -281,7 +373,8 @@ pub fn load_meta(path: impl AsRef<Path>) -> Result<Option<CheckpointMeta>> {
 }
 
 /// Serializes a predictor's parameters (plus architecture metadata, plus —
-/// for models that carry one — the full LMM-IR configuration; format v3)
+/// for models that carry one — the full LMM-IR configuration, plus the
+/// int8 weight scales of every quantizable parameter; format v4)
 /// to the binary checkpoint format.
 ///
 /// # Errors
@@ -293,13 +386,16 @@ pub fn save_predictor(model: &dyn IrPredictor, path: impl AsRef<Path>) -> Result
     if let Some(cfg) = &meta.config {
         entries.push(config_entry(cfg));
     }
-    entries.extend(
-        model
-            .parameters()
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (format!("param.{i}"), p.to_tensor())),
-    );
+    for (i, p) in model.parameters().iter().enumerate() {
+        entries.push((format!("param.{i}"), p.to_tensor()));
+        if let Some(scales) = meta.quant_scales.get(&i) {
+            let len = scales.len();
+            entries.push((
+                format!("{QUANT_PREFIX}{i}"),
+                Tensor::from_vec(scales.clone(), &[len]).expect("scales are rank 1"),
+            ));
+        }
+    }
     io::save(path, &entries)
 }
 
@@ -544,7 +640,9 @@ mod tests {
         let path = tmp("v3_config.lmmt");
         save_predictor(&a, &path).unwrap();
         let meta = load_meta(&path).unwrap().expect("v3 checkpoints have meta");
-        assert_eq!(meta.format_version(), 3);
+        // Fresh saves always carry int8 scales now (format v4); the point
+        // of this test — the full config surviving the round trip — holds.
+        assert_eq!(meta.format_version(), 4);
         assert_eq!(meta.config.as_ref(), Some(&cfg), "config must survive");
         assert_eq!(meta.config.unwrap().seed, 0xDEAD_BEEF_CAFE_F00D);
         // And the weights restore into a model built from that config.
@@ -603,6 +701,101 @@ mod tests {
         let b = LmmIr::new(LmmIrConfig { seed: 9, ..cfg });
         load_predictor(&b, &path).unwrap();
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v3_layout_checkpoint_loads_through_v4_reader() {
+        use crate::model::LmmIr;
+        // Pinned v3 writer shape: meta + config + `param.{i}` entries and
+        // nothing else — what PR 4's save_predictor produced. Built by
+        // stripping the quant entries from a fresh save, so the parameter
+        // payload is bit-identical to a real v3 file's.
+        let cfg = custom_lmmir_cfg();
+        let a = LmmIr::new(cfg.clone());
+        let path = tmp("v3_layout.lmmt");
+        save_predictor(&a, &path).unwrap();
+        let entries: Vec<NamedTensor> = io::load(&path)
+            .unwrap()
+            .into_iter()
+            .filter(|(n, _)| !n.starts_with("quant."))
+            .collect();
+        io::save(&path, &entries).unwrap();
+        let meta = load_meta(&path).unwrap().expect("v3 files carry meta");
+        assert_eq!(meta.format_version(), 3);
+        assert!(meta.quant_scales.is_empty());
+        assert_eq!(meta.config, Some(cfg.clone()), "config must survive");
+        let b = LmmIr::new(LmmIrConfig { seed: 9, ..cfg });
+        load_predictor(&b, &path).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v4_quant_scales_round_trip() {
+        // The stored scales must be byte-for-byte what `CheckpointMeta::of`
+        // computes from the live model — the invariant that lets quantized
+        // serving recompute identical scales from any format version.
+        let a = irpnet(16, 3);
+        let expected = CheckpointMeta::of(&a);
+        assert!(
+            !expected.quant_scales.is_empty(),
+            "every conv/linear weight contributes scales"
+        );
+        for (i, p) in a.parameters().iter().enumerate() {
+            assert_eq!(
+                expected.quant_scales.contains_key(&i),
+                matches!(p.value().rank(), 2 | 4),
+                "param {i} rank {}",
+                p.value().rank()
+            );
+        }
+        let path = tmp("v4_scales.lmmt");
+        save_predictor(&a, &path).unwrap();
+        let meta = load_meta(&path).unwrap().expect("v4 files carry meta");
+        assert_eq!(meta.format_version(), 4);
+        assert_eq!(meta.quant_scales, expected.quant_scales);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tampered_quant_entries_are_rejected() {
+        let a = iredge(16, 1);
+        let path = tmp("v4_tamper.lmmt");
+        save_predictor(&a, &path).unwrap();
+        let entries = io::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        // Scales disagreeing with their parameter.
+        let mut tampered = entries.clone();
+        let q = tampered
+            .iter_mut()
+            .find(|(n, _)| n.starts_with("quant."))
+            .expect("fresh saves carry quant entries");
+        q.1 = q.1.scale(2.0);
+        let err = split_meta(tampered).unwrap_err().to_string();
+        assert!(err.contains("disagrees"), "got {err}");
+
+        // A quant entry with no matching parameter.
+        let mut orphan = entries.clone();
+        let scales = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        orphan.push(("quant.999".to_string(), scales.clone()));
+        let err = split_meta(orphan).unwrap_err().to_string();
+        assert!(err.contains("no matching"), "got {err}");
+
+        // Non-positive scales are rejected before any comparison.
+        let bad = vec![(
+            "quant.0".to_string(),
+            Tensor::from_vec(vec![0.0], &[1]).unwrap(),
+        )];
+        let err = split_meta(bad).unwrap_err().to_string();
+        assert!(err.contains("finite and positive"), "got {err}");
+
+        // Quant entries without a meta entry.
+        let headless: Vec<NamedTensor> = entries
+            .into_iter()
+            .filter(|(n, _)| !n.starts_with(META_PREFIX))
+            .collect();
+        let err = split_meta(headless).unwrap_err().to_string();
+        assert!(err.contains("no meta entry"), "got {err}");
     }
 
     #[test]

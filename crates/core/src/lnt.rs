@@ -117,6 +117,16 @@ impl TransformerBlock {
         p.extend(self.ff2.parameters());
         p
     }
+
+    fn set_training(&self, training: bool) {
+        self.attn.set_training(training);
+        self.ff1.set_training(training);
+        self.ff2.set_training(training);
+    }
+
+    fn quantize(&self) -> usize {
+        self.attn.quantize() + self.ff1.quantize() + self.ff2.quantize()
+    }
 }
 
 /// The Large-scale Netlist Transformer.
@@ -191,6 +201,24 @@ impl Module for Lnt {
             p.extend(b.parameters());
         }
         p
+    }
+
+    fn set_training(&self, training: bool) {
+        self.input.set_training(training);
+        for b in &self.blocks {
+            b.set_training(training);
+        }
+    }
+
+    /// Embedding tables are lookups (no GEMM) and stay f32; the input
+    /// projection and every transformer block quantize.
+    fn quantize(&self) -> usize {
+        self.input.quantize()
+            + self
+                .blocks
+                .iter()
+                .map(TransformerBlock::quantize)
+                .sum::<usize>()
     }
 }
 

@@ -49,6 +49,15 @@ pub trait IrPredictor {
 
     /// Switches train/eval mode.
     fn set_training(&self, training: bool);
+
+    /// Switches every eligible layer to int8 inference (per-output-channel
+    /// weight scales, dynamic per-tensor activation scales), returning how
+    /// many layers now run quantized. Quantized state is inference-only and
+    /// is dropped by `set_training(true)`. The default supports predictors
+    /// without an int8 path (returns 0 so callers can detect it).
+    fn quantize(&self) -> usize {
+        0
+    }
 }
 
 /// Cross-attention fusion of circuit tokens (queries) with netlist tokens
@@ -104,6 +113,18 @@ impl FusionModule {
         p.extend(self.cross.parameters());
         p.extend(self.mix.parameters());
         p
+    }
+
+    /// Propagates train/eval mode to the fusion sub-layers.
+    pub fn set_training(&self, training: bool) {
+        self.kv_proj.set_training(training);
+        self.cross.set_training(training);
+        self.mix.set_training(training);
+    }
+
+    /// Quantizes the fusion projections (see [`Module::quantize`]).
+    pub fn quantize(&self) -> usize {
+        self.kv_proj.quantize() + self.cross.quantize() + self.mix.quantize()
     }
 }
 
@@ -288,7 +309,24 @@ impl IrPredictor for LmmIr {
 
     fn set_training(&self, training: bool) {
         self.encoder.set_training(training);
+        if let Some(lnt) = &self.lnt {
+            lnt.set_training(training);
+        }
+        if let Some(f) = &self.fusion {
+            f.set_training(training);
+        }
         self.decoder.set_training(training);
+    }
+
+    fn quantize(&self) -> usize {
+        let mut n = self.encoder.quantize();
+        if let Some(lnt) = &self.lnt {
+            n += lnt.quantize();
+        }
+        if let Some(f) = &self.fusion {
+            n += f.quantize();
+        }
+        n + self.decoder.quantize()
     }
 }
 

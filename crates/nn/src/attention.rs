@@ -126,6 +126,17 @@ impl Module for MultiHeadAttention {
         p.extend(self.wo.parameters());
         p
     }
+
+    fn set_training(&self, training: bool) {
+        self.wq.set_training(training);
+        self.wk.set_training(training);
+        self.wv.set_training(training);
+        self.wo.set_training(training);
+    }
+
+    fn quantize(&self) -> usize {
+        self.wq.quantize() + self.wk.quantize() + self.wv.quantize() + self.wo.quantize()
+    }
 }
 
 /// Attention gate on a U-Net skip connection (Attention U-Net).
@@ -196,6 +207,16 @@ impl Module for AttentionGate {
         p.extend(self.conv_x.parameters());
         p.extend(self.psi.parameters());
         p
+    }
+
+    fn set_training(&self, training: bool) {
+        self.conv_g.set_training(training);
+        self.conv_x.set_training(training);
+        self.psi.set_training(training);
+    }
+
+    fn quantize(&self) -> usize {
+        self.conv_g.quantize() + self.conv_x.quantize() + self.psi.quantize()
     }
 }
 

@@ -76,6 +76,10 @@ impl Module for Sequential {
             layer.set_training(training);
         }
     }
+
+    fn quantize(&self) -> usize {
+        self.layers.iter().map(|l| l.quantize()).sum()
+    }
 }
 
 impl std::fmt::Debug for Sequential {

@@ -7,8 +7,9 @@ use lmmir_tensor::{Result, TensorError, Var};
 ///
 /// Layers that distinguish train/eval behaviour (batch-norm running
 /// statistics, dropout masks) override [`Module::set_training`]; the default
-/// is a no-op. The trait is object-safe so heterogeneous stacks can be
-/// composed with [`crate::Sequential`].
+/// is a no-op. Layers with int8 inference support override
+/// [`Module::quantize`]. The trait is object-safe so heterogeneous stacks
+/// can be composed with [`crate::Sequential`].
 pub trait Module {
     /// Forward pass.
     ///
@@ -22,7 +23,21 @@ pub trait Module {
     fn parameters(&self) -> Vec<Var>;
 
     /// Switches train/eval behaviour (default: no-op).
+    ///
+    /// Containers must propagate this to **every** child: layers that
+    /// support int8 inference drop their quantized state when switched to
+    /// training, so a missed child would silently keep serving stale
+    /// gradient-free int8 weights into a training loop.
     fn set_training(&self, _training: bool) {}
+
+    /// Switches the layer to int8 inference where supported, quantizing its
+    /// current weights in place with per-output-channel scales. Returns the
+    /// number of layers now running quantized (default: 0 — most layers
+    /// have nothing to quantize). Quantized state is inference-only: it is
+    /// discarded by `set_training(true)` and never carries gradients.
+    fn quantize(&self) -> usize {
+        0
+    }
 }
 
 /// Simple activation functions as composable modules.

@@ -3,14 +3,15 @@
 //!
 //! ```text
 //! serve [--addr A] --ckpt NAME=PATH [--ckpt NAME=PATH ...] [--default NAME]
-//!       [--max-batch N] [--max-wait-ms N] [--cache N] [--threads N]
+//!       [--max-batch N] [--max-wait-ms N] [--cache N] [--threads N] [--quantized]
 //! serve demo-ckpt PATH [--arch IREDGe] [--size 16] [--epochs 2] [--cases 2] [--seed 7]
 //! ```
 //!
 //! Environment fallbacks: `LMMIR_SERVE_ADDR`, `LMMIR_MAX_BATCH`,
 //! `LMMIR_MAX_WAIT_MS`, `LMMIR_CACHE_CAP`, `LMMIR_RESULT_CACHE_CAP`,
 //! `LMMIR_IDLE_TIMEOUT_MS`, `LMMIR_MAX_REQS_PER_CONN`,
-//! `LMMIR_MAX_CONNECTIONS`, `LMMIR_EVENT_THREADS` (flags win).
+//! `LMMIR_MAX_CONNECTIONS`, `LMMIR_EVENT_THREADS`, `LMMIR_QUANTIZED`
+//! (flags win).
 
 use lmm_ir::{
     build_sample, save_predictor, train, CheckpointMeta, LmmIr, LmmIrConfig, TrainConfig,
@@ -25,7 +26,7 @@ fn usage() -> ExitCode {
         "usage:\n  serve [--addr A] --ckpt NAME=PATH [--ckpt ...] [--default NAME] \
          [--max-batch N] [--max-wait-ms N] [--cache N] [--result-cache N] \
          [--idle-timeout-ms N] [--max-requests-per-conn N] [--max-connections N] \
-         [--event-threads N] [--threads N]\n  \
+         [--event-threads N] [--threads N] [--quantized]\n  \
          serve demo-ckpt PATH [--arch IREDGe|IRPnet|LMM-IR|'1st Place'|'2nd Place'] \
          [--size 16] [--widths 12,24,48] [--epochs 2] [--cases 2] [--seed 7]"
     );
@@ -44,6 +45,9 @@ fn main() -> ExitCode {
 /// A parsed `--flag VALUE` pair.
 type Flag = (String, String);
 
+/// Flags that take no value; parsed as `(name, "true")`.
+const BOOL_FLAGS: &[&str] = &["quantized"];
+
 /// Parses `--flag VALUE` pairs into a list, rejecting unknown flags.
 fn parse_flags(args: &[String], positional_max: usize) -> Option<(Vec<String>, Vec<Flag>)> {
     let mut positional = Vec::new();
@@ -51,6 +55,10 @@ fn parse_flags(args: &[String], positional_max: usize) -> Option<(Vec<String>, V
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&name) {
+                flags.push((name.to_string(), "true".to_string()));
+                continue;
+            }
             let value = it.next()?;
             flags.push((name.to_string(), value.clone()));
         } else {
@@ -84,6 +92,7 @@ fn run_server(args: &[String]) -> ExitCode {
     let mut spec = RegistrySpec {
         models: Vec::new(),
         default_model: None,
+        quantized: false,
     };
     for (name, value) in &flags {
         let result: Result<(), String> = match name.as_str() {
@@ -122,6 +131,10 @@ fn run_server(args: &[String]) -> ExitCode {
                 parse("event-threads", value).map(|n: usize| cfg.event_threads = n.max(1))
             }
             "threads" => parse("threads", value).map(|n: usize| cfg.threads = Some(n.max(1))),
+            "quantized" => {
+                cfg.quantized = true;
+                Ok(())
+            }
             other => Err(format!("unknown flag --{other}")),
         };
         if let Err(e) = result {
@@ -143,7 +156,7 @@ fn run_server(args: &[String]) -> ExitCode {
     eprintln!(
         "[serve] listening on http://{} (max_batch {}, max_wait {:?}, cache {}, \
          result-cache {}, idle-timeout {:?}, max-reqs/conn {}, max-conns {}, \
-         event-threads {}) — \
+         event-threads {}, weights {}) — \
          POST /predict, GET /healthz, GET /metrics, POST /reload, POST /shutdown",
         server.addr(),
         cfg.max_batch,
@@ -154,6 +167,7 @@ fn run_server(args: &[String]) -> ExitCode {
         cfg.max_requests_per_conn,
         cfg.max_connections,
         cfg.event_threads,
+        if cfg.quantized { "int8" } else { "f32" },
     );
     server.wait();
     eprintln!("[serve] drained, bye");
@@ -231,6 +245,7 @@ fn demo_ckpt(args: &[String]) -> ExitCode {
             input_channels: channels,
             input_size: size,
             config: None,
+            quant_scales: Default::default(),
         };
         match instantiate(&meta) {
             Ok(m) => m,

@@ -46,7 +46,7 @@ pub struct LruCache<K, V> {
     map: HashMap<K, (u64, V)>,
 }
 
-impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+impl<K: Eq + Hash + Clone + Ord, V> LruCache<K, V> {
     /// Creates a cache holding at most `capacity` entries.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
@@ -58,33 +58,51 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 
     /// Looks up a key, refreshing its recency on a hit.
+    ///
+    /// Misses leave the tick counter untouched: only operations that stamp
+    /// an entry advance it, so the counter's value is exactly the number of
+    /// recency stamps handed out (and a miss storm cannot burn through the
+    /// counter's range).
     pub fn get(&mut self, key: &K) -> Option<&V> {
+        let (t, v) = self.map.get_mut(key)?;
         self.tick += 1;
-        let tick = self.tick;
-        self.map.get_mut(key).map(|(t, v)| {
-            *t = tick;
-            &*v
-        })
+        *t = self.tick;
+        Some(v)
     }
 
     /// Inserts (or replaces) an entry, evicting the least recently used
-    /// entry when full.
+    /// entry when full. Ties on recency evict the smallest key, so eviction
+    /// never depends on `HashMap` iteration order.
     pub fn insert(&mut self, key: K, value: V) {
         if self.capacity == 0 {
             return;
         }
         self.tick += 1;
-        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+        let tick = self.tick;
+        if let Some(entry) = self.map.get_mut(&key) {
+            // Replacement refreshes in place: the entry must not also run
+            // the eviction path, which would count it against capacity a
+            // second time and evict an innocent victim.
+            *entry = (tick, value);
+            return;
+        }
+        if self.map.len() >= self.capacity {
             if let Some(oldest) = self
                 .map
                 .iter()
-                .min_by_key(|(_, (t, _))| *t)
+                .min_by(|a, b| (a.1 .0, a.0).cmp(&(b.1 .0, b.0)))
                 .map(|(k, _)| k.clone())
             {
                 self.map.remove(&oldest);
             }
         }
-        self.map.insert(key, (self.tick, value));
+        self.map.insert(key, (tick, value));
+    }
+
+    /// Recency stamps handed out so far (test hook for the tick discipline).
+    #[cfg(test)]
+    fn current_tick(&self) -> u64 {
+        self.tick
     }
 
     /// Current entry count.
@@ -138,6 +156,52 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(&"a"), Some(&10));
         assert_eq!(c.get(&"b"), Some(&2));
+    }
+
+    #[test]
+    fn misses_do_not_advance_the_tick() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        let after_insert = c.current_tick();
+        for _ in 0..100 {
+            assert_eq!(c.get(&"zzz"), None);
+        }
+        assert_eq!(c.current_tick(), after_insert, "misses must not stamp");
+        c.get(&"a");
+        assert_eq!(c.current_tick(), after_insert + 1, "hits stamp once");
+    }
+
+    #[test]
+    fn replacement_at_capacity_evicts_nothing_and_refreshes() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        // Replacing `a` at capacity is not an arrival: both keys survive,
+        // and the replacement counts as a use of `a`.
+        c.insert("a", 10);
+        assert_eq!(c.len(), 2);
+        c.insert("c", 3); // `a` outlived its replacement: `b` is oldest
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&10));
+        assert_eq!(c.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn eviction_ties_break_on_the_smallest_key() {
+        // Ticks are unique in normal operation, so force a tie by building
+        // the state by hand — the tiebreak must pick the smallest key, not
+        // whatever the hash map yields first.
+        let mut c = LruCache::new(3);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        c.insert("a", 1);
+        for (t, _) in c.map.values_mut() {
+            *t = 7;
+        }
+        c.insert("d", 4);
+        assert_eq!(c.get(&"a"), None, "smallest key loses the tie");
+        assert_eq!(c.len(), 3);
+        assert!(c.get(&"b").is_some() && c.get(&"c").is_some() && c.get(&"d").is_some());
     }
 
     #[test]

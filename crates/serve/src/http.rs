@@ -94,7 +94,7 @@ fn decode_line(raw: &[u8]) -> Result<&str, ServeError> {
 pub fn parse_request(buf: &[u8]) -> Result<Parsed, ServeError> {
     let mut cursor = 0usize;
     let mut line_meta: Option<(String, String, bool)> = None; // method, target, close
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut expects_continue = false;
     let mut headers_seen = 0usize;
     let body_start = loop {
@@ -162,15 +162,29 @@ pub fn parse_request(buf: &[u8]) -> Result<Parsed, ServeError> {
                         }
                     }
                     if name.eq_ignore_ascii_case("content-length") {
-                        content_length = value
-                            .parse::<usize>()
-                            .ok()
-                            .filter(|&n| n <= MAX_BODY)
-                            .ok_or_else(|| {
-                                ServeError::Proto(format!(
-                                    "bad content-length {value:?} (cap {MAX_BODY})"
-                                ))
-                            })?;
+                        // Repeated Content-Length headers are the classic
+                        // request-smuggling vector: two parsers that pick
+                        // different copies frame the stream differently.
+                        // Reject them all — even agreeing duplicates — and
+                        // accept only plain digit runs (`parse` would admit
+                        // a `+` sign), capped before any buffer is sized
+                        // off the value.
+                        if content_length.is_some() {
+                            return Err(ServeError::Proto(
+                                "duplicate content-length header".to_string(),
+                            ));
+                        }
+                        content_length = Some(
+                            Some(value)
+                                .filter(|v| !v.is_empty() && v.bytes().all(|b| b.is_ascii_digit()))
+                                .and_then(|v| v.parse::<usize>().ok())
+                                .filter(|&n| n <= MAX_BODY)
+                                .ok_or_else(|| {
+                                    ServeError::Proto(format!(
+                                        "bad content-length {value:?} (cap {MAX_BODY})"
+                                    ))
+                                })?,
+                        );
                     }
                     // Bodies this server cannot frame (chunked et al.) must
                     // fail the *request*, not poison the connection: on
@@ -187,6 +201,7 @@ pub fn parse_request(buf: &[u8]) -> Result<Parsed, ServeError> {
             }
         }
     };
+    let content_length = content_length.unwrap_or(0);
     if buf.len() < body_start + content_length {
         return Ok(Parsed::Incomplete(Needs {
             body: true,
@@ -381,6 +396,41 @@ mod tests {
         }
         many.extend_from_slice(b"\r\n");
         assert!(parse_request(&many).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_or_decorated_content_length() {
+        // Conflicting copies: whichever one a downstream parser picked, the
+        // framing would differ — hard 400.
+        assert!(parse_request(
+            b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 5\r\n\r\nabcde"
+        )
+        .is_err());
+        // Agreeing copies are still smuggling bait and still rejected.
+        assert!(parse_request(
+            b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc"
+        )
+        .is_err());
+        // Case-insensitive duplicate detection.
+        assert!(parse_request(
+            b"POST / HTTP/1.1\r\nContent-Length: 3\r\ncontent-length: 3\r\n\r\nabc"
+        )
+        .is_err());
+        // Only plain digit runs are lengths: `usize::from_str` would accept
+        // a leading `+`, which other parsers in the chain may not.
+        assert!(parse_request(b"POST / HTTP/1.1\r\nContent-Length: +3\r\n\r\nabc").is_err());
+        assert!(parse_request(b"POST / HTTP/1.1\r\nContent-Length: 3, 3\r\n\r\nabc").is_err());
+        assert!(parse_request(b"POST / HTTP/1.1\r\nContent-Length:\r\n\r\n").is_err());
+        // A value over the body cap fails at parse time — before any caller
+        // sizes a buffer off it.
+        let over = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(parse_request(over.as_bytes()).is_err());
+        // One well-formed header still frames normally.
+        let req = parse_one(b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc").unwrap();
+        assert_eq!(req.body, b"abc");
     }
 
     #[test]

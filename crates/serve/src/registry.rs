@@ -37,6 +37,12 @@ pub struct RegistrySpec {
     /// Name answering requests that leave the model field empty; defaults
     /// to the first listed model.
     pub default_model: Option<String>,
+    /// Serve every model through the int8 path: after the weights restore,
+    /// each model is quantized in place (per-output-channel scales — the
+    /// same ones a v4 checkpoint records and the loader verifies).
+    /// Checkpoints of any format version can serve quantized; the scales
+    /// are a pure function of the weights.
+    pub quantized: bool,
 }
 
 impl RegistrySpec {
@@ -49,7 +55,15 @@ impl RegistrySpec {
                 path: path.into(),
             }],
             default_model: None,
+            quantized: false,
         }
+    }
+
+    /// Same spec with the int8 serving path switched on.
+    #[must_use]
+    pub fn with_quantized(mut self, quantized: bool) -> Self {
+        self.quantized = quantized;
+        self
     }
 }
 
@@ -61,6 +75,8 @@ pub struct LoadedModel {
     pub model: Box<dyn IrPredictor>,
     /// The checkpoint path it came from.
     pub path: PathBuf,
+    /// How many layers run int8 (0 = plain f32 serving).
+    pub quantized_layers: usize,
 }
 
 /// Constructs the architecture a checkpoint's metadata names, at the
@@ -116,7 +132,7 @@ pub fn instantiate(meta: &CheckpointMeta) -> Result<Box<dyn IrPredictor>, ServeE
     Ok(model)
 }
 
-fn load_one(spec: &ModelSpec) -> Result<LoadedModel, ServeError> {
+fn load_one(spec: &ModelSpec, quantized: bool) -> Result<LoadedModel, ServeError> {
     let describe = |e: &dyn std::fmt::Display| {
         ServeError::Registry(format!(
             "model '{}' ({}): {e}",
@@ -136,10 +152,23 @@ fn load_one(spec: &ModelSpec) -> Result<LoadedModel, ServeError> {
     })?;
     let model = instantiate(&meta).map_err(|e| describe(&e))?;
     restore_parameters(model.as_ref(), params).map_err(|e| describe(&e))?;
+    let quantized_layers = if quantized {
+        let layers = model.quantize();
+        if layers == 0 {
+            return Err(describe(
+                &"quantized serving requested but the architecture has no \
+                  quantizable layers",
+            ));
+        }
+        layers
+    } else {
+        0
+    };
     Ok(LoadedModel {
         meta,
         model,
         path: spec.path.clone(),
+        quantized_layers,
     })
 }
 
@@ -165,7 +194,10 @@ impl ModelRegistry {
         }
         let mut entries = HashMap::new();
         for m in &spec.models {
-            if entries.insert(m.name.clone(), load_one(m)?).is_some() {
+            if entries
+                .insert(m.name.clone(), load_one(m, spec.quantized)?)
+                .is_some()
+            {
                 return Err(ServeError::Registry(format!(
                     "duplicate model name '{}'",
                     m.name
@@ -281,6 +313,7 @@ mod tests {
                 input_channels: channels,
                 input_size: 16,
                 config: None,
+                quant_scales: Default::default(),
             };
             let model = instantiate(&meta).unwrap();
             assert_eq!(model.name(), name);
@@ -316,6 +349,7 @@ mod tests {
             input_channels: 6,
             input_size: 16,
             config: Some(cfg),
+            quant_scales: Default::default(),
         };
         let built = instantiate(&meta).unwrap();
         // Exact architecture: same parameter count and tensor shapes.
@@ -346,7 +380,8 @@ mod tests {
         let reg = ModelRegistry::load(RegistrySpec::single("big", &path)).unwrap();
         let loaded = reg.resolve("big").unwrap();
         assert_eq!(loaded.meta.config.as_ref(), Some(&cfg));
-        assert_eq!(loaded.meta.format_version(), 3);
+        // The current writer records int8 scales alongside the config.
+        assert_eq!(loaded.meta.format_version(), 4);
         // Weights restored into the exact architecture bit-for-bit.
         let (orig, srv) = (model.parameters(), loaded.model.parameters());
         assert_eq!(orig.len(), srv.len());
@@ -357,12 +392,81 @@ mod tests {
     }
 
     #[test]
+    fn quantized_registry_serves_int8_even_from_legacy_formats() {
+        use lmm_ir::IrPredictor;
+        use lmmir_tensor::{Tensor, Var};
+        let model = iredge(16, 7);
+        model.set_training(false);
+        let path = tmp("reg_quant.lmmt");
+        save_predictor(&model, &path).unwrap();
+        let spec = RegistrySpec::single("a", &path).with_quantized(true);
+        let reg = ModelRegistry::load(spec).unwrap();
+        let loaded = reg.resolve("a").unwrap();
+        assert!(loaded.quantized_layers > 0, "int8 path must be active");
+        // The int8 predictions track the f32 model within quantization
+        // error on a real forward pass.
+        let x = Tensor::from_vec(
+            (0..3 * 16 * 16).map(|i| (i % 7) as f32 * 0.1).collect(),
+            &[1, 3, 16, 16],
+        )
+        .unwrap();
+        let xv = Var::constant(x);
+        let exact = model.forward(&xv, None).unwrap().to_tensor();
+        // Eval mode, as `InferenceSession::new` sets at serve time; it must
+        // keep the int8 state (only `set_training(true)` discards it).
+        loaded.model.set_training(false);
+        let quant = loaded.model.forward(&xv, None).unwrap().to_tensor();
+        let worst = exact
+            .data()
+            .iter()
+            .zip(quant.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        let scale = exact.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(
+            worst < 0.05 * scale,
+            "int8 serving diverged by {worst} (output scale {scale})"
+        );
+        // A hand-written v2-layout file (no quant entries) also serves
+        // quantized: scales are recomputed from the weights at load.
+        let entries: Vec<(String, Tensor)> = std::iter::once((
+            "meta.IREDGe".to_string(),
+            Tensor::from_vec(vec![3.0, 16.0], &[2]).unwrap(),
+        ))
+        .chain(
+            model
+                .parameters()
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (format!("param.{i}"), p.to_tensor())),
+        )
+        .collect();
+        let v2_path = tmp("reg_quant_v2.lmmt");
+        lmmir_tensor::io::save(&v2_path, &entries).unwrap();
+        let spec = RegistrySpec::single("old", &v2_path).with_quantized(true);
+        let reg = ModelRegistry::load(spec).unwrap();
+        let old = reg.resolve("old").unwrap();
+        assert_eq!(old.meta.format_version(), 2);
+        assert!(old.quantized_layers > 0);
+        old.model.set_training(false);
+        let from_v2 = old.model.forward(&xv, None).unwrap().to_tensor();
+        assert_eq!(
+            quant.data(),
+            from_v2.data(),
+            "identical weights must quantize identically regardless of format"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&v2_path).ok();
+    }
+
+    #[test]
     fn rejects_unknown_architecture_and_channel_mismatch() {
         let meta = CheckpointMeta {
             model: "ResNet".to_string(),
             input_channels: 3,
             input_size: 16,
             config: None,
+            quant_scales: Default::default(),
         };
         assert!(instantiate(&meta).is_err());
         let meta = CheckpointMeta {
@@ -370,6 +474,7 @@ mod tests {
             input_channels: 6,
             input_size: 16,
             config: None,
+            quant_scales: Default::default(),
         };
         assert!(instantiate(&meta).is_err());
     }
@@ -413,6 +518,7 @@ mod tests {
                 },
             ],
             default_model: None,
+            quantized: false,
         };
         assert!(ModelRegistry::load(spec).is_err());
         std::fs::remove_file(&path).ok();

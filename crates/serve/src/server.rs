@@ -57,6 +57,10 @@ pub struct ServeConfig {
     /// Thread-count override for the inference thread's `lmmir-par` pool
     /// (`None` = `LMMIR_THREADS` / available cores).
     pub threads: Option<usize>,
+    /// Serve every model with int8 weights (`LMMIR_QUANTIZED`; the
+    /// `--quantized` flag). Applies on top of [`RegistrySpec::quantized`] —
+    /// either switch turns quantization on.
+    pub quantized: bool,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +76,7 @@ impl Default for ServeConfig {
             max_connections: 64,
             event_threads: 2,
             threads: None,
+            quantized: false,
         }
     }
 }
@@ -124,6 +129,17 @@ impl ServeConfig {
         if let Some(v) = read::<usize>("LMMIR_EVENT_THREADS")? {
             cfg.event_threads = v.max(1);
         }
+        if let Ok(v) = std::env::var("LMMIR_QUANTIZED") {
+            cfg.quantized = match v.to_ascii_lowercase().as_str() {
+                "1" | "true" | "yes" | "on" => true,
+                "0" | "false" | "no" | "off" | "" => false,
+                _ => {
+                    return Err(ServeError::Config(format!(
+                        "invalid LMMIR_QUANTIZED={v:?}: expected a boolean"
+                    )))
+                }
+            };
+        }
         Ok(cfg)
     }
 }
@@ -148,7 +164,8 @@ impl Server {
     ///
     /// Returns [`ServeError::Io`] when the address cannot be bound and
     /// [`ServeError::Registry`] when a checkpoint fails to load.
-    pub fn start(cfg: ServeConfig, spec: RegistrySpec) -> Result<Self, ServeError> {
+    pub fn start(cfg: ServeConfig, mut spec: RegistrySpec) -> Result<Self, ServeError> {
+        spec.quantized |= cfg.quantized;
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;

@@ -9,6 +9,7 @@
 
 use crate::error::TensorError;
 use crate::linalg::{gemm_nt_par, gemm_par, gemm_tn_par};
+use crate::quant::{qgemm_wa_par, quantize_per_tensor, QuantConvWeight};
 use crate::tensor::Tensor;
 use crate::Result;
 
@@ -97,10 +98,16 @@ struct PlaneGeom {
 
 /// Unfolds one `[C, H, W]` image into a `[C*KH*KW, OH*OW]` column matrix.
 ///
+/// Generic over the element type because the unfold is pure data movement
+/// (copies plus zero padding): the f32 forward/backward passes and the int8
+/// forward share it, and quantizing the image *before* the unfold is exact
+/// (`quantize(0.0) == 0`), so the int8 path never materializes an f32
+/// column matrix.
+///
 /// Column rows are independent, so large planes are split across threads by
 /// contiguous row runs; each row is written by the same code at any thread
 /// count, keeping the unfold bitwise deterministic.
-fn im2col_plane(x: &[f32], g: PlaneGeom, cols: &mut [f32]) {
+fn im2col_plane<T: Copy + Default + Send + Sync>(x: &[T], g: PlaneGeom, cols: &mut [T]) {
     let l = g.oh * g.ow;
     let ckk = g.c * g.kh * g.kw;
     debug_assert_eq!(cols.len(), ckk * l);
@@ -117,7 +124,7 @@ fn im2col_plane(x: &[f32], g: PlaneGeom, cols: &mut [f32]) {
 /// [`im2col_plane`] restricted to column rows `r0..r0 + rows.len() / (oh*ow)`;
 /// row `r` covers kernel tap `(ci, ki, kj) = (r / (kh·kw), (r / kw) % kh,
 /// r % kw)`.
-fn im2col_rows(x: &[f32], g: PlaneGeom, r0: usize, rows: &mut [f32]) {
+fn im2col_rows<T: Copy + Default>(x: &[T], g: PlaneGeom, r0: usize, rows: &mut [T]) {
     let l = g.oh * g.ow;
     for (dr, row_out) in rows.chunks_mut(l).enumerate() {
         let r = r0 + dr;
@@ -130,7 +137,7 @@ fn im2col_rows(x: &[f32], g: PlaneGeom, r0: usize, rows: &mut [f32]) {
             if iy < 0 || iy >= g.h as isize {
                 // Entire output row reads from the zero pad.
                 for v in &mut row_out[dst..dst + g.ow] {
-                    *v = 0.0;
+                    *v = T::default();
                 }
                 continue;
             }
@@ -138,7 +145,7 @@ fn im2col_rows(x: &[f32], g: PlaneGeom, r0: usize, rows: &mut [f32]) {
             for ox in 0..g.ow {
                 let ix = (ox * g.spec.stride + kj) as isize - g.spec.padding as isize;
                 row_out[dst + ox] = if ix < 0 || ix >= g.w as isize {
-                    0.0
+                    T::default()
                 } else {
                     x[src_row + ix as usize]
                 };
@@ -299,6 +306,93 @@ pub fn conv2d(
                 lhs: vec![o],
                 rhs: b.dims().to_vec(),
                 op: "conv2d bias",
+            });
+        }
+        for ni in 0..n {
+            for oi in 0..o {
+                let bv = b.data()[oi];
+                let base = (ni * o + oi) * l;
+                for v in &mut out.data_mut()[base..base + l] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// int8 forward of [`conv2d`]: the same im2col structure, but the GEMM runs
+/// on a pre-quantized weight (`[O, C·KH·KW]`, per-output-channel scales)
+/// against activation columns quantized with one dynamic scale per sample.
+///
+/// The sample's `[C, H, W]` image is quantized **before** the unfold and
+/// the column matrix is built directly in int8: the unfold is pure data
+/// movement (copies plus zero padding, and `quantize(0.0) == 0`), so this
+/// is the same quantization applied `KH·KW`× cheaper — the scale is taken
+/// over the image rather than the expanded columns, and every column entry
+/// is the quantization of the image value it copies.
+///
+/// # Errors
+///
+/// Returns shape errors when operand layouts disagree or the kernel does
+/// not fit in the padded input.
+pub fn conv2d_quantized(
+    x: &Tensor,
+    weight: &QuantConvWeight,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+) -> Result<Tensor> {
+    if x.rank() != 4 {
+        return Err(TensorError::InvalidShape {
+            dims: x.dims().to_vec(),
+            reason: "conv2d_quantized expects x [N,C,H,W]".to_string(),
+        });
+    }
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    if c != weight.c {
+        return Err(TensorError::ShapeMismatch {
+            lhs: x.dims().to_vec(),
+            rhs: vec![weight.o, weight.c, weight.kh, weight.kw],
+            op: "conv2d_quantized",
+        });
+    }
+    let (o, kh, kw) = (weight.o, weight.kh, weight.kw);
+    let oh = spec.conv_out(h, kh)?;
+    let ow = spec.conv_out(w, kw)?;
+    let geom = PlaneGeom {
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        oh,
+        ow,
+        spec,
+    };
+    let l = oh * ow;
+    let ckk = c * kh * kw;
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    let mut cols_q = vec![0i8; ckk * l];
+    for ni in 0..n {
+        let (plane_q, scale) = quantize_per_tensor(&x.data()[ni * c * h * w..(ni + 1) * c * h * w]);
+        im2col_plane(&plane_q, geom, &mut cols_q);
+        qgemm_wa_par(
+            o,
+            ckk,
+            l,
+            &weight.q,
+            &weight.scales,
+            &cols_q,
+            scale,
+            &mut out.data_mut()[ni * o * l..(ni + 1) * o * l],
+        );
+    }
+    if let Some(b) = bias {
+        if b.dims() != [o] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![o],
+                rhs: b.dims().to_vec(),
+                op: "conv2d_quantized bias",
             });
         }
         for ni in 0..n {

@@ -37,6 +37,7 @@ pub mod io;
 pub mod linalg;
 pub mod ops;
 pub mod optim;
+pub mod quant;
 pub mod shape;
 pub mod tensor;
 

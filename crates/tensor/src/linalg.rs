@@ -1,14 +1,33 @@
-//! Matrix multiplication kernels (plain, transposed and batched).
+//! Matrix multiplication kernels (naive, cache-tiled packed, and batched).
 //!
-//! All kernels use the cache-friendly `i-k-j` loop ordering, which lets the
-//! inner loop run over contiguous rows of the right-hand operand and the
-//! output so the compiler can auto-vectorize it.
+//! Two kernel families live here:
+//!
+//! * the **reference** kernels (`i-k-j` loop order, contiguous inner loop),
+//!   used for small products and as the oracle the tiled kernels are tested
+//!   against;
+//! * the **tiled packed** kernels: a blocked `MC`/`KC`/`NC` loop nest that
+//!   copies panels of `A` and `B` into contiguous buffers and drives an
+//!   auto-vectorizable `MR`×`NR` register-tile microkernel.
+//!
+//! ## Bitwise equivalence and determinism
+//!
+//! Every output element is produced by a **single accumulator updated in
+//! strictly `k`-ascending order** in both families. The tiled NN/TN kernels
+//! reload the exact partial sum from `C` between `KC` blocks (an f32
+//! store/load is exact), so their rounding chain is identical to the naive
+//! kernels'; the tiled NT kernel keeps the naive kernel's
+//! fold-then-single-add contract by running the full depth per tile. The
+//! two families are therefore **bitwise interchangeable**, which makes the
+//! size-based dispatch below a pure performance decision.
 //!
 //! Large products are partitioned across threads by contiguous row blocks
-//! of the output (see `lmmir-par`). Each output row is produced by exactly
-//! the same instruction sequence as in the sequential kernels — the same
-//! `k`-ascending accumulation order — so results are bitwise identical for
-//! every `LMMIR_THREADS` setting, including the forced-sequential `1`.
+//! of the output (see `lmmir-par`). Each output row is produced with the
+//! same `k`-ascending accumulation order regardless of the partition, so
+//! results are bitwise identical for every `LMMIR_THREADS` setting,
+//! including the forced-sequential `1`.
+//!
+//! None of the kernels shortcut on zero operands: `0.0 * inf` must produce
+//! NaN per IEEE 754, and kernel timing must not depend on the data.
 
 use crate::error::TensorError;
 use crate::tensor::Tensor;
@@ -34,9 +53,6 @@ pub(crate) fn gemm_slices(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c:
         let c_row = &mut c[i * n..(i + 1) * n];
         for p in 0..k {
             let aip = a[i * k + p];
-            if aip == 0.0 {
-                continue;
-            }
             let b_row = &b[p * n..(p + 1) * n];
             for (cv, &bv) in c_row.iter_mut().zip(b_row) {
                 *cv += aip * bv;
@@ -45,15 +61,8 @@ pub(crate) fn gemm_slices(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c:
     }
 }
 
-/// `C += A^T * B` kernel: `a` is `[k,m]`, `b` is `[k,n]`, `c` is `[m,n]`.
-pub(crate) fn gemm_tn_slices(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    debug_assert_eq!(a.len(), k * m);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    gemm_tn_rows(0, m, k, n, a, b, c);
-}
-
-/// [`gemm_tn_slices`] restricted to output rows `i0..i0 + c_rows.len() / n`
+/// The `C += A^T * B` reference kernel (`a` is `[k,m]`, `b` is `[k,n]`,
+/// `c` is `[m,n]`) restricted to output rows `i0..i0 + c_rows.len() / n`
 /// (the rows of `C` correspond to *columns* of `a`, so row blocks cannot be
 /// expressed as sub-slices of the operands). Accumulation stays
 /// `p`-ascending per output element, exactly as in the full kernel.
@@ -73,9 +82,6 @@ pub(crate) fn gemm_tn_rows(
         let b_row = &b[p * n..(p + 1) * n];
         for i in 0..rows {
             let aip = a_row[i0 + i];
-            if aip == 0.0 {
-                continue;
-            }
             let c_row = &mut c_rows[i * n..(i + 1) * n];
             for (cv, &bv) in c_row.iter_mut().zip(b_row) {
                 *cv += aip * bv;
@@ -103,39 +109,418 @@ pub(crate) fn gemm_nt_slices(m: usize, k: usize, n: usize, a: &[f32], b: &[f32],
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cache-tiled packed kernels.
+//
+// Blocked loop nest: `jc` over `NC`-wide column stripes, `pc` over `KC`-deep
+// slabs (B panel packed once per `(jc, pc)`), `ic` over `MC`-tall row bands
+// (A panel packed once per `(ic, pc)`), then `NR`-wide × `MR`-tall register
+// tiles driven by the microkernel. Panels are zero-padded to full `MR`/`NR`
+// width; padded lanes are computed and discarded at the store, which keeps
+// the effective lanes' arithmetic untouched.
+// ---------------------------------------------------------------------------
+
+/// Register-tile height (rows of `C` per microkernel call).
+const MR: usize = 4;
+/// Register-tile width (columns of `C` per microkernel call); two 4-lane
+/// vectors on the baseline x86-64 target (SSE2). The `MR`×`NR` accumulator
+/// tile takes 8 of the 16 xmm registers, leaving room for the B row and
+/// the A broadcast — a 4×16 tile would need all 16 and spill every lane.
+const NR: usize = 8;
+/// Rows of `A` packed per band (sized so a band of `MR`-panels stays hot).
+const MC: usize = 64;
+/// Contraction depth per slab; a packed `KC`×`NR` B panel is 8 KiB.
+const KC: usize = 256;
+/// Columns of `B` packed per stripe; a full `KC`×`NC` B pack is 512 KiB.
+const NC: usize = 512;
+
+/// Minimum multiply-accumulate count before the packed path pays for its
+/// panel copies; below it the reference kernels win.
+const TILE_MIN_FLOPS: usize = 1 << 15;
+
+/// Depth cap for the tiled NT path: NT tiles must span the full contraction
+/// (see [`gemm_nt_tiled`]), so its B pack grows with `k` and stops being a
+/// cache win for deep products.
+const NT_TILE_MAX_K: usize = 2048;
+
+/// Whether the packed NN/TN path is worth taking. Purely a performance
+/// choice: the tiled and reference kernels are bitwise interchangeable.
+fn tile_worth(m: usize, k: usize, n: usize) -> bool {
+    m * k * n >= TILE_MIN_FLOPS && k >= 8 && n >= 8
+}
+
+/// The `MR`×`NR` register-tile microkernel: `acc[i][j] +=
+/// a_panel[p][i] * b_panel[p][j]` for `p` ascending. Each accumulator is
+/// updated once per `p`, so the per-element rounding chain is exactly the
+/// reference kernels' `k`-ascending order; the compiler may vectorize the
+/// `j` lanes (independent elements) but cannot reassociate across `p`.
+#[inline]
+fn microkernel(kcb: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    debug_assert!(a_panel.len() >= kcb * MR);
+    debug_assert!(b_panel.len() >= kcb * NR);
+    // Work on a by-value copy of the tile: the accumulators must live in
+    // registers across the whole `p` loop, not round-trip through memory.
+    let mut tile = *acc;
+    for p in 0..kcb {
+        let a_col: &[f32; MR] = a_panel[p * MR..p * MR + MR].try_into().unwrap();
+        let b_row: &[f32; NR] = b_panel[p * NR..p * NR + NR].try_into().unwrap();
+        for (row, &av) in tile.iter_mut().zip(a_col) {
+            for (cv, &bv) in row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+    *acc = tile;
+}
+
+/// Packs `b[pc..pc+kcb][jc..jc+ncb]` (row-major `[k,n]`) into `NR`-wide,
+/// `p`-major panels, zero-padding the last panel's missing lanes.
+fn pack_b_nn(
+    b: &[f32],
+    n: usize,
+    pc: usize,
+    kcb: usize,
+    jc: usize,
+    ncb: usize,
+    buf: &mut Vec<f32>,
+) {
+    let panels = ncb.div_ceil(NR);
+    buf.clear();
+    buf.resize(panels * kcb * NR, 0.0);
+    for jp in 0..panels {
+        let j0 = jc + jp * NR;
+        let jw = NR.min(jc + ncb - j0);
+        let dst = &mut buf[jp * kcb * NR..(jp + 1) * kcb * NR];
+        for p in 0..kcb {
+            let src = &b[(pc + p) * n + j0..(pc + p) * n + j0 + jw];
+            dst[p * NR..p * NR + jw].copy_from_slice(src);
+        }
+    }
+}
+
+/// Packs `b[jc..jc+ncb][0..k]` of a row-major `[n,k]` operand (the NT
+/// right-hand side) into `NR`-wide, `p`-major panels over the full depth.
+fn pack_b_nt(b: &[f32], k: usize, jc: usize, ncb: usize, buf: &mut Vec<f32>) {
+    let panels = ncb.div_ceil(NR);
+    buf.clear();
+    buf.resize(panels * k * NR, 0.0);
+    for jp in 0..panels {
+        let j0 = jc + jp * NR;
+        let jw = NR.min(jc + ncb - j0);
+        let dst = &mut buf[jp * k * NR..(jp + 1) * k * NR];
+        for j in 0..jw {
+            let src = &b[(j0 + j) * k..(j0 + j + 1) * k];
+            for (p, &v) in src.iter().enumerate() {
+                dst[p * NR + j] = v;
+            }
+        }
+    }
+}
+
+/// Packs `a[ic..ic+mcb][pc..pc+kcb]` (row-major, row stride `k`) into
+/// `MR`-tall, `p`-major panels, zero-padding the last panel's missing rows.
+fn pack_a_nn(
+    a: &[f32],
+    k: usize,
+    ic: usize,
+    mcb: usize,
+    pc: usize,
+    kcb: usize,
+    buf: &mut Vec<f32>,
+) {
+    let panels = mcb.div_ceil(MR);
+    buf.clear();
+    buf.resize(panels * kcb * MR, 0.0);
+    for ip in 0..panels {
+        let i0 = ic + ip * MR;
+        let iw = MR.min(ic + mcb - i0);
+        let dst = &mut buf[ip * kcb * MR..(ip + 1) * kcb * MR];
+        for i in 0..iw {
+            let src = &a[(i0 + i) * k + pc..(i0 + i) * k + pc + kcb];
+            for (p, &v) in src.iter().enumerate() {
+                dst[p * MR + i] = v;
+            }
+        }
+    }
+}
+
+/// Packs columns `i0+ic .. i0+ic+mcb` of a `[k,m]` operand (the TN
+/// left-hand side) into `MR`-tall, `p`-major panels.
+fn pack_a_tn(
+    a: &[f32],
+    m: usize,
+    col0: usize,
+    mcb: usize,
+    pc: usize,
+    kcb: usize,
+    buf: &mut Vec<f32>,
+) {
+    let panels = mcb.div_ceil(MR);
+    buf.clear();
+    buf.resize(panels * kcb * MR, 0.0);
+    for ip in 0..panels {
+        let i0 = col0 + ip * MR;
+        let iw = MR.min(col0 + mcb - i0);
+        let dst = &mut buf[ip * kcb * MR..(ip + 1) * kcb * MR];
+        for p in 0..kcb {
+            let src = &a[(pc + p) * m + i0..(pc + p) * m + i0 + iw];
+            dst[p * MR..p * MR + iw].copy_from_slice(src);
+        }
+    }
+}
+
+/// Loads the effective `iw`×`jw` window of `C` into the register tile
+/// (padded lanes stay zero) so the microkernel resumes the exact partial
+/// sums of earlier `KC` slabs.
+#[inline]
+fn load_tile(c: &[f32], n: usize, i0: usize, j0: usize, iw: usize, jw: usize) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (i, row) in acc.iter_mut().enumerate().take(iw) {
+        let src = &c[(i0 + i) * n + j0..(i0 + i) * n + j0 + jw];
+        row[..jw].copy_from_slice(src);
+    }
+    acc
+}
+
+/// Stores the effective window of the register tile back to `C`, discarding
+/// the zero-padded lanes.
+#[inline]
+fn store_tile(
+    c: &mut [f32],
+    n: usize,
+    i0: usize,
+    j0: usize,
+    iw: usize,
+    jw: usize,
+    acc: &[[f32; NR]; MR],
+) {
+    for (i, row) in acc.iter().enumerate().take(iw) {
+        let dst = &mut c[(i0 + i) * n + j0..(i0 + i) * n + j0 + jw];
+        dst.copy_from_slice(&row[..jw]);
+    }
+}
+
+/// Tiled packed `C += A * B` (`a` is `[m,k]`, row-major). Bitwise identical
+/// to [`gemm_slices`] for every input, including NaN/Inf.
+pub(crate) fn gemm_nn_tiled(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_packed_kc(
+        m,
+        k,
+        n,
+        c,
+        |pc, kcb, jc, ncb, buf| {
+            pack_b_nn(b, n, pc, kcb, jc, ncb, buf);
+        },
+        |ic, mcb, pc, kcb, buf| {
+            pack_a_nn(a, k, ic, mcb, pc, kcb, buf);
+        },
+    );
+}
+
+/// Tiled packed `C += A^T * B` over output rows `i0..i0 + c_rows.len() / n`
+/// (`a` is `[k,m]`). Bitwise identical to [`gemm_tn_rows`].
+pub(crate) fn gemm_tn_tiled(
+    i0: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+) {
+    let rows = c_rows.len().checked_div(n).unwrap_or(0);
+    debug_assert!(i0 + rows <= m);
+    gemm_packed_kc(
+        rows,
+        k,
+        n,
+        c_rows,
+        |pc, kcb, jc, ncb, buf| {
+            pack_b_nn(b, n, pc, kcb, jc, ncb, buf);
+        },
+        |ic, mcb, pc, kcb, buf| {
+            pack_a_tn(a, m, i0 + ic, mcb, pc, kcb, buf);
+        },
+    );
+}
+
+/// Shared `jc`/`pc`/`ic` loop nest for the direct-accumulate (NN/TN) tiled
+/// kernels: per tile, the partial sums are reloaded from `C`, advanced
+/// through one `KC` slab in `p`-ascending order, and stored back exactly.
+fn gemm_packed_kc(
+    m: usize,
+    k: usize,
+    n: usize,
+    c: &mut [f32],
+    mut pack_b: impl FnMut(usize, usize, usize, usize, &mut Vec<f32>),
+    mut pack_a: impl FnMut(usize, usize, usize, usize, &mut Vec<f32>),
+) {
+    let mut bbuf = Vec::new();
+    let mut abuf = Vec::new();
+    let mut jc = 0;
+    while jc < n {
+        let ncb = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kcb = KC.min(k - pc);
+            pack_b(pc, kcb, jc, ncb, &mut bbuf);
+            let mut ic = 0;
+            while ic < m {
+                let mcb = MC.min(m - ic);
+                pack_a(ic, mcb, pc, kcb, &mut abuf);
+                for jp in 0..ncb.div_ceil(NR) {
+                    let j0 = jc + jp * NR;
+                    let jw = NR.min(jc + ncb - j0);
+                    let b_panel = &bbuf[jp * kcb * NR..(jp + 1) * kcb * NR];
+                    for ip in 0..mcb.div_ceil(MR) {
+                        let i0 = ic + ip * MR;
+                        let iw = MR.min(ic + mcb - i0);
+                        let a_panel = &abuf[ip * kcb * MR..(ip + 1) * kcb * MR];
+                        let mut acc = load_tile(c, n, i0, j0, iw, jw);
+                        microkernel(kcb, a_panel, b_panel, &mut acc);
+                        store_tile(c, n, i0, j0, iw, jw, &acc);
+                    }
+                }
+                ic += mcb;
+            }
+            pc += kcb;
+        }
+        jc += ncb;
+    }
+}
+
+/// Tiled packed `C += A * B^T` (`a` is `[m,k]`, `b` is `[n,k]`).
+///
+/// [`gemm_nt_slices`] folds each dot product into a private accumulator and
+/// adds it to `C` **once**, so an NT tile must span the full contraction
+/// depth to reproduce that rounding chain — there is no `KC` loop here, and
+/// the dispatcher caps the depth ([`NT_TILE_MAX_K`]) instead. Bitwise
+/// identical to the reference kernel for every input.
+pub(crate) fn gemm_nt_tiled(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let mut bbuf = Vec::new();
+    let mut abuf = Vec::new();
+    let mut jc = 0;
+    while jc < n {
+        let ncb = NC.min(n - jc);
+        pack_b_nt(b, k, jc, ncb, &mut bbuf);
+        let mut ic = 0;
+        while ic < m {
+            let mcb = MC.min(m - ic);
+            pack_a_nn(a, k, ic, mcb, 0, k, &mut abuf);
+            for jp in 0..ncb.div_ceil(NR) {
+                let j0 = jc + jp * NR;
+                let jw = NR.min(jc + ncb - j0);
+                let b_panel = &bbuf[jp * k * NR..(jp + 1) * k * NR];
+                for ip in 0..mcb.div_ceil(MR) {
+                    let i0 = ic + ip * MR;
+                    let iw = MR.min(ic + mcb - i0);
+                    let a_panel = &abuf[ip * k * MR..(ip + 1) * k * MR];
+                    let mut acc = [[0.0f32; NR]; MR];
+                    microkernel(k, a_panel, b_panel, &mut acc);
+                    for (i, row) in acc.iter().enumerate().take(iw) {
+                        let dst = &mut c[(i0 + i) * n + j0..(i0 + i) * n + j0 + jw];
+                        for (cv, &v) in dst.iter_mut().zip(row) {
+                            *cv += v;
+                        }
+                    }
+                }
+            }
+            ic += mcb;
+        }
+        jc += ncb;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch: size-based choice between the families (bitwise identical, so
+// the choice — and therefore the per-thread block shape it sees — can never
+// change results), layered under the row-block thread partitioning.
+// ---------------------------------------------------------------------------
+
+/// Sequential `C += A * B`, picking the packed path when it pays.
+pub(crate) fn gemm_seq(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    if tile_worth(m, k, n) {
+        gemm_nn_tiled(m, k, n, a, b, c);
+    } else {
+        gemm_slices(m, k, n, a, b, c);
+    }
+}
+
+/// Sequential `C += A^T * B` over a row window, picking the packed path
+/// when it pays.
+pub(crate) fn gemm_tn_seq(
+    i0: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+) {
+    let rows = c_rows.len().checked_div(n).unwrap_or(0);
+    if tile_worth(rows, k, n) {
+        gemm_tn_tiled(i0, m, k, n, a, b, c_rows);
+    } else {
+        gemm_tn_rows(i0, m, k, n, a, b, c_rows);
+    }
+}
+
+/// Sequential `C += A * B^T`, picking the packed path when it pays; deep
+/// contractions stay on the reference kernel (see [`gemm_nt_tiled`]).
+pub(crate) fn gemm_nt_seq(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    if tile_worth(m, k, n) && k <= NT_TILE_MAX_K {
+        gemm_nt_tiled(m, k, n, a, b, c);
+    } else {
+        gemm_nt_slices(m, k, n, a, b, c);
+    }
+}
+
+/// Reference `C += A * B` (`[m,k] x [k,n]`), public for benchmarks and
+/// property tests: the naive `i-k-j` oracle the tiled kernel must match
+/// bitwise.
+pub fn gemm_reference(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_slices(m, k, n, a, b, c);
+}
+
+/// Tiled packed `C += A * B` (`[m,k] x [k,n]`), public for benchmarks and
+/// property tests. Bitwise identical to [`gemm_reference`].
+pub fn gemm_tiled(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_nn_tiled(m, k, n, a, b, c);
+}
+
 /// `C += A * B` with output rows partitioned across threads; falls back to
 /// the sequential kernel when the product is too small to amortize forking.
 pub(crate) fn gemm_par(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     if !par_worth(m, m * k * n) {
-        gemm_slices(m, k, n, a, b, c);
+        gemm_seq(m, k, n, a, b, c);
         return;
     }
     lmmir_par::par_chunks_mut(c, n, |i0, c_block| {
         let rows = c_block.len() / n;
-        gemm_slices(rows, k, n, &a[i0 * k..(i0 + rows) * k], b, c_block);
+        gemm_seq(rows, k, n, &a[i0 * k..(i0 + rows) * k], b, c_block);
     });
 }
 
 /// `C += A^T * B` with output rows partitioned across threads.
 pub(crate) fn gemm_tn_par(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     if !par_worth(m, m * k * n) {
-        gemm_tn_slices(m, k, n, a, b, c);
+        gemm_tn_seq(0, m, k, n, a, b, c);
         return;
     }
     lmmir_par::par_chunks_mut(c, n, |i0, c_block| {
-        gemm_tn_rows(i0, m, k, n, a, b, c_block);
+        gemm_tn_seq(i0, m, k, n, a, b, c_block);
     });
 }
 
 /// `C += A * B^T` with output rows partitioned across threads.
 pub(crate) fn gemm_nt_par(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     if !par_worth(m, m * k * n) {
-        gemm_nt_slices(m, k, n, a, b, c);
+        gemm_nt_seq(m, k, n, a, b, c);
         return;
     }
     lmmir_par::par_chunks_mut(c, n, |i0, c_block| {
         let rows = c_block.len() / n;
-        gemm_nt_slices(rows, k, n, &a[i0 * k..(i0 + rows) * k], b, c_block);
+        gemm_nt_seq(rows, k, n, &a[i0 * k..(i0 + rows) * k], b, c_block);
     });
 }
 
@@ -246,6 +631,12 @@ pub fn matmul_nd(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// A rank-2 `C += op(A) op(B)` slice kernel: `(m, k, n, a, b, c)`.
 type GemmFn = fn(usize, usize, usize, &[f32], &[f32], &mut [f32]);
 
+/// [`gemm_tn_seq`] over the whole output (no row window), matching
+/// [`GemmFn`] for the batched driver.
+fn gemm_tn_seq_full(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_tn_seq(0, m, k, n, a, b, c);
+}
+
 /// Operand geometry of one batched product: `[ba]` entries with the given
 /// per-entry strides for `a` and `b` (the output stride is always `m * n`).
 struct BmmShape {
@@ -338,7 +729,7 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         a.data(),
         b.data(),
         out.data_mut(),
-        gemm_slices,
+        gemm_seq,
         gemm_par,
     );
     Ok(out)
@@ -372,7 +763,7 @@ pub fn bmm_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         a.data(),
         b.data(),
         out.data_mut(),
-        gemm_tn_slices,
+        gemm_tn_seq_full,
         gemm_tn_par,
     );
     Ok(out)
@@ -406,7 +797,7 @@ pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         a.data(),
         b.data(),
         out.data_mut(),
-        gemm_nt_slices,
+        gemm_nt_seq,
         gemm_nt_par,
     );
     Ok(out)
