@@ -9,7 +9,7 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:7878 [--requests 64] [--concurrency 4]
 //!         [--connections N] [--designs 2] [--size 16] [--model NAME]
-//!         [--no-verify] [--keep-alive] [--json PATH]
+//!         [--no-verify] [--keep-alive] [--uniform] [--json PATH]
 //! loadgen --emit-request PATH [--size 16] [--seed 0]   # write one body for curl
 //! ```
 //!
@@ -43,6 +43,11 @@ struct Options {
     emit_request: Option<String>,
     verify: bool,
     keep_alive: bool,
+    /// Spread requests evenly over the designs (round-robin) instead of
+    /// biasing design 0. The default bias exercises caches and dedup; a
+    /// shard router needs the uniform spread, or ~3/4 of the traffic
+    /// hashes to the single shard owning design 0.
+    uniform: bool,
     json: Option<String>,
 }
 
@@ -60,6 +65,7 @@ impl Options {
             emit_request: None,
             verify: true,
             keep_alive: false,
+            uniform: false,
             json: None,
         };
         let mut it = args.iter();
@@ -81,6 +87,7 @@ impl Options {
                 "--emit-request" => o.emit_request = Some(value("emit-request")?),
                 "--no-verify" => o.verify = false,
                 "--keep-alive" => o.keep_alive = true,
+                "--uniform" => o.uniform = true,
                 "--json" => o.json = Some(value("json")?),
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -118,7 +125,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: loadgen --addr HOST:PORT [--requests N] [--concurrency N] \
                  [--connections N] [--designs N] [--size N] [--seed N] [--model NAME] \
-                 [--no-verify] [--keep-alive] [--json PATH]\n   \
+                 [--no-verify] [--keep-alive] [--uniform] [--json PATH]\n   \
                  or: loadgen --emit-request PATH [--size N] [--seed N] [--model NAME]"
             );
             return ExitCode::from(2);
@@ -172,6 +179,7 @@ fn main() -> ExitCode {
         let addr = addr.clone();
         let verify = o.verify;
         let keep_alive = o.keep_alive;
+        let uniform = o.uniform;
         let total = o.requests;
         workers.push(std::thread::spawn(move || {
             // Keep-alive mode: one persistent connection per worker, every
@@ -184,9 +192,13 @@ fn main() -> ExitCode {
                 if i >= total {
                     return latencies;
                 }
-                // Bias to design 0 so the repeated-design path dominates,
+                // Uniform mode rotates through all designs — what a shard
+                // router needs for its ranges to share the load. Default
+                // biases design 0 so the repeated-design path dominates,
                 // while every fourth request rotates through the others.
-                let which = if i % 4 == 0 {
+                let which = if uniform {
+                    i % requests.len()
+                } else if i % 4 == 0 {
                     (i / 4) % requests.len()
                 } else {
                     0

@@ -26,7 +26,7 @@
 //! the re-encode.
 
 use crate::cache::{LruCache, ResultCache};
-use crate::metrics::Metrics;
+use crate::metrics::{Health, Metrics};
 use crate::proto::{PredictRequest, PredictResponse};
 use crate::registry::{ModelRegistry, RegistrySpec};
 use crate::server::ServeConfig;
@@ -105,6 +105,7 @@ pub(crate) fn run(
     spec: RegistrySpec,
     jobs: Receiver<Job>,
     metrics: &Arc<Metrics>,
+    health: &Arc<Health>,
     results: &ResultCache,
     ready: &Sender<Result<(), ServeError>>,
 ) {
@@ -114,6 +115,7 @@ pub(crate) fn run(
     lmmir_par::set_thread_override(cfg.threads);
     let mut registry = match ModelRegistry::load(spec) {
         Ok(r) => {
+            health.set_ready(&r.summaries());
             let _ = ready.send(Ok(()));
             r
         }
@@ -144,6 +146,7 @@ pub(crate) fn run(
             &mut cache,
             results,
             metrics,
+            health,
         );
         // Drain more predict jobs until the batch is full or the window
         // closes; the window only starts once one job is waiting, so an
@@ -158,7 +161,15 @@ pub(crate) fn run(
                 break;
             };
             match jobs.recv_timeout(left) {
-                Ok(job) => dispatch(job, &mut batch, &mut registry, &mut cache, results, metrics),
+                Ok(job) => dispatch(
+                    job,
+                    &mut batch,
+                    &mut registry,
+                    &mut cache,
+                    results,
+                    metrics,
+                    health,
+                ),
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => break,
             }
@@ -171,6 +182,7 @@ pub(crate) fn run(
 
 /// Routes one queue entry: predict jobs join the batch, admin jobs run
 /// immediately (a reload between batches can never interleave a forward).
+#[allow(clippy::too_many_arguments)]
 fn dispatch(
     job: Job,
     batch: &mut Vec<PredictJob>,
@@ -178,10 +190,15 @@ fn dispatch(
     cache: &mut FeatureCache,
     results: Option<&ResultCache>,
     metrics: &Arc<Metrics>,
+    health: &Arc<Health>,
 ) {
     match job {
         Job::Predict(p) => batch.push(p),
         Job::Reload(reply) => {
+            // Flip readiness *before* touching the registry: the router
+            // drains this worker as soon as the next health probe lands,
+            // so a slow reload never races new dispatches.
+            health.begin_reload();
             let outcome = registry.reload().map_err(|e| e.to_string());
             if outcome.is_ok() {
                 // Both caches are per-model-weights and must not outlive a
@@ -201,6 +218,9 @@ fn dispatch(
                 metrics
                     .models_loaded
                     .store(registry.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                health.set_ready(&registry.summaries());
+            } else {
+                health.reload_failed();
             }
             reply(outcome);
         }

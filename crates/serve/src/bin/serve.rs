@@ -1,23 +1,30 @@
-//! The `serve` CLI: run the batched inference server, or produce a demo
-//! checkpoint to serve.
+//! The `serve` CLI: run the batched inference server (a worker), run a
+//! shard router over several workers, or produce a demo checkpoint to
+//! serve.
 //!
 //! ```text
 //! serve [--addr A] --ckpt NAME=PATH [--ckpt NAME=PATH ...] [--default NAME]
 //!       [--max-batch N] [--max-wait-ms N] [--cache N] [--threads N] [--quantized]
+//!       [--watch-checkpoints] [--watch-interval-ms N]
+//! serve route --workers N --ckpt NAME=PATH [--worker-addr HOST:PORT ...]
+//!       [--health-interval-ms N] [--fail-threshold K] [--forwarders N]
+//!       [--no-respawn] [--addr A]
 //! serve demo-ckpt PATH [--arch IREDGe] [--size 16] [--epochs 2] [--cases 2] [--seed 7]
 //! ```
 //!
 //! Environment fallbacks: `LMMIR_SERVE_ADDR`, `LMMIR_MAX_BATCH`,
 //! `LMMIR_MAX_WAIT_MS`, `LMMIR_CACHE_CAP`, `LMMIR_RESULT_CACHE_CAP`,
 //! `LMMIR_IDLE_TIMEOUT_MS`, `LMMIR_MAX_REQS_PER_CONN`,
-//! `LMMIR_MAX_CONNECTIONS`, `LMMIR_EVENT_THREADS`, `LMMIR_QUANTIZED`
-//! (flags win).
+//! `LMMIR_MAX_CONNECTIONS`, `LMMIR_EVENT_THREADS`, `LMMIR_QUANTIZED`,
+//! `LMMIR_WATCH_CHECKPOINTS`, `LMMIR_WATCH_INTERVAL_MS` (flags win).
 
 use lmm_ir::{
     build_sample, save_predictor, train, CheckpointMeta, LmmIr, LmmIrConfig, TrainConfig,
 };
 use lmmir_pdn::{CaseKind, CaseSpec};
-use lmmir_serve::{instantiate, ModelSpec, RegistrySpec, ServeConfig, Server};
+use lmmir_serve::{
+    instantiate, ModelSpec, RegistrySpec, RouterSpec, ServeConfig, Server, WorkerCmd,
+};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -26,7 +33,12 @@ fn usage() -> ExitCode {
         "usage:\n  serve [--addr A] --ckpt NAME=PATH [--ckpt ...] [--default NAME] \
          [--max-batch N] [--max-wait-ms N] [--cache N] [--result-cache N] \
          [--idle-timeout-ms N] [--max-requests-per-conn N] [--max-connections N] \
-         [--event-threads N] [--threads N] [--quantized]\n  \
+         [--event-threads N] [--threads N] [--quantized] \
+         [--watch-checkpoints] [--watch-interval-ms N]\n  \
+         serve route --workers N --ckpt NAME=PATH [--ckpt ...] \
+         [--worker-addr HOST:PORT ...] [--addr A] [--health-interval-ms N] \
+         [--fail-threshold K] [--forwarders N] [--probe-timeout-ms N] \
+         [--respawn-backoff-ms N] [--no-respawn] + worker flags to pass through\n  \
          serve demo-ckpt PATH [--arch IREDGe|IRPnet|LMM-IR|'1st Place'|'2nd Place'] \
          [--size 16] [--widths 12,24,48] [--epochs 2] [--cases 2] [--seed 7]"
     );
@@ -37,6 +49,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("demo-ckpt") => demo_ckpt(&args[1..]),
+        Some("route") => run_router(&args[1..]),
         Some(_) => run_server(&args),
         None => usage(),
     }
@@ -46,7 +59,7 @@ fn main() -> ExitCode {
 type Flag = (String, String);
 
 /// Flags that take no value; parsed as `(name, "true")`.
-const BOOL_FLAGS: &[&str] = &["quantized"];
+const BOOL_FLAGS: &[&str] = &["quantized", "watch-checkpoints", "no-respawn"];
 
 /// Parses `--flag VALUE` pairs into a list, rejecting unknown flags.
 fn parse_flags(args: &[String], positional_max: usize) -> Option<(Vec<String>, Vec<Flag>)> {
@@ -135,6 +148,12 @@ fn run_server(args: &[String]) -> ExitCode {
                 cfg.quantized = true;
                 Ok(())
             }
+            "watch-checkpoints" => {
+                cfg.watch_checkpoints = true;
+                Ok(())
+            }
+            "watch-interval-ms" => parse("watch-interval-ms", value)
+                .map(|n: u64| cfg.watch_interval = Duration::from_millis(n.max(1))),
             other => Err(format!("unknown flag --{other}")),
         };
         if let Err(e) = result {
@@ -171,6 +190,131 @@ fn run_server(args: &[String]) -> ExitCode {
     );
     server.wait();
     eprintln!("[serve] drained, bye");
+    ExitCode::SUCCESS
+}
+
+/// Worker flags `serve route` forwards verbatim to each spawned worker
+/// (everything that configures the worker's own serving, none of the
+/// router's knobs or the bind address the router chooses per worker).
+const WORKER_PASSTHROUGH: &[&str] = &[
+    "ckpt",
+    "default",
+    "max-batch",
+    "max-wait-ms",
+    "cache",
+    "result-cache",
+    "idle-timeout-ms",
+    "max-requests-per-conn",
+    "max-connections",
+    "event-threads",
+    "threads",
+    "quantized",
+    "watch-checkpoints",
+    "watch-interval-ms",
+];
+
+/// Runs the shard router: spawns `--workers N` supervised worker
+/// processes (this same binary, with the pass-through flags), attaches
+/// any `--worker-addr` peers, and serves the router front end.
+fn run_router(args: &[String]) -> ExitCode {
+    let Some((positional, flags)) = parse_flags(args, 0) else {
+        return usage();
+    };
+    debug_assert!(positional.is_empty());
+    let mut cfg = match ServeConfig::from_env() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut spec = RouterSpec::default();
+    let mut workers = 0usize;
+    let mut has_ckpt = false;
+    let mut worker_args: Vec<String> = Vec::new();
+    for (name, value) in &flags {
+        if WORKER_PASSTHROUGH.contains(&name.as_str()) {
+            has_ckpt |= name == "ckpt";
+            worker_args.push(format!("--{name}"));
+            if !BOOL_FLAGS.contains(&name.as_str()) {
+                worker_args.push(value.clone());
+            }
+            continue;
+        }
+        let result: Result<(), String> = match name.as_str() {
+            "addr" => {
+                cfg.addr = value.clone();
+                Ok(())
+            }
+            "workers" => parse("workers", value).map(|n| workers = n),
+            "worker-addr" => {
+                spec.attach.push(value.clone());
+                Ok(())
+            }
+            "health-interval-ms" => parse("health-interval-ms", value)
+                .map(|n: u64| spec.health_interval = Duration::from_millis(n.max(1))),
+            "fail-threshold" => {
+                parse("fail-threshold", value).map(|k: u32| spec.fail_threshold = k.max(1))
+            }
+            "forwarders" => parse("forwarders", value).map(|n| spec.forwarders = n),
+            "probe-timeout-ms" => parse("probe-timeout-ms", value)
+                .map(|n: u64| spec.probe_timeout = Duration::from_millis(n.max(1))),
+            "respawn-backoff-ms" => parse("respawn-backoff-ms", value)
+                .map(|n: u64| spec.respawn_backoff = Duration::from_millis(n.max(1))),
+            "no-respawn" => {
+                spec.respawn = false;
+                Ok(())
+            }
+            other => Err(format!("unknown flag --{other}")),
+        };
+        if let Err(e) = result {
+            eprintln!("serve: {e}");
+            return usage();
+        }
+    }
+    if workers > 0 && !has_ckpt {
+        eprintln!("serve: --workers needs at least one --ckpt NAME=PATH to spawn with");
+        return usage();
+    }
+    if workers > 0 {
+        let program = match std::env::current_exe() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("serve: cannot locate own executable to spawn workers: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        spec.spawn = (0..workers)
+            .map(|_| WorkerCmd {
+                program: program.clone(),
+                args: worker_args.clone(),
+            })
+            .collect();
+    }
+    let server = match Server::start_router(cfg.clone(), spec.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (i, addr) in server.worker_addrs().iter().enumerate() {
+        let kind = if i < workers { "spawned" } else { "attached" };
+        eprintln!("[router] worker {i} at {addr} ({kind})");
+    }
+    eprintln!(
+        "[router] routing on http://{} ({} spawned + {} attached workers, \
+         health every {:?}, evict after {} failures, respawn {}) — \
+         POST /predict, GET /healthz, GET /metrics, POST /reload, POST /shutdown",
+        server.addr(),
+        workers,
+        spec.attach.len(),
+        spec.health_interval,
+        spec.fail_threshold,
+        if spec.respawn { "on" } else { "off" },
+    );
+    server.wait();
+    eprintln!("[router] drained, bye");
     ExitCode::SUCCESS
 }
 

@@ -52,12 +52,12 @@
 use crate::batch::{Job, PredictJob};
 use crate::cache::ResultCache;
 use crate::http::{self, Parsed, Request};
-use crate::metrics::Metrics;
+use crate::metrics::{Health, Metrics, MetricsExtra};
 use crate::proto::{PredictRequest, PredictResponse};
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -108,6 +108,16 @@ pub(crate) struct LoopCtx {
     pub shutdown: Arc<AtomicBool>,
     /// Shared counters/gauges.
     pub metrics: Arc<Metrics>,
+    /// Readiness state `/healthz` renders (the inference thread — or the
+    /// shard supervisor, in router mode — keeps it current).
+    pub health: Arc<Health>,
+    /// Extra exposition lines appended to `/metrics` (the shard router's
+    /// per-worker series); `None` for a plain worker.
+    pub extra: Option<Arc<dyn MetricsExtra>>,
+    /// This loop's open-connection gauge: incremented by the acceptor when
+    /// it deals a connection here (least-loaded dealing reads all gauges),
+    /// decremented when the connection unregisters.
+    pub open_connections: Arc<AtomicU64>,
     /// `None` when the result cache is disabled (capacity 0), so the hot
     /// path never touches the shared mutex for guaranteed misses.
     pub results: Option<ResultCache>,
@@ -348,6 +358,7 @@ impl EventLoop {
             Metrics::dec(&self.ctx.metrics.connections_parked);
         }
         Metrics::dec(&self.ctx.metrics.connections_open);
+        Metrics::dec(&self.ctx.open_connections);
         // `conn.stream` drops here, closing the socket.
     }
 
@@ -603,9 +614,18 @@ impl EventLoop {
             || conn.served >= self.ctx.max_requests
             || self.ctx.shutdown.load(Ordering::SeqCst);
         match (request.method.as_str(), request.target.as_str()) {
-            ("GET", "/healthz") => conn.respond(200, "text/plain", b"ok\n", close),
+            ("GET", "/healthz") => {
+                // Readiness, not just liveness: a worker mid-reload (or
+                // after a failed registry swap) answers 503 so a routing
+                // health check drains it instead of dispatching into it.
+                let (status, body) = self.ctx.health.render();
+                conn.respond(status, "text/plain", body.as_bytes(), close);
+            }
             ("GET", "/metrics") => {
-                let text = self.ctx.metrics.render();
+                let mut text = self.ctx.metrics.render();
+                if let Some(extra) = &self.ctx.extra {
+                    text.push_str(&extra.render_extra());
+                }
                 conn.respond(200, "text/plain", text.as_bytes(), close);
             }
             ("POST", "/shutdown") => {

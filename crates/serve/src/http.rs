@@ -259,6 +259,7 @@ fn reason(status: u16) -> &'static str {
         408 => "Request Timeout",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",

@@ -48,12 +48,22 @@
 //! concurrency comes from batching: jobs drained together that share a
 //! design content hash are served by **one** forward pass.
 //!
+//! ## Scaling out
+//!
+//! One process has one inference thread; [`Server::start_router`] (the
+//! [`shard`] module) lifts that ceiling: N worker processes, each a full
+//! replica of this server, behind a thin router that reuses the exact
+//! same front end and dispatches each predict by **consistent hash** on
+//! `(model, content hash)` — so each worker's caches stay hot for its key
+//! range, and evicting a dead worker re-hashes only its range onto the
+//! survivors.
+//!
 //! ## Endpoints
 //!
 //! | endpoint | method | body |
 //! |---|---|---|
 //! | `/predict` | POST | binary predict request ([`proto`]) → IR map + hotspot mask |
-//! | `/healthz` | GET | — → `ok` |
+//! | `/healthz` | GET | — → readiness: `ready` + per-model `quantized_layers`, or `503` while loading/reloading |
 //! | `/metrics` | GET | — → Prometheus-style text ([`metrics`]) |
 //! | `/reload` | POST | — → reloads every checkpoint from disk |
 //! | `/shutdown` | POST | — → graceful shutdown (drain, then exit) |
@@ -79,6 +89,7 @@ pub mod http;
 pub mod metrics;
 pub mod proto;
 pub mod registry;
+pub mod shard;
 
 mod event;
 mod server;
@@ -86,10 +97,11 @@ mod server;
 pub use batch::prepare_request;
 pub use cache::{result_cache, LruCache, ResultCache};
 pub use client::Client;
-pub use metrics::Metrics;
+pub use metrics::{Health, LoadState, Metrics, MetricsExtra};
 pub use proto::{PredictRequest, PredictResponse};
 pub use registry::{instantiate, ModelRegistry, ModelSpec, RegistrySpec};
 pub use server::{ServeConfig, Server};
+pub use shard::{RouterSpec, WorkerCmd};
 
 use std::fmt;
 

@@ -1,7 +1,9 @@
 //! Server observability: lock-free counters and a bucketed latency
-//! histogram, rendered as Prometheus-style text at `GET /metrics`.
+//! histogram, rendered as Prometheus-style text at `GET /metrics` — plus
+//! the [`Health`] readiness state `GET /healthz` reports.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Upper bounds of the latency buckets, in microseconds. The final bucket
@@ -25,6 +27,8 @@ pub struct Metrics {
     /// the regression guard for the old per-connection `JoinHandle` leak:
     /// closed connections must leave the gauge, not accumulate.
     pub connections_open: AtomicU64,
+    /// Connections answered `503 connection limit reached` at accept time.
+    pub connections_refused_total: AtomicU64,
     /// Connections currently parked in `AwaitingInference`/`AwaitingReload`
     /// (gauge): their request is queued on the inference thread and the
     /// event loop will only touch them again on a completion wakeup.
@@ -62,10 +66,23 @@ pub struct Metrics {
     pub reloads_total: AtomicU64,
     /// Models currently loaded (gauge).
     pub models_loaded: AtomicU64,
+    /// Per-event-loop open-connection gauges, registered once at startup.
+    /// The acceptor deals each new connection to the loop with the lowest
+    /// gauge, so one saturated loop stops receiving work while others idle.
+    loop_connections: Mutex<Vec<Arc<AtomicU64>>>,
     /// End-to-end predict latency histogram (handler-observed).
     latency_buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
     latency_sum_us: AtomicU64,
     latency_count: AtomicU64,
+}
+
+/// Extra exposition text appended to [`Metrics::render`] — the hook the
+/// shard router uses to publish per-worker dispatch/eviction/respawn
+/// series (and aggregated worker counters) without the base metrics
+/// knowing about sharding.
+pub trait MetricsExtra: Send + Sync {
+    /// Renders additional Prometheus-style lines (each `\n`-terminated).
+    fn render_extra(&self) -> String;
 }
 
 impl Metrics {
@@ -86,6 +103,12 @@ impl Metrics {
         let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
             Some(v.saturating_sub(1))
         });
+    }
+
+    /// Registers the per-event-loop open-connection gauges (once, at
+    /// server startup) so `render` can expose them as labelled series.
+    pub fn set_loop_gauges(&self, gauges: Vec<Arc<AtomicU64>>) {
+        *self.loop_connections.lock().expect("loop gauge lock") = gauges;
     }
 
     /// Records one drained batch of `jobs` predict jobs.
@@ -172,10 +195,26 @@ impl Metrics {
         line("connections_total", g(&self.connections_total).to_string());
         line("connections_open", g(&self.connections_open).to_string());
         line(
+            "connections_refused_total",
+            g(&self.connections_refused_total).to_string(),
+        );
+        line(
             "connections_parked",
             g(&self.connections_parked).to_string(),
         );
         line("event_threads", g(&self.event_threads).to_string());
+        for (k, gauge) in self
+            .loop_connections
+            .lock()
+            .expect("loop gauge lock")
+            .iter()
+            .enumerate()
+        {
+            line(
+                &format!("loop_connections{{loop=\"{k}\"}}"),
+                gauge.load(Ordering::Relaxed).to_string(),
+            );
+        }
         line(
             "keepalive_reuses_total",
             g(&self.keepalive_reuses_total).to_string(),
@@ -232,9 +271,149 @@ impl Metrics {
     }
 }
 
+/// Load state of the model registry, as `GET /healthz` reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadState {
+    /// The initial registry load has not finished yet.
+    Loading,
+    /// All models are loaded and the worker is dispatchable.
+    Ready,
+    /// A `/reload` is in flight; predictions queued behind it still answer
+    /// (the old models keep serving) but a router should drain this worker
+    /// rather than pile latency onto it.
+    Reloading,
+    /// The last registry swap failed. The previous models keep serving
+    /// (degraded, not down), but a router should prefer healthy replicas.
+    ReloadFailed,
+}
+
+/// Worker readiness, shared between the inference thread (which owns the
+/// registry and flips the state around loads and reloads) and the event
+/// loops (which render it at `GET /healthz`).
+///
+/// The body is line-oriented so the shard router can parse it without a
+/// format dependency: the first line is the state (`ready`, `loading`,
+/// `reloading`, `reload-failed`), followed by one
+/// `model <name> quantized_layers=<n>` line per loaded model.
+#[derive(Debug, Default)]
+pub struct Health {
+    /// Encoded [`LoadState`] (0..=3 in declaration order).
+    state: AtomicU64,
+    /// Pre-rendered per-model lines (name + quantized layer count).
+    models: Mutex<String>,
+}
+
+impl Health {
+    /// Fresh health state, reporting [`LoadState::Loading`].
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Health::default())
+    }
+
+    /// Marks the registry ready, recording each model's name and int8
+    /// layer count for the readiness body.
+    pub fn set_ready(&self, models: &[(String, usize)]) {
+        use std::fmt::Write;
+        let mut body = String::new();
+        for (name, quantized_layers) in models {
+            let _ = writeln!(body, "model {name} quantized_layers={quantized_layers}");
+        }
+        *self.models.lock().expect("health lock") = body;
+        self.state.store(1, Ordering::SeqCst);
+    }
+
+    /// Marks a reload in flight (not dispatchable until it resolves).
+    pub fn begin_reload(&self) {
+        self.state.store(2, Ordering::SeqCst);
+    }
+
+    /// Returns to the not-ready [`LoadState::Loading`] state — the shard
+    /// router reports this while no worker is live.
+    pub fn set_loading(&self) {
+        self.state.store(0, Ordering::SeqCst);
+    }
+
+    /// Marks the last reload failed; the previous models keep serving.
+    pub fn reload_failed(&self) {
+        self.state.store(3, Ordering::SeqCst);
+    }
+
+    /// Current load state.
+    #[must_use]
+    pub fn state(&self) -> LoadState {
+        match self.state.load(Ordering::SeqCst) {
+            1 => LoadState::Ready,
+            2 => LoadState::Reloading,
+            3 => LoadState::ReloadFailed,
+            _ => LoadState::Loading,
+        }
+    }
+
+    /// The `/healthz` response: `200 ready` with per-model detail when
+    /// dispatchable, `503` (still answering!) in any other state so a
+    /// health-checking router drains this worker instead of dispatching
+    /// into a reload or a failed swap.
+    #[must_use]
+    pub fn render(&self) -> (u16, String) {
+        let (status, word) = match self.state() {
+            LoadState::Ready => (200, "ready"),
+            LoadState::Loading => (503, "loading"),
+            LoadState::Reloading => (503, "reloading"),
+            LoadState::ReloadFailed => (503, "reload-failed"),
+        };
+        let models = self.models.lock().expect("health lock");
+        (status, format!("{word}\n{models}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn health_reports_readiness_transitions() {
+        let h = Health::new();
+        assert_eq!(h.state(), LoadState::Loading);
+        assert_eq!(h.render().0, 503);
+        h.set_ready(&[("demo".to_string(), 0), ("big".to_string(), 7)]);
+        let (status, body) = h.render();
+        assert_eq!(status, 200);
+        assert!(body.starts_with("ready\n"), "{body}");
+        assert!(body.contains("model demo quantized_layers=0"), "{body}");
+        assert!(body.contains("model big quantized_layers=7"), "{body}");
+        // Mid-reload: not dispatchable, but the model list survives.
+        h.begin_reload();
+        let (status, body) = h.render();
+        assert_eq!(status, 503);
+        assert!(body.starts_with("reloading\n"), "{body}");
+        assert!(body.contains("model demo"), "{body}");
+        // A failed swap keeps serving the old models but stays drained.
+        h.reload_failed();
+        let (status, body) = h.render();
+        assert_eq!(status, 503);
+        assert!(body.starts_with("reload-failed\n"), "{body}");
+        // A later successful reload restores readiness.
+        h.set_ready(&[("demo".to_string(), 0)]);
+        assert_eq!(h.render().0, 200);
+    }
+
+    #[test]
+    fn loop_gauges_render_as_labelled_series() {
+        let m = Metrics::new();
+        let a = Arc::new(AtomicU64::new(3));
+        let b = Arc::new(AtomicU64::new(0));
+        m.set_loop_gauges(vec![Arc::clone(&a), Arc::clone(&b)]);
+        let text = m.render();
+        assert!(
+            text.contains("lmmir_loop_connections{loop=\"0\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lmmir_loop_connections{loop=\"1\"} 0"),
+            "{text}"
+        );
+        assert!(text.contains("lmmir_connections_refused_total 0"), "{text}");
+    }
 
     #[test]
     fn quantiles_track_buckets() {

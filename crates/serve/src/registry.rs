@@ -260,6 +260,19 @@ impl ModelRegistry {
         names
     }
 
+    /// `(name, quantized_layers)` per loaded model, sorted by name — the
+    /// readiness detail `/healthz` exposes.
+    #[must_use]
+    pub fn summaries(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = self
+            .entries
+            .iter()
+            .map(|(name, m)| (name.clone(), m.quantized_layers))
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Number of loaded models.
     #[must_use]
     pub fn len(&self) -> usize {

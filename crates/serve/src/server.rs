@@ -1,29 +1,40 @@
 //! Server lifecycle: configuration, the accept loop, the event-loop thread
-//! pool, and graceful shutdown.
+//! pool, and graceful shutdown — for both a plain worker server
+//! ([`Server::start`]) and the shard router ([`Server::start_router`]),
+//! which share the whole front end and differ only in the backend draining
+//! the job queue (inference thread vs forwarder pool).
 //!
-//! The accept loop only accepts: each admitted connection is handed
-//! (round-robin) to one of a **fixed pool** of event-loop threads
-//! ([`crate::event`]), which drive every connection's read/parse/respond
-//! state machine over non-blocking sockets. Connection count and thread
-//! count are decoupled — 500 idle keep-alive peers hold 500 sockets but
-//! zero extra threads — and closed connections leave the bookkeeping
-//! immediately (the old per-connection `JoinHandle` list, which grew until
-//! shutdown, is gone by construction; `lmmir_connections_open` in
-//! `/metrics` is the live gauge).
+//! The accept loop only accepts: each admitted connection is handed to the
+//! event loop with the **fewest open connections** (per-loop gauges, so a
+//! saturated loop stops receiving new work while its siblings idle), and
+//! the fixed pool of event-loop threads ([`crate::event`]) drives every
+//! connection's read/parse/respond state machine over non-blocking
+//! sockets. Connection count and thread count are decoupled — 500 idle
+//! keep-alive peers hold 500 sockets but zero extra threads — and closed
+//! connections leave the bookkeeping immediately (`lmmir_connections_open`
+//! in `/metrics` is the live gauge).
 
 use crate::batch::{self, Job};
-use crate::cache::result_cache;
+use crate::cache::{result_cache, ResultCache};
 use crate::event::{Event, EventLoop, LoopCtx};
 use crate::http;
-use crate::metrics::Metrics;
+use crate::metrics::{Health, Metrics, MetricsExtra};
 use crate::registry::RegistrySpec;
+use crate::shard::{self, RouterSpec};
 use crate::ServeError;
-use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime};
+
+/// How long the acceptor spends at most writing one `503` refusal to a
+/// peer that will not read it (the stream is switched to non-blocking
+/// first, so a SYN-flood-ish peer cannot stall the accept thread).
+const REFUSAL_WRITE_DEADLINE: Duration = Duration::from_millis(250);
 
 /// Server knobs. [`ServeConfig::from_env`] reads the documented
 /// environment overrides; unset fields fall back to these defaults.
@@ -61,6 +72,15 @@ pub struct ServeConfig {
     /// `--quantized` flag). Applies on top of [`RegistrySpec::quantized`] —
     /// either switch turns quantization on.
     pub quantized: bool,
+    /// Watch every checkpoint file's mtime and hot-reload on change,
+    /// clearing both caches atomically exactly as `POST /reload` does
+    /// (`LMMIR_WATCH_CHECKPOINTS`; the `--watch-checkpoints` flag) — so
+    /// sharded workers pick up new checkpoints without router
+    /// coordination.
+    pub watch_checkpoints: bool,
+    /// Poll interval of the checkpoint watcher
+    /// (`LMMIR_WATCH_INTERVAL_MS`; floor 1 ms).
+    pub watch_interval: Duration,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +97,8 @@ impl Default for ServeConfig {
             event_threads: 2,
             threads: None,
             quantized: false,
+            watch_checkpoints: false,
+            watch_interval: Duration::from_secs(2),
         }
     }
 }
@@ -99,6 +121,18 @@ impl ServeConfig {
                         std::any::type_name::<T>()
                     ))
                 }),
+                Err(_) => Ok(None),
+            }
+        }
+        fn read_bool(key: &str) -> Result<Option<bool>, ServeError> {
+            match std::env::var(key) {
+                Ok(v) => match v.to_ascii_lowercase().as_str() {
+                    "1" | "true" | "yes" | "on" => Ok(Some(true)),
+                    "0" | "false" | "no" | "off" | "" => Ok(Some(false)),
+                    _ => Err(ServeError::Config(format!(
+                        "invalid {key}={v:?}: expected a boolean"
+                    ))),
+                },
                 Err(_) => Ok(None),
             }
         }
@@ -129,30 +163,38 @@ impl ServeConfig {
         if let Some(v) = read::<usize>("LMMIR_EVENT_THREADS")? {
             cfg.event_threads = v.max(1);
         }
-        if let Ok(v) = std::env::var("LMMIR_QUANTIZED") {
-            cfg.quantized = match v.to_ascii_lowercase().as_str() {
-                "1" | "true" | "yes" | "on" => true,
-                "0" | "false" | "no" | "off" | "" => false,
-                _ => {
-                    return Err(ServeError::Config(format!(
-                        "invalid LMMIR_QUANTIZED={v:?}: expected a boolean"
-                    )))
-                }
-            };
+        if let Some(v) = read_bool("LMMIR_QUANTIZED")? {
+            cfg.quantized = v;
+        }
+        if let Some(v) = read_bool("LMMIR_WATCH_CHECKPOINTS")? {
+            cfg.watch_checkpoints = v;
+        }
+        if let Some(v) = read::<u64>("LMMIR_WATCH_INTERVAL_MS")? {
+            cfg.watch_interval = Duration::from_millis(v.max(1));
         }
         Ok(cfg)
     }
 }
 
 /// A running server: bound address, background threads, shutdown control.
+/// Built by [`Server::start`] (worker: inference-thread backend) or
+/// [`Server::start_router`] (shard router: forwarder-pool backend).
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     metrics: Arc<Metrics>,
     acceptor: JoinHandle<()>,
     event_loops: Vec<JoinHandle<()>>,
-    batcher: JoinHandle<()>,
+    /// Backend threads joined after the front end drains: the inference
+    /// thread and optional checkpoint watcher (worker), or the forwarder
+    /// pool and supervisor (router).
+    backend: Vec<JoinHandle<()>>,
+    /// Shard state when this server is a router.
+    router: Option<Arc<shard::Router>>,
 }
+
+/// One dealt-to event loop: its wakeup channel and open-connection gauge.
+type LoopHandle = (Sender<Event>, Arc<AtomicU64>);
 
 impl Server {
     /// Binds, loads the registry and starts serving.
@@ -171,22 +213,35 @@ impl Server {
         let addr = listener.local_addr()?;
         let metrics = Arc::new(Metrics::new());
         let shutdown = Arc::new(AtomicBool::new(false));
+        let health = Health::new();
         let results = result_cache(cfg.result_cache_capacity);
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         let (ready_tx, ready_rx) = mpsc::channel();
 
-        let batcher = {
+        let watched: Vec<PathBuf> = if cfg.watch_checkpoints {
+            spec.models.iter().map(|m| m.path.clone()).collect()
+        } else {
+            Vec::new()
+        };
+
+        let mut backend = Vec::new();
+        backend.push({
             let cfg = cfg.clone();
             let metrics = Arc::clone(&metrics);
+            let health = Arc::clone(&health);
             let results = Arc::clone(&results);
             thread::Builder::new()
                 .name("lmmir-inference".to_string())
-                .spawn(move || batch::run(&cfg, spec, job_rx, &metrics, &results, &ready_tx))?
-        };
+                .spawn(move || {
+                    batch::run(&cfg, spec, job_rx, &metrics, &health, &results, &ready_tx);
+                })?
+        });
         match ready_rx.recv_timeout(Duration::from_secs(120)) {
             Ok(Ok(())) => {}
             Ok(Err(e)) => {
-                let _ = batcher.join();
+                for t in backend {
+                    let _ = t.join();
+                }
                 return Err(e);
             }
             Err(_) => {
@@ -196,45 +251,32 @@ impl Server {
             }
         }
 
-        // The fixed event-loop pool: every connection lives on exactly one
-        // of these threads for its whole life.
-        let pool = cfg.event_threads.max(1);
-        metrics.event_threads.store(pool as u64, Ordering::Relaxed);
-        let mut event_txs = Vec::with_capacity(pool);
-        let mut event_loops = Vec::with_capacity(pool);
-        for k in 0..pool {
-            let (event_tx, event_rx) = mpsc::channel::<Event>();
-            let ctx = LoopCtx {
-                job_tx: job_tx.clone(),
-                shutdown: Arc::clone(&shutdown),
-                metrics: Arc::clone(&metrics),
-                results: (cfg.result_cache_capacity > 0).then(|| Arc::clone(&results)),
-                idle_timeout: cfg.idle_timeout,
-                max_requests: cfg.max_requests_per_conn.max(1),
-            };
-            let own_tx = event_tx.clone();
-            event_loops.push(
-                thread::Builder::new()
-                    .name(format!("lmmir-event-{k}"))
-                    .spawn(move || EventLoop::new(ctx, event_rx, own_tx).run())?,
-            );
-            event_txs.push(event_tx);
-        }
-        // The event loops hold the only lasting job senders: when the last
-        // loop exits after the drain, the inference thread's queue
-        // disconnects and it exits too.
-        drop(job_tx);
-
-        let acceptor = {
+        // The mtime-poll checkpoint watcher holds its own job sender; it
+        // polls the shutdown flag in short slices and drops the sender on
+        // exit, so it never stalls the drain (the inference thread exits
+        // when the last sender is gone).
+        if !watched.is_empty() {
+            let job_tx = job_tx.clone();
             let shutdown = Arc::clone(&shutdown);
-            let metrics = Arc::clone(&metrics);
-            let max_connections = cfg.max_connections.max(1);
-            thread::Builder::new()
-                .name("lmmir-accept".to_string())
-                .spawn(move || {
-                    accept_loop(&listener, &event_txs, &metrics, &shutdown, max_connections)
-                })?
-        };
+            let interval = cfg.watch_interval;
+            backend.push(
+                thread::Builder::new()
+                    .name("lmmir-watch".to_string())
+                    .spawn(move || watch_checkpoints(&watched, interval, &job_tx, &shutdown))?,
+            );
+        }
+
+        let (acceptor, event_loops) = start_frontend(
+            &cfg,
+            listener,
+            &metrics,
+            &shutdown,
+            &health,
+            None,
+            (cfg.result_cache_capacity > 0).then(|| Arc::clone(&results)),
+            &job_tx,
+        )?;
+        drop(job_tx);
 
         Ok(Server {
             addr,
@@ -242,7 +284,60 @@ impl Server {
             metrics,
             acceptor,
             event_loops,
-            batcher,
+            backend,
+            router: None,
+        })
+    }
+
+    /// Binds and starts a **shard router**: spawns/attaches the configured
+    /// workers, waits until every spawned worker reports ready, and serves
+    /// the same endpoints as a worker — dispatching each predict to the
+    /// worker owning its `(model, content hash)` range on a consistent
+    /// hash ring (see [`crate::shard`]).
+    ///
+    /// The router's result cache is forced off: shard affinity keeps the
+    /// *workers'* caches hot, and a router-level cache would answer from
+    /// stale entries after a worker-side reload it cannot see.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the address cannot be bound,
+    /// [`ServeError::Config`] when no workers are configured or a spawn
+    /// fails, and [`ServeError::Registry`] when a spawned worker does not
+    /// come up.
+    pub fn start_router(mut cfg: ServeConfig, spec: RouterSpec) -> Result<Self, ServeError> {
+        cfg.result_cache_capacity = 0;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let health = Health::new();
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+
+        let launched = shard::launch(spec, job_rx, &shutdown, &health)?;
+        let router = Arc::clone(&launched.router);
+
+        let (acceptor, event_loops) = start_frontend(
+            &cfg,
+            listener,
+            &metrics,
+            &shutdown,
+            &health,
+            Some(Arc::clone(&router) as Arc<dyn MetricsExtra>),
+            None,
+            &job_tx,
+        )?;
+        drop(job_tx);
+
+        Ok(Server {
+            addr,
+            shutdown,
+            metrics,
+            acceptor,
+            event_loops,
+            backend: launched.threads,
+            router: Some(router),
         })
     }
 
@@ -258,10 +353,16 @@ impl Server {
         Arc::clone(&self.metrics)
     }
 
+    /// Worker addresses by shard index (empty for a non-router server).
+    #[must_use]
+    pub fn worker_addrs(&self) -> Vec<String> {
+        self.router.as_ref().map(|r| r.addrs()).unwrap_or_default()
+    }
+
     /// Requests shutdown (also triggered by `POST /shutdown`): the
     /// acceptor stops taking connections, idle keep-alive connections are
     /// closed, in-flight requests finish, queued jobs are answered, then
-    /// the threads exit.
+    /// the threads exit (a router also drains its supervised workers).
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
     }
@@ -273,7 +374,9 @@ impl Server {
         for handle in self.event_loops {
             let _ = handle.join();
         }
-        let _ = self.batcher.join();
+        for handle in self.backend {
+            let _ = handle.join();
+        }
     }
 
     /// [`Server::shutdown`] + [`Server::wait`] in one call.
@@ -283,18 +386,79 @@ impl Server {
     }
 }
 
-/// Accepts connections until shutdown and deals them round-robin to the
-/// event loops. No per-connection thread, no per-connection handle: the
-/// loops own all connection state and unregister connections as they
-/// close.
+/// Starts the shared front end — the fixed event-loop pool and the accept
+/// thread — and registers the per-loop gauges. Worker and router differ
+/// only in what they pass here (`extra`, `results`) and in who drains the
+/// job channel.
+#[allow(clippy::too_many_arguments)]
+fn start_frontend(
+    cfg: &ServeConfig,
+    listener: TcpListener,
+    metrics: &Arc<Metrics>,
+    shutdown: &Arc<AtomicBool>,
+    health: &Arc<Health>,
+    extra: Option<Arc<dyn MetricsExtra>>,
+    results: Option<ResultCache>,
+    job_tx: &Sender<Job>,
+) -> Result<(JoinHandle<()>, Vec<JoinHandle<()>>), ServeError> {
+    let pool = cfg.event_threads.max(1);
+    metrics.event_threads.store(pool as u64, Ordering::Relaxed);
+    let mut loop_handles: Vec<LoopHandle> = Vec::with_capacity(pool);
+    let mut event_loops = Vec::with_capacity(pool);
+    for k in 0..pool {
+        let (event_tx, event_rx) = mpsc::channel::<Event>();
+        let gauge = Arc::new(AtomicU64::new(0));
+        let ctx = LoopCtx {
+            job_tx: job_tx.clone(),
+            shutdown: Arc::clone(shutdown),
+            metrics: Arc::clone(metrics),
+            health: Arc::clone(health),
+            extra: extra.clone(),
+            open_connections: Arc::clone(&gauge),
+            results: results.clone(),
+            idle_timeout: cfg.idle_timeout,
+            max_requests: cfg.max_requests_per_conn.max(1),
+        };
+        let own_tx = event_tx.clone();
+        event_loops.push(
+            thread::Builder::new()
+                .name(format!("lmmir-event-{k}"))
+                .spawn(move || EventLoop::new(ctx, event_rx, own_tx).run())?,
+        );
+        loop_handles.push((event_tx, gauge));
+    }
+    metrics.set_loop_gauges(loop_handles.iter().map(|(_, g)| Arc::clone(g)).collect());
+
+    let acceptor = {
+        let shutdown = Arc::clone(shutdown);
+        let metrics = Arc::clone(metrics);
+        let max_connections = cfg.max_connections.max(1);
+        thread::Builder::new()
+            .name("lmmir-accept".to_string())
+            .spawn(move || {
+                accept_loop(
+                    &listener,
+                    &loop_handles,
+                    &metrics,
+                    &shutdown,
+                    max_connections,
+                );
+            })?
+    };
+    Ok((acceptor, event_loops))
+}
+
+/// Accepts connections until shutdown and deals each to the event loop
+/// with the fewest open connections. No per-connection thread, no
+/// per-connection handle: the loops own all connection state and
+/// unregister connections (decrementing their loop's gauge) as they close.
 fn accept_loop(
     listener: &TcpListener,
-    loops: &[Sender<Event>],
+    loops: &[LoopHandle],
     metrics: &Arc<Metrics>,
     shutdown: &AtomicBool,
     max_connections: usize,
 ) {
-    let mut next = 0usize;
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((mut stream, _)) => {
@@ -303,14 +467,8 @@ fn accept_loop(
                 // ACK adds ~40 ms to every exchange after the first.
                 let _ = stream.set_nodelay(true);
                 if metrics.connections_open.load(Ordering::SeqCst) >= max_connections as u64 {
-                    // Still blocking here, so this small write completes.
-                    let _ = http::write_response(
-                        &mut stream,
-                        503,
-                        "text/plain",
-                        b"connection limit reached\n",
-                        true,
-                    );
+                    Metrics::inc(&metrics.connections_refused_total);
+                    write_refusal(&mut stream);
                     continue;
                 }
                 if stream.set_nonblocking(true).is_err() {
@@ -318,11 +476,17 @@ fn accept_loop(
                 }
                 Metrics::inc(&metrics.connections_total);
                 Metrics::inc(&metrics.connections_open);
-                if loops[next % loops.len()].send(Event::Conn(stream)).is_err() {
+                // Least-loaded dealing: round-robin kept feeding a
+                // saturated loop while its siblings idled; the gauges make
+                // load visible at accept time.
+                let k = pick_loop(loops.iter().map(|(_, g)| g.load(Ordering::SeqCst)));
+                let (tx, gauge) = &loops[k];
+                Metrics::inc(gauge);
+                if tx.send(Event::Conn(stream)).is_err() {
                     // Loop thread died (only possible mid-shutdown).
                     Metrics::dec(&metrics.connections_open);
+                    Metrics::dec(gauge);
                 }
-                next += 1;
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(2));
@@ -332,4 +496,137 @@ fn accept_loop(
     }
     // Dropping the event senders here; each loop still owns a clone of its
     // own sender, so loops drain on the shutdown flag, not on disconnect.
+}
+
+/// Index of the least-loaded event loop (first wins ties, so an all-idle
+/// pool fills in order and the skew test is deterministic).
+fn pick_loop(loads: impl Iterator<Item = u64>) -> usize {
+    let mut best = 0;
+    let mut best_load = u64::MAX;
+    for (i, load) in loads.enumerate() {
+        if load < best_load {
+            best = i;
+            best_load = load;
+        }
+    }
+    best
+}
+
+/// Writes the `503 connection limit reached` refusal with a hard deadline.
+/// The stream is switched to non-blocking first: a peer that connects and
+/// never reads must cost the accept thread at most
+/// [`REFUSAL_WRITE_DEADLINE`], not a blocked `write(2)` forever.
+fn write_refusal(stream: &mut TcpStream) {
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut frame = Vec::with_capacity(128);
+    let _ = http::write_response(
+        &mut frame,
+        503,
+        "text/plain",
+        b"connection limit reached\n",
+        true,
+    );
+    let deadline = Instant::now() + REFUSAL_WRITE_DEADLINE;
+    let mut pos = 0;
+    while pos < frame.len() {
+        match stream.write(&frame[pos..]) {
+            Ok(0) => return,
+            Ok(n) => pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return; // the peer is not reading; drop it
+                }
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// The `--watch-checkpoints` poller: stats every checkpoint each interval
+/// and enqueues the same `Job::Reload` that `POST /reload` does (all-or-
+/// nothing registry swap, both caches cleared atomically) when any mtime
+/// changes. A failed reload (e.g. a half-written file) re-arms the watch,
+/// so the next poll retries even without another mtime bump.
+fn watch_checkpoints(
+    paths: &[PathBuf],
+    interval: Duration,
+    job_tx: &Sender<Job>,
+    shutdown: &AtomicBool,
+) {
+    let stat = |p: &PathBuf| -> Option<SystemTime> {
+        std::fs::metadata(p).and_then(|m| m.modified()).ok()
+    };
+    let mut seen: Vec<Option<SystemTime>> = paths.iter().map(stat).collect();
+    let slice = Duration::from_millis(50).min(interval);
+    loop {
+        // Sleep one interval in slices, so shutdown drops our job sender
+        // promptly (the inference thread drains only when all senders go).
+        let wake = Instant::now() + interval;
+        while Instant::now() < wake {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            thread::sleep(slice);
+        }
+        let current: Vec<Option<SystemTime>> = paths.iter().map(stat).collect();
+        // Only an observed *change* triggers; a missing file on its own
+        // does not (the registry load would fail without need — the swap
+        // happens when the new file lands and mtime moves again).
+        if current == seen {
+            continue;
+        }
+        seen = current;
+        let (done_tx, done_rx) = mpsc::channel();
+        let notify = Box::new(move |outcome: Result<usize, String>| {
+            let _ = done_tx.send(outcome);
+        });
+        if job_tx.send(Job::Reload(notify)).is_err() {
+            return; // inference thread is gone; nothing left to reload
+        }
+        match done_rx.recv_timeout(Duration::from_secs(120)) {
+            Ok(Ok(n)) => eprintln!("[serve] checkpoint change detected; reloaded {n} model(s)"),
+            Ok(Err(e)) => {
+                eprintln!("[serve] checkpoint reload failed ({e}); will retry");
+                // Forget the mtimes so the next poll retries even if the
+                // writer finished without touching the file again.
+                seen.fill(None);
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_loop_prefers_the_least_loaded() {
+        assert_eq!(pick_loop([3u64, 0, 2].into_iter()), 1);
+        assert_eq!(pick_loop([0u64, 0].into_iter()), 0, "first wins ties");
+        assert_eq!(pick_loop([5u64].into_iter()), 0);
+    }
+
+    #[test]
+    fn least_loaded_dealing_corrects_skew() {
+        // Regression for round-robin dealing: start with one loop already
+        // saturated; every new connection must go to the idle loops until
+        // the pool is balanced, instead of being dealt back into the
+        // saturated loop every Nth accept.
+        let gauges = [AtomicU64::new(40), AtomicU64::new(0), AtomicU64::new(0)];
+        for _ in 0..80 {
+            let k = pick_loop(gauges.iter().map(|g| g.load(Ordering::Relaxed)));
+            gauges[k].fetch_add(1, Ordering::Relaxed);
+        }
+        let loads: Vec<u64> = gauges.iter().map(|g| g.load(Ordering::Relaxed)).collect();
+        let (min, max) = (*loads.iter().min().unwrap(), *loads.iter().max().unwrap());
+        assert!(
+            max - min <= 1,
+            "dealing left the pool skewed: {loads:?} (round-robin would give [40+27, 27, 27])"
+        );
+    }
 }

@@ -154,7 +154,8 @@ fn pipelined_requests_are_answered_in_order() {
     writer.flush().unwrap();
     let mut reader = BufReader::new(stream);
     let (status, conn, body) = read_raw(&mut reader).unwrap();
-    assert_eq!((status, body.as_slice()), (200, &b"ok\n"[..]));
+    assert_eq!(status, 200);
+    assert!(body.starts_with(b"ready"), "healthz body: {body:?}");
     assert!(conn.eq_ignore_ascii_case("keep-alive"), "got {conn:?}");
     let (status, conn, body) = read_raw(&mut reader).unwrap();
     assert_eq!(status, 200);
@@ -183,7 +184,8 @@ fn malformed_second_pipelined_request_gets_400_then_close() {
     writer.flush().unwrap();
     let mut reader = BufReader::new(stream);
     let (status, _, body) = read_raw(&mut reader).unwrap();
-    assert_eq!((status, body.as_slice()), (200, &b"ok\n"[..]));
+    assert_eq!(status, 200);
+    assert!(body.starts_with(b"ready"), "healthz body: {body:?}");
     // The malformed follow-up is answered with 400 and the connection
     // closes — bytes after a parse failure cannot be framed reliably.
     let (status, conn, _) = read_raw(&mut reader).unwrap();
@@ -381,7 +383,8 @@ fn one_shot_close_clients_still_work() {
     let server = Server::start(config(), RegistrySpec::single("m", &path)).unwrap();
     let addr = server.addr();
     let (status, body) = client::get_text(addr, "/healthz").unwrap();
-    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    assert_eq!(status, 200);
+    assert!(body.starts_with("ready"), "healthz body: {body:?}");
     let req = design(3);
     let resp = client::predict(addr, &req).unwrap();
     assert_eq!(resp.width as usize, SIZE);

@@ -9,7 +9,7 @@ use lmmir_serve::{
     client, prepare_request, PredictRequest, PredictResponse, RegistrySpec, ServeConfig, Server,
 };
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const SIZE: usize = 16;
 
@@ -65,7 +65,12 @@ fn save_serve_predict_round_trip() {
     let addr = server.addr();
 
     let (status, body) = client::get_text(addr, "/healthz").unwrap();
-    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    assert_eq!(status, 200);
+    assert!(body.starts_with("ready"), "healthz body: {body:?}");
+    assert!(
+        body.contains("model demo quantized_layers="),
+        "healthz reports per-model load state: {body:?}"
+    );
 
     let (_, req) = design(1);
     let expected = offline_reference(&model, &req);
@@ -217,6 +222,61 @@ fn request_errors_are_client_visible() {
     let err = client::predict(addr, &req).unwrap_err().to_string();
     assert!(err.contains("netlist"), "{err}");
 
+    server.stop();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn watch_checkpoints_hot_reloads_on_mtime_change() {
+    let path = tmp("watch.lmmt");
+    save_predictor(&iredge(SIZE, 61), &path).unwrap();
+    let cfg = ServeConfig {
+        watch_checkpoints: true,
+        watch_interval: Duration::from_millis(100),
+        ..config(1, 2)
+    };
+    let server = Server::start(cfg, RegistrySpec::single("m", &path)).unwrap();
+    let addr = server.addr();
+
+    let (_, req) = design(61);
+    assert_matches_offline(
+        &client::predict(addr, &req).unwrap(),
+        &offline_reference(&iredge(SIZE, 61), &req),
+    );
+
+    // Overwrite the checkpoint on disk; the watcher must pick the change
+    // up by mtime and hot-reload without any POST /reload.
+    std::thread::sleep(Duration::from_millis(20));
+    save_predictor(&iredge(SIZE, 62), &path).unwrap();
+    let expected = offline_reference(&iredge(SIZE, 62), &req);
+    let want: Vec<u32> = expected.0.iter().map(|v| v.to_bits()).collect();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let resp = client::predict(addr, &req).unwrap();
+        let got: Vec<u32> = resp.map.iter().map(|v| v.to_bits()).collect();
+        if got == want {
+            // Not just changed — bitwise what a fresh load would serve,
+            // through both (cleared) caches.
+            assert_matches_offline(&resp, &expected);
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "watcher never picked up the new checkpoint"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let (_, text) = client::get_text(addr, "/metrics").unwrap();
+    let reloads = text
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix("lmmir_reloads_total ")?
+                .trim()
+                .parse::<u64>()
+                .ok()
+        })
+        .unwrap_or(0);
+    assert!(reloads >= 1, "watch reload must count in /metrics:\n{text}");
     server.stop();
     std::fs::remove_file(&path).ok();
 }
