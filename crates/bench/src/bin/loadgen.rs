@@ -9,9 +9,18 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:7878 [--requests 64] [--concurrency 4]
 //!         [--connections N] [--designs 2] [--size 16] [--model NAME]
+//!         [--mix NAME:W,NAME:W] [--windows N]
 //!         [--no-verify] [--keep-alive] [--uniform] [--json PATH]
 //! loadgen --emit-request PATH [--size 16] [--seed 0]   # write one body for curl
 //! ```
+//!
+//! `--windows N` generates *dynamic* designs: every request carries N
+//! per-window power maps (its envelope in the static power field), so the
+//! identical payload can be served by both model families. `--mix`
+//! schedules requests across several served models by weight (e.g.
+//! `--mix static:1,dyn:1` alternates); responses are verified
+//! self-consistent per `(model, design)` pair, and `--uniform` keeps
+//! rotating the designs within each model.
 //!
 //! Three serving acceptance checks are driven from here: the batching win
 //! (`--max-batch 1` vs `8` servers), the keep-alive win (`--keep-alive` vs
@@ -21,7 +30,7 @@
 //! pool). `--json` writes the measured numbers as a machine-readable
 //! benchmark record (CI uploads it as `BENCH_serve.json`).
 
-use lmmir_pdn::{CaseKind, CaseSpec};
+use lmmir_pdn::{CaseKind, CaseSpec, DynamicCase};
 use lmmir_serve::{client, Client, PredictRequest};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -49,6 +58,11 @@ struct Options {
     /// hashes to the single shard owning design 0.
     uniform: bool,
     json: Option<String>,
+    /// Weighted model schedule (`--mix NAME:W,NAME:W`); empty means every
+    /// request goes to `--model` (or the server default).
+    mix: Vec<(String, usize)>,
+    /// Per-window power maps per design; 0 generates static designs.
+    windows: usize,
 }
 
 impl Options {
@@ -67,6 +81,8 @@ impl Options {
             keep_alive: false,
             uniform: false,
             json: None,
+            mix: Vec::new(),
+            windows: 0,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -89,29 +105,81 @@ impl Options {
                 "--keep-alive" => o.keep_alive = true,
                 "--uniform" => o.uniform = true,
                 "--json" => o.json = Some(value("json")?),
+                "--mix" => o.mix = parse_mix(&value("mix")?)?,
+                "--windows" => o.windows = parse(&value("windows")?)?,
                 other => return Err(format!("unknown flag {other}")),
             }
         }
         if o.designs == 0 || o.concurrency == 0 || o.requests == 0 || o.connections == Some(0) {
             return Err("counts must be positive".to_string());
         }
+        if !o.mix.is_empty() && !o.model.is_empty() {
+            return Err("--mix replaces --model; give every name a weight instead".to_string());
+        }
         Ok(o)
     }
+}
+
+/// Parses `NAME:W,NAME:W` into a weighted model list.
+fn parse_mix(v: &str) -> Result<Vec<(String, usize)>, String> {
+    let mut mix = Vec::new();
+    for part in v.split(',') {
+        let (name, weight) = part
+            .split_once(':')
+            .ok_or_else(|| format!("--mix entry {part:?} is not NAME:WEIGHT"))?;
+        let weight: usize = parse(weight.trim())?;
+        if weight == 0 {
+            return Err(format!("--mix weight for {name:?} must be positive"));
+        }
+        mix.push((name.trim().to_string(), weight));
+    }
+    Ok(mix)
 }
 
 fn parse<T: std::str::FromStr>(v: &str) -> Result<T, String> {
     v.parse().map_err(|_| format!("invalid number {v:?}"))
 }
 
-fn build_requests(o: &Options) -> Vec<PredictRequest> {
-    (0..o.designs)
+/// The model names this run addresses and the weighted request schedule
+/// over them (request `i` goes to `models[schedule[i % len]]`). Without
+/// `--mix` there is one model — possibly the server default — and a
+/// one-entry schedule.
+fn model_schedule(o: &Options) -> (Vec<String>, Vec<usize>) {
+    if o.mix.is_empty() {
+        return (vec![o.model.clone()], vec![0]);
+    }
+    let models: Vec<String> = o.mix.iter().map(|(name, _)| name.clone()).collect();
+    let mut schedule = Vec::new();
+    for (mi, (_, weight)) in o.mix.iter().enumerate() {
+        schedule.extend(std::iter::repeat(mi).take(*weight));
+    }
+    (models, schedule)
+}
+
+/// One request per `(model, design)` pair, indexed `mi * designs + which`:
+/// every model sees the same designs, so a mixed run compares families on
+/// identical payloads (dynamic designs carry their envelope in the static
+/// power field).
+fn build_requests(o: &Options, models: &[String]) -> Vec<PredictRequest> {
+    let base: Vec<PredictRequest> = (0..o.designs)
         .map(|i| {
             let id = format!("loadgen{i}");
-            let case =
-                CaseSpec::new(&id, o.size, o.size, o.seed + i as u64, CaseKind::Hidden).generate();
-            let mut req = PredictRequest::from_case(&case);
-            req.model = o.model.clone();
-            req
+            let spec = CaseSpec::new(&id, o.size, o.size, o.seed + i as u64, CaseKind::Hidden);
+            if o.windows > 0 {
+                PredictRequest::from_dynamic_case(&DynamicCase::generate(&spec, o.windows))
+            } else {
+                PredictRequest::from_case(&spec.generate())
+            }
+        })
+        .collect();
+    models
+        .iter()
+        .flat_map(|model| {
+            base.iter().map(move |req| {
+                let mut req = req.clone();
+                req.model = model.clone();
+                req
+            })
         })
         .collect()
 }
@@ -125,14 +193,17 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: loadgen --addr HOST:PORT [--requests N] [--concurrency N] \
                  [--connections N] [--designs N] [--size N] [--seed N] [--model NAME] \
+                 [--mix NAME:W,NAME:W] [--windows N] \
                  [--no-verify] [--keep-alive] [--uniform] [--json PATH]\n   \
-                 or: loadgen --emit-request PATH [--size N] [--seed N] [--model NAME]"
+                 or: loadgen --emit-request PATH [--size N] [--seed N] [--model NAME] \
+                 [--windows N]"
             );
             return ExitCode::from(2);
         }
     };
 
-    let requests = build_requests(&o);
+    let (models, schedule) = model_schedule(&o);
+    let requests = build_requests(&o, &models);
 
     if let Some(path) = &o.emit_request {
         let body = requests[0].encode();
@@ -155,15 +226,17 @@ fn main() -> ExitCode {
     };
 
     // loadgen cannot read the server's checkpoint, so verification checks
-    // *self-consistency*: every response for a design must be bitwise
-    // identical across clients, batches and cache hits. Full parity against
-    // the offline `InferenceSession` is pinned by the serve test suite.
+    // *self-consistency*: every response for a `(model, design)` pair must
+    // be bitwise identical across clients, batches and cache hits. Full
+    // parity against the offline `InferenceSession` is pinned by the serve
+    // test suite.
     let reference: Vec<std::sync::Mutex<Option<Vec<u32>>>> = (0..requests.len())
         .map(|_| std::sync::Mutex::new(None))
         .collect();
 
     let requests = Arc::new(requests);
     let reference = Arc::new(reference);
+    let schedule = Arc::new(schedule);
     let next = Arc::new(AtomicUsize::new(0));
     let errors = Arc::new(AtomicUsize::new(0));
     // --connections N holds N concurrent connections by running one worker
@@ -174,6 +247,7 @@ fn main() -> ExitCode {
     for _ in 0..worker_count {
         let requests = Arc::clone(&requests);
         let reference = Arc::clone(&reference);
+        let schedule = Arc::clone(&schedule);
         let next = Arc::clone(&next);
         let errors = Arc::clone(&errors);
         let addr = addr.clone();
@@ -181,6 +255,7 @@ fn main() -> ExitCode {
         let keep_alive = o.keep_alive;
         let uniform = o.uniform;
         let total = o.requests;
+        let designs = o.designs;
         workers.push(std::thread::spawn(move || {
             // Keep-alive mode: one persistent connection per worker, every
             // request after the first reuses it. Otherwise each request
@@ -192,17 +267,20 @@ fn main() -> ExitCode {
                 if i >= total {
                     return latencies;
                 }
-                // Uniform mode rotates through all designs — what a shard
-                // router needs for its ranges to share the load. Default
-                // biases design 0 so the repeated-design path dominates,
-                // while every fourth request rotates through the others.
-                let which = if uniform {
-                    i % requests.len()
+                // Uniform mode rotates through all designs *within each
+                // model* — what a shard router needs for its ranges to
+                // share the load. Default biases design 0 so the
+                // repeated-design path dominates, while every fourth
+                // request rotates through the others. The weighted mix
+                // schedule then picks which model this request addresses.
+                let design = if uniform {
+                    i % designs
                 } else if i % 4 == 0 {
-                    (i / 4) % requests.len()
+                    (i / 4) % designs
                 } else {
                     0
                 };
+                let which = schedule[i % schedule.len()] * designs + design;
                 let t = Instant::now();
                 let outcome = match &mut persistent {
                     Some(cli) => cli.predict(&requests[which]),
@@ -218,7 +296,11 @@ fn main() -> ExitCode {
                                 None => *slot = Some(bits),
                                 Some(prev) if *prev == bits => {}
                                 Some(_) => {
-                                    eprintln!("[loadgen] response drift on design {which}!");
+                                    eprintln!(
+                                        "[loadgen] response drift on design {design} \
+                                         (model {:?})!",
+                                        requests[which].model
+                                    );
                                     errors.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
@@ -292,13 +374,15 @@ fn main() -> ExitCode {
         let record = format!(
             "{{\n  \"requests\": {},\n  \"ok\": {done},\n  \"errors\": {errors},\n  \
              \"concurrency\": {worker_count},\n  \"connections\": {worker_count},\n  \
-             \"designs\": {},\n  \"size\": {},\n  \
+             \"designs\": {},\n  \"size\": {},\n  \"windows\": {},\n  \"mix\": {},\n  \
              \"keep_alive\": {},\n  \"elapsed_s\": {elapsed:.4},\n  \
              \"req_per_s\": {rate:.2},\n  \"p50_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \
              \"feature_cache_hit_rate\": {},\n  \"result_cache_hit_rate\": {}\n}}\n",
             o.requests,
             o.designs,
             o.size,
+            o.windows,
+            mix_json(&o.mix),
             o.keep_alive,
             pct(0.50),
             pct(0.99),
@@ -315,6 +399,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// The mix as a JSON string (`"static:1,dyn:1"`), or null without `--mix`.
+/// Names come from our own flag; the only characters needing escape in a
+/// JSON string are still handled.
+fn mix_json(mix: &[(String, usize)]) -> String {
+    if mix.is_empty() {
+        return "null".to_string();
+    }
+    let joined = mix
+        .iter()
+        .map(|(name, weight)| format!("{name}:{weight}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("\"{}\"", joined.replace('\\', "\\\\").replace('"', "\\\""))
 }
 
 /// JSON has no NaN; an unavailable rate serializes as null.

@@ -32,6 +32,7 @@
 //! load (quantized serving of an old file computes the identical scales at
 //! load time).
 
+use crate::dynamic::DynamicIrConfig;
 use crate::lnt::LntConfig;
 use crate::model::{IrPredictor, LmmIrConfig};
 use lmmir_tensor::quant::weight_scales;
@@ -45,6 +46,11 @@ const META_PREFIX: &str = "meta.";
 
 /// Name of the full-config entry written since format v3.
 const CONFIG_ENTRY: &str = "config.lmmir";
+
+/// Name of the dynamic-family config entry. Structurally a sibling of
+/// `config.lmmir` (v4-compatible: readers that predate the dynamic family
+/// never see one, because they also predate "DynIR" checkpoints).
+const DYNAMIC_ENTRY: &str = "config.dynamic";
 
 /// Name prefix of the per-parameter int8 scale entries written since
 /// format v4 (`quant.{i}` describes `param.{i}`).
@@ -72,6 +78,9 @@ pub struct CheckpointMeta {
     /// for baseline architectures, which are fully determined by name,
     /// channels and size).
     pub config: Option<LmmIrConfig>,
+    /// Dynamic-family configuration (window count and trunk plan; `None`
+    /// for every static model).
+    pub dynamic: Option<DynamicIrConfig>,
     /// Per-parameter int8 weight scales keyed by parameter index
     /// (format v4; empty for older files). Every rank-2/rank-4 parameter
     /// has an entry.
@@ -94,6 +103,7 @@ impl CheckpointMeta {
             input_channels: model.input_channels(),
             input_size: model.input_size(),
             config: model.lmmir_config().cloned(),
+            dynamic: model.dynamic_config().cloned(),
             quant_scales,
         }
     }
@@ -106,7 +116,7 @@ impl CheckpointMeta {
     pub fn format_version(&self) -> u8 {
         if !self.quant_scales.is_empty() {
             4
-        } else if self.config.is_some() {
+        } else if self.config.is_some() || self.dynamic.is_some() {
             3
         } else {
             2
@@ -140,6 +150,7 @@ impl CheckpointMeta {
             input_channels: data[0] as usize,
             input_size: data[1] as usize,
             config: None,
+            dynamic: None,
             quant_scales: BTreeMap::new(),
         })
     }
@@ -244,6 +255,81 @@ fn parse_config(t: &Tensor) -> Result<LmmIrConfig> {
     })
 }
 
+/// Serializes a [`DynamicIrConfig`] into the `config.dynamic` entry.
+///
+/// Same encoding discipline as [`config_entry`]: exact small integers in
+/// `f32`, the 64-bit seed as four 16-bit chunks, a leading layout version.
+fn dynamic_entry(cfg: &DynamicIrConfig) -> (String, Tensor) {
+    let mut payload = vec![
+        CONFIG_LAYOUT as f32,
+        cfg.windows as f32,
+        cfg.stem_kernel as f32,
+        cfg.input_size as f32,
+    ];
+    for i in 0..4 {
+        payload.push(((cfg.seed >> (16 * i)) & 0xFFFF) as f32);
+    }
+    payload.push(cfg.widths.len() as f32);
+    payload.extend(cfg.widths.iter().map(|&w| w as f32));
+    let len = payload.len();
+    (
+        DYNAMIC_ENTRY.to_string(),
+        Tensor::from_vec(payload, &[len]).expect("dynamic config payload is rank 1"),
+    )
+}
+
+/// Parses a `config.dynamic` entry previously written by [`dynamic_entry`].
+fn parse_dynamic(t: &Tensor) -> Result<DynamicIrConfig> {
+    let bad = |why: &str| TensorError::Io(format!("malformed '{DYNAMIC_ENTRY}' entry: {why}"));
+    let data = t.data();
+    if t.dims().len() != 1 || data.len() < 9 {
+        return Err(bad("payload too short"));
+    }
+    if data
+        .iter()
+        .any(|v| *v < 0.0 || v.fract() != 0.0 || *v > (1 << 24) as f32)
+    {
+        return Err(bad("fields must be small non-negative integers"));
+    }
+    let at = |i: usize| data[i] as usize;
+    if at(0) != CONFIG_LAYOUT as usize {
+        return Err(bad(&format!(
+            "unknown config layout {} (this reader knows {CONFIG_LAYOUT})",
+            at(0)
+        )));
+    }
+    let mut seed = 0u64;
+    for i in 0..4 {
+        let chunk = at(4 + i);
+        if chunk > 0xFFFF {
+            return Err(bad("seed chunk exceeds 16 bits"));
+        }
+        seed |= (chunk as u64) << (16 * i);
+    }
+    let widths_len = at(8);
+    if widths_len == 0 || widths_len > MAX_WIDTHS {
+        return Err(bad(&format!(
+            "width plan of {widths_len} (cap {MAX_WIDTHS})"
+        )));
+    }
+    if data.len() != 9 + widths_len {
+        return Err(bad(&format!(
+            "payload holds {} values but the width plan wants {}",
+            data.len(),
+            9 + widths_len
+        )));
+    }
+    let cfg = DynamicIrConfig {
+        windows: at(1),
+        stem_kernel: at(2),
+        input_size: at(3),
+        seed,
+        widths: (0..widths_len).map(|i| at(9 + i)).collect(),
+    };
+    cfg.validate().map_err(|e| bad(&e))?;
+    Ok(cfg)
+}
+
 /// A named tensor as stored in a checkpoint file.
 pub type NamedTensor = (String, Tensor);
 
@@ -281,6 +367,7 @@ fn parse_quant(name: &str, t: &Tensor) -> Result<(usize, Vec<f32>)> {
 pub fn split_meta(entries: Vec<NamedTensor>) -> Result<(Option<CheckpointMeta>, Vec<NamedTensor>)> {
     let mut meta: Option<CheckpointMeta> = None;
     let mut config: Option<LmmIrConfig> = None;
+    let mut dynamic: Option<DynamicIrConfig> = None;
     let mut quant: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
     let mut params = Vec::with_capacity(entries.len());
     for (name, t) in entries {
@@ -291,6 +378,13 @@ pub fn split_meta(entries: Vec<NamedTensor>) -> Result<(Option<CheckpointMeta>, 
                 ));
             }
             config = Some(parse_config(&t)?);
+        } else if name == DYNAMIC_ENTRY {
+            if dynamic.is_some() {
+                return Err(TensorError::Io(
+                    "checkpoint has more than one dynamic config entry".to_string(),
+                ));
+            }
+            dynamic = Some(parse_dynamic(&t)?);
         } else if name.starts_with(QUANT_PREFIX) {
             let (index, scales) = parse_quant(&name, &t)?;
             if quant.insert(index, scales).is_some() {
@@ -355,6 +449,27 @@ pub fn split_meta(entries: Vec<NamedTensor>) -> Result<(Option<CheckpointMeta>, 
         }
         meta.config = Some(cfg);
     }
+    if let Some(cfg) = dynamic {
+        let Some(meta) = meta.as_mut() else {
+            return Err(TensorError::Io(format!(
+                "checkpoint has a '{DYNAMIC_ENTRY}' entry but no meta entry"
+            )));
+        };
+        if meta.model != "DynIR" {
+            return Err(TensorError::Io(format!(
+                "'{DYNAMIC_ENTRY}' entry on a '{}' checkpoint (dynamic configs describe DynIR)",
+                meta.model
+            )));
+        }
+        if cfg.windows != meta.input_channels || cfg.input_size != meta.input_size {
+            return Err(TensorError::Io(format!(
+                "dynamic config entry ({} windows, {} px) disagrees with meta \
+                 entry ({} channels, {} px)",
+                cfg.windows, cfg.input_size, meta.input_channels, meta.input_size
+            )));
+        }
+        meta.dynamic = Some(cfg);
+    }
     if !quant.is_empty() {
         meta.as_mut().expect("checked above").quant_scales = quant;
     }
@@ -385,6 +500,9 @@ pub fn save_predictor(model: &dyn IrPredictor, path: impl AsRef<Path>) -> Result
     let mut entries: Vec<(String, Tensor)> = vec![meta.entry()];
     if let Some(cfg) = &meta.config {
         entries.push(config_entry(cfg));
+    }
+    if let Some(cfg) = &meta.dynamic {
+        entries.push(dynamic_entry(cfg));
     }
     for (i, p) in model.parameters().iter().enumerate() {
         entries.push((format!("param.{i}"), p.to_tensor()));
@@ -451,6 +569,22 @@ pub fn load_predictor(model: &dyn IrPredictor, path: impl AsRef<Path>) -> Result
                     model_cfg.widths,
                     model_cfg.use_lnt,
                     model_cfg.use_attention_gates,
+                )));
+            }
+        }
+        // Same discipline for the dynamic family: when both the file and
+        // the target record a config, trunk plan and window count must
+        // agree exactly (seed differences are fine — weights are restored).
+        if let (Some(file_cfg), Some(model_cfg)) = (&meta.dynamic, &target.dynamic) {
+            if file_cfg.widths != model_cfg.widths
+                || file_cfg.stem_kernel != model_cfg.stem_kernel
+                || file_cfg.windows != model_cfg.windows
+            {
+                return Err(TensorError::Io(format!(
+                    "checkpoint configuration mismatch: file records a dynamic \
+                     trunk of widths {:?} over {} windows but the target model \
+                     is built with widths {:?} over {} windows",
+                    file_cfg.widths, file_cfg.windows, model_cfg.widths, model_cfg.windows,
                 )));
             }
         }
@@ -796,6 +930,106 @@ mod tests {
             .collect();
         let err = split_meta(headless).unwrap_err().to_string();
         assert!(err.contains("no meta entry"), "got {err}");
+    }
+
+    fn custom_dynamic_cfg() -> crate::dynamic::DynamicIrConfig {
+        crate::dynamic::DynamicIrConfig {
+            windows: 5,
+            widths: vec![4, 8, 16],
+            stem_kernel: 5,
+            input_size: 16,
+            seed: 0xFEED_FACE_BEEF_1234,
+        }
+    }
+
+    #[test]
+    fn dynamic_config_round_trips() {
+        use crate::dynamic::{DynamicIrConfig, DynamicIrPredictor};
+        let cfg = custom_dynamic_cfg();
+        let a = DynamicIrPredictor::new(cfg.clone());
+        let path = tmp("dynamic_config.lmmt");
+        save_predictor(&a, &path).unwrap();
+        let meta = load_meta(&path)
+            .unwrap()
+            .expect("dynamic checkpoints have meta");
+        assert_eq!(meta.model, "DynIR");
+        assert_eq!(meta.input_channels, 5, "channels record the window count");
+        assert_eq!(meta.format_version(), 4, "fresh saves carry int8 scales");
+        assert_eq!(meta.dynamic.as_ref(), Some(&cfg), "config must survive");
+        assert_eq!(meta.dynamic.unwrap().seed, 0xFEED_FACE_BEEF_1234);
+        assert!(meta.config.is_none(), "no LMM-IR config on a DynIR file");
+        // Weights restore into a model built from that config (fresh seed).
+        let b = DynamicIrPredictor::new(DynamicIrConfig {
+            seed: 1,
+            ..custom_dynamic_cfg()
+        });
+        load_predictor(&b, &path).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dynamic_rejects_trunk_mismatch() {
+        use crate::dynamic::{DynamicIrConfig, DynamicIrPredictor};
+        let a = DynamicIrPredictor::new(custom_dynamic_cfg());
+        let path = tmp("dynamic_mismatch.lmmt");
+        save_predictor(&a, &path).unwrap();
+        let b = DynamicIrPredictor::new(DynamicIrConfig {
+            widths: vec![4, 8],
+            ..custom_dynamic_cfg()
+        });
+        let err = load_predictor(&b, &path).unwrap_err().to_string();
+        assert!(err.contains("mismatch"), "got {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hostile_dynamic_entries_are_rejected() {
+        let meta = |channels: f32, size: f32| {
+            (
+                "meta.DynIR".to_string(),
+                Tensor::from_vec(vec![channels, size], &[2]).unwrap(),
+            )
+        };
+        let payload = |v: Vec<f32>| {
+            let len = v.len();
+            (
+                "config.dynamic".to_string(),
+                Tensor::from_vec(v, &[len]).unwrap(),
+            )
+        };
+        // layout, windows, stem, size, seed×4, widths_len, widths…
+        let good = vec![1.0, 5.0, 5.0, 16.0, 0.0, 0.0, 0.0, 0.0, 3.0, 4.0, 8.0, 16.0];
+        // Well-formed parses.
+        let (m, _) = split_meta(vec![meta(5.0, 16.0), payload(good.clone())]).unwrap();
+        let cfg = m.unwrap().dynamic.unwrap();
+        assert_eq!(cfg.windows, 5);
+        assert_eq!(cfg.widths, vec![4, 8, 16]);
+        // Too short.
+        assert!(split_meta(vec![meta(5.0, 16.0), payload(vec![1.0; 4])]).is_err());
+        // Fractional field.
+        let mut frac = good.clone();
+        frac[9] = 4.5;
+        assert!(split_meta(vec![meta(5.0, 16.0), payload(frac)]).is_err());
+        // Width plan lies about payload length.
+        let mut lying = good.clone();
+        lying[8] = 7.0;
+        assert!(split_meta(vec![meta(5.0, 16.0), payload(lying)]).is_err());
+        // Dynamic config without a meta entry.
+        assert!(split_meta(vec![payload(good.clone())]).is_err());
+        // Dynamic config on a static checkpoint.
+        let static_meta = (
+            "meta.IREDGe".to_string(),
+            Tensor::from_vec(vec![3.0, 16.0], &[2]).unwrap(),
+        );
+        assert!(split_meta(vec![static_meta, payload(good.clone())]).is_err());
+        // Window count disagreeing with the meta's channel count.
+        assert!(split_meta(vec![meta(4.0, 16.0), payload(good.clone())]).is_err());
+        // Config failing its own validation (size not divisible by pools).
+        let mut bad_size = good.clone();
+        bad_size[3] = 17.0;
+        assert!(split_meta(vec![meta(5.0, 17.0), payload(bad_size)]).is_err());
+        // Duplicate dynamic entries.
+        assert!(split_meta(vec![meta(5.0, 16.0), payload(good.clone()), payload(good)]).is_err());
     }
 
     #[test]

@@ -1,0 +1,515 @@
+//! Dynamic IR-drop prediction (PowerNet-style, Xie et al.).
+//!
+//! Static IR drop asks "what does the average draw do"; dynamic IR asks
+//! "what does the worst instant do". PowerNet's decomposition: split the
+//! switching activity into W time windows, build one toggle-weighted power
+//! map per window, run a *shared* CNN over every window and take the
+//! elementwise **max over windows** as the prediction — worst-case IR per
+//! pixel, whichever window causes it.
+//!
+//! [`DynamicIrPredictor`] implements that head on this repo's substrate: a
+//! shared U-Net trunk (1 input channel) applied per window via
+//! differentiable channel slicing, combined with `max(a, b) = a + relu(b−a)`
+//! so gradients flow to every window's pass. It registers as a second model
+//! family ("DynIR") behind the same [`IrPredictor`] interface the serving
+//! registry dispatches on, and checkpoints through a v4-compatible
+//! `config.dynamic` entry.
+
+use crate::data::TARGET_SCALE;
+use crate::model::IrPredictor;
+use crate::pointcloud::PointCloud;
+use crate::train::{TrainConfig, TrainReport};
+use lmmir_features::{ir_drop_map, Raster, SpatialInfo, WindowStack};
+use lmmir_nn::Module;
+use lmmir_pdn::{CaseKind, CaseSpec, DynamicCase, MAX_WINDOWS};
+use lmmir_solver::{solve_ir_drop, CgConfig, SolveIrDropError};
+use lmmir_tensor::{Adam, GradClip, Optimizer, Result, Tensor, TensorError, Var};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::blocks::{UNetDecoder, UNetEncoder};
+
+/// Configuration of the dynamic (PowerNet-style) predictor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynamicIrConfig {
+    /// Number of time windows W the model consumes (= input channels).
+    pub windows: usize,
+    /// Shared-trunk channel plan; `len - 1` pooling stages.
+    pub widths: Vec<usize>,
+    /// Stem kernel size of the trunk.
+    pub stem_kernel: usize,
+    /// Square input size the model trains at.
+    pub input_size: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl DynamicIrConfig {
+    /// Laptop-scale preset for the reproduction harness.
+    #[must_use]
+    pub fn quick() -> Self {
+        DynamicIrConfig {
+            windows: 4,
+            widths: vec![8, 16, 32],
+            stem_kernel: 3,
+            input_size: 48,
+            seed: 0xD1A0,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated constraint.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.windows == 0 || self.windows > MAX_WINDOWS {
+            return Err(format!(
+                "window count {} out of 1..={MAX_WINDOWS}",
+                self.windows
+            ));
+        }
+        if self.widths.len() < 2 {
+            return Err("need at least two widths (one pooling stage)".to_string());
+        }
+        let pools = self.widths.len() - 1;
+        if self.input_size % (1 << pools) != 0 {
+            return Err(format!(
+                "input size {} not divisible by 2^{pools}",
+                self.input_size
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The PowerNet-style dynamic predictor: shared U-Net trunk per window,
+/// elementwise max over the per-window predictions.
+#[derive(Debug)]
+pub struct DynamicIrPredictor {
+    cfg: DynamicIrConfig,
+    encoder: UNetEncoder,
+    decoder: UNetDecoder,
+}
+
+impl DynamicIrPredictor {
+    /// Builds the model from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid (see
+    /// [`DynamicIrConfig::validate`]) — configurations are
+    /// programmer-supplied.
+    #[must_use]
+    pub fn new(cfg: DynamicIrConfig) -> Self {
+        cfg.validate().expect("valid dynamic configuration");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let encoder = UNetEncoder::new(1, &cfg.widths, cfg.stem_kernel, &mut rng);
+        let decoder = UNetDecoder::new(&cfg.widths, 1, false, &mut rng);
+        DynamicIrPredictor {
+            cfg,
+            encoder,
+            decoder,
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &DynamicIrConfig {
+        &self.cfg
+    }
+
+    /// One shared-trunk pass over a single window `[1, 1, S, S]`.
+    fn trunk(&self, window: &Var) -> Result<Var> {
+        let features = self.encoder.encode(window)?;
+        self.decoder.decode(&features)
+    }
+}
+
+/// Differentiable elementwise max: `max(a, b) = a + relu(b − a)`. Where
+/// `b > a` the gradient routes to `b`'s window pass, elsewhere to `a`'s —
+/// every window that wins somewhere trains.
+fn elementwise_max(a: &Var, b: &Var) -> Result<Var> {
+    a.add(&b.sub(a)?.relu())
+}
+
+impl IrPredictor for DynamicIrPredictor {
+    fn name(&self) -> &'static str {
+        "DynIR"
+    }
+
+    fn input_channels(&self) -> usize {
+        self.cfg.windows
+    }
+
+    fn input_size(&self) -> usize {
+        self.cfg.input_size
+    }
+
+    fn dynamic_config(&self) -> Option<&DynamicIrConfig> {
+        Some(&self.cfg)
+    }
+
+    fn forward(&self, images: &Var, _cloud: Option<&PointCloud>) -> Result<Var> {
+        let d = images.dims();
+        if d.len() != 4 || d[0] != 1 || d[1] != self.cfg.windows {
+            return Err(TensorError::InvalidShape {
+                dims: d,
+                reason: format!(
+                    "dynamic predictor expects [1, {}, S, S] window maps",
+                    self.cfg.windows
+                ),
+            });
+        }
+        let mut worst: Option<Var> = None;
+        for w in 0..self.cfg.windows {
+            let window = images.slice_axis(1, w, w + 1)?;
+            let pred = self.trunk(&window)?;
+            worst = Some(match worst {
+                None => pred,
+                Some(acc) => elementwise_max(&acc, &pred)?,
+            });
+        }
+        Ok(worst.expect("windows >= 1 by validation"))
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.encoder.parameters();
+        p.extend(self.decoder.parameters());
+        p
+    }
+
+    fn set_training(&self, training: bool) {
+        self.encoder.set_training(training);
+        self.decoder.set_training(training);
+    }
+
+    fn quantize(&self) -> usize {
+        self.encoder.quantize() + self.decoder.quantize()
+    }
+}
+
+/// One model-ready dynamic data point: per-window images and the
+/// max-over-windows golden target.
+#[derive(Debug, Clone)]
+pub struct DynamicSample {
+    /// Case id.
+    pub id: String,
+    /// Split membership (drives over-sampling).
+    pub kind: CaseKind,
+    /// Per-window images `[W, S, S]`, adjusted + normalized.
+    pub images: Tensor,
+    /// Adjusted target `[1, S, S]`: pixelwise max over the per-window
+    /// golden IR maps, in volts × [`TARGET_SCALE`].
+    pub target: Tensor,
+    /// How the maps were spatially adjusted.
+    pub info: SpatialInfo,
+    /// Original-resolution ground truth (volts, max over windows).
+    pub truth: Raster,
+    /// Wall-clock seconds of all per-window golden solves.
+    pub golden_seconds: f64,
+}
+
+impl DynamicSample {
+    /// Images as a `[1, W, S, S]` constant variable.
+    #[must_use]
+    pub fn images_var(&self) -> Var {
+        let d = self.images.dims();
+        Var::constant(
+            self.images
+                .reshape(&[1, d[0], d[1], d[2]])
+                .expect("adding batch axis preserves numel"),
+        )
+    }
+
+    /// Target as a `[1, 1, S, S]` constant variable.
+    #[must_use]
+    pub fn target_var(&self) -> Var {
+        let d = self.target.dims();
+        Var::constant(
+            self.target
+                .reshape(&[1, d[0], d[1], d[2]])
+                .expect("adding batch axis preserves numel"),
+        )
+    }
+}
+
+/// Builds a dynamic sample: generates the vector workload, golden-solves
+/// **every window's** PDN, takes the pixelwise max as the target, and
+/// rasterizes the windows through the per-window feature pipeline.
+///
+/// # Errors
+///
+/// Returns [`SolveIrDropError`] when any window's golden solve fails.
+pub fn build_dynamic_sample(
+    spec: &CaseSpec,
+    windows: usize,
+    input_size: usize,
+) -> std::result::Result<DynamicSample, SolveIrDropError> {
+    let dyn_case = DynamicCase::generate(spec, windows);
+    let (w, h) = (dyn_case.case.power.width(), dyn_case.case.power.height());
+    let dbu = dyn_case.case.tech.dbu_per_um;
+
+    let t0 = std::time::Instant::now();
+    let mut truth: Option<Raster> = None;
+    for wi in 0..windows {
+        let net = dyn_case.window_netlist(wi);
+        let ir = solve_ir_drop(&net, CgConfig::default())?;
+        let map = ir_drop_map(&ir, &net, w, h, dbu);
+        truth = Some(match truth {
+            None => map,
+            Some(mut acc) => {
+                let d = acc.data_mut();
+                for (a, b) in d.iter_mut().zip(map.data()) {
+                    *a = a.max(*b);
+                }
+                acc
+            }
+        });
+    }
+    let golden_seconds = t0.elapsed().as_secs_f64();
+    let truth = truth.expect("window count validated by DynamicCase");
+
+    let (truth_adj, info) = lmmir_features::spatial::spatial_adjust(&truth, input_size);
+    let stack = WindowStack::rasterize(&dyn_case.windows);
+    let (adj, _) = stack.adjusted_normalized(input_size);
+    let target = truth_adj
+        .to_tensor()
+        .scale(TARGET_SCALE)
+        .reshape(&[1, input_size, input_size])
+        .expect("adjusted truth is input_size²");
+
+    Ok(DynamicSample {
+        id: spec.id.clone(),
+        kind: spec.kind,
+        images: adj.to_tensor(),
+        target,
+        info,
+        truth,
+        golden_seconds,
+    })
+}
+
+/// Trains a dynamic predictor with MSE against the max-over-windows golden
+/// targets, reusing the static trainer's hyper-parameters (noise
+/// augmentation, gradient accumulation, clipping, over-sampling; the
+/// reconstruction pre-training stage does not apply — `pretrain_epochs` is
+/// ignored).
+///
+/// # Errors
+///
+/// Returns tensor errors from malformed samples (sizes must match the
+/// model's `input_size` and window count).
+pub fn train_dynamic(
+    model: &dyn IrPredictor,
+    samples: &[DynamicSample],
+    cfg: &TrainConfig,
+) -> Result<TrainReport> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut opt = Adam::new(model.parameters(), cfg.lr);
+    let clip = (cfg.grad_clip > 0.0).then_some(GradClip {
+        max_norm: cfg.grad_clip,
+    });
+    let mut base_indices = Vec::new();
+    for (i, s) in samples.iter().enumerate() {
+        let times = match s.kind {
+            CaseKind::Fake => cfg.oversample.0,
+            CaseKind::Real => cfg.oversample.1,
+            CaseKind::Hidden => 0,
+        };
+        base_indices.extend(std::iter::repeat(i).take(times));
+    }
+    let mut report = TrainReport::default();
+    model.set_training(true);
+    for _epoch in 0..cfg.epochs {
+        let mut indices = base_indices.clone();
+        indices.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f32;
+        let mut steps = 0usize;
+        let mut in_batch = 0usize;
+        for &ix in &indices {
+            let sample = &samples[ix];
+            let mut images = sample.images_var();
+            if cfg.noise_std > 0.0 {
+                let std = rng.gen_range(0.0..cfg.noise_std.max(f32::MIN_POSITIVE));
+                let noise = lmmir_tensor::init::normal(&images.dims(), std, &mut rng);
+                images = images.add(&Var::constant(noise))?;
+            }
+            let pred = model.forward(&images, None)?;
+            let loss = pred.mse_loss(&sample.target_var())?;
+            epoch_loss += loss.value().item();
+            steps += 1;
+            loss.scale(1.0 / cfg.batch as f32).backward();
+            in_batch += 1;
+            if in_batch == cfg.batch {
+                if let Some(c) = &clip {
+                    c.apply(opt.parameters());
+                }
+                opt.step();
+                opt.zero_grad();
+                in_batch = 0;
+            }
+        }
+        if in_batch > 0 {
+            if let Some(c) = &clip {
+                c.apply(opt.parameters());
+            }
+            opt.step();
+            opt.zero_grad();
+        }
+        report.losses.push(if steps > 0 {
+            epoch_loss / steps as f32
+        } else {
+            0.0
+        });
+    }
+    model.set_training(false);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> DynamicIrConfig {
+        DynamicIrConfig {
+            windows: 3,
+            widths: vec![4, 8],
+            stem_kernel: 3,
+            input_size: 16,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn forward_shapes_and_identity() {
+        let m = DynamicIrPredictor::new(tiny_cfg());
+        assert_eq!(m.name(), "DynIR");
+        assert_eq!(m.input_channels(), 3);
+        assert!(!m.uses_netlist());
+        assert!(m.dynamic_config().is_some());
+        assert!(m.lmmir_config().is_none());
+        let x = Var::constant(Tensor::zeros(&[1, 3, 16, 16]));
+        let y = m.forward(&x, None).unwrap();
+        assert_eq!(y.dims(), vec![1, 1, 16, 16]);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_window_count() {
+        let m = DynamicIrPredictor::new(tiny_cfg());
+        let x = Var::constant(Tensor::zeros(&[1, 2, 16, 16]));
+        assert!(m.forward(&x, None).is_err());
+    }
+
+    #[test]
+    fn prediction_is_max_over_windows() {
+        // Feeding W copies of the same window must equal a single-trunk
+        // pass on that window (max of identical values), and the max of
+        // distinct windows must dominate each single-window prediction.
+        let m = DynamicIrPredictor::new(tiny_cfg());
+        m.set_training(false);
+        let mut rng = StdRng::seed_from_u64(3);
+        let one = lmmir_tensor::init::uniform(&[1, 1, 16, 16], 1.0, &mut rng);
+        let mut tiled = Vec::new();
+        for _ in 0..3 {
+            tiled.extend_from_slice(one.data());
+        }
+        let tiled = Var::constant(Tensor::from_vec(tiled, &[1, 3, 16, 16]).unwrap());
+        let single = m.trunk(&Var::constant(one)).unwrap().to_tensor();
+        let combined = m.forward(&tiled, None).unwrap().to_tensor();
+        assert_eq!(single.data(), combined.data());
+
+        let distinct = Var::constant(lmmir_tensor::init::uniform(&[1, 3, 16, 16], 1.0, &mut rng));
+        let per_window: Vec<Tensor> = (0..3)
+            .map(|w| {
+                let win = distinct.slice_axis(1, w, w + 1).unwrap();
+                m.trunk(&win).unwrap().to_tensor()
+            })
+            .collect();
+        let combined = m.forward(&distinct, None).unwrap().to_tensor();
+        for i in 0..combined.numel() {
+            let expect = per_window
+                .iter()
+                .map(|t| t.data()[i])
+                .fold(f32::NEG_INFINITY, f32::max);
+            assert_eq!(combined.data()[i], expect, "pixel {i}");
+        }
+    }
+
+    #[test]
+    fn gradients_flow_to_shared_trunk() {
+        let m = DynamicIrPredictor::new(tiny_cfg());
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Var::constant(lmmir_tensor::init::uniform(&[1, 3, 16, 16], 1.0, &mut rng));
+        m.forward(&x, None).unwrap().sum().backward();
+        let missing = m.parameters().iter().filter(|p| p.grad().is_none()).count();
+        assert_eq!(missing, 0, "all trunk parameters should receive gradient");
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = DynamicIrPredictor::new(tiny_cfg());
+        let b = DynamicIrPredictor::new(tiny_cfg());
+        for (x, y) in a.parameters().iter().zip(&b.parameters()) {
+            assert_eq!(x.value().data(), y.value().data());
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(DynamicIrConfig::quick().validate().is_ok());
+        let mut bad = DynamicIrConfig::quick();
+        bad.windows = 0;
+        assert!(bad.validate().is_err());
+        bad = DynamicIrConfig::quick();
+        bad.windows = MAX_WINDOWS + 1;
+        assert!(bad.validate().is_err());
+        bad = DynamicIrConfig::quick();
+        bad.input_size = 47;
+        assert!(bad.validate().is_err());
+        bad = DynamicIrConfig::quick();
+        bad.widths = vec![8];
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn dynamic_sample_builds_and_trains() {
+        let spec = CaseSpec::new("d", 16, 16, 2, CaseKind::Fake);
+        let sample = build_dynamic_sample(&spec, 3, 16).unwrap();
+        assert_eq!(sample.images.dims(), &[3, 16, 16]);
+        assert_eq!(sample.target.dims(), &[1, 16, 16]);
+        assert!(sample.truth.max() > 0.0);
+        assert!(sample.golden_seconds > 0.0);
+
+        let m = DynamicIrPredictor::new(tiny_cfg());
+        let cfg = TrainConfig {
+            epochs: 6,
+            pretrain_epochs: 0,
+            oversample: (1, 1),
+            ..TrainConfig::quick()
+        };
+        let report = train_dynamic(&m, &[sample], &cfg).unwrap();
+        assert_eq!(report.losses.len(), 6);
+        assert!(
+            report.final_loss() < report.losses[0],
+            "loss should decrease: {:?}",
+            report.losses
+        );
+    }
+
+    #[test]
+    fn dynamic_target_dominates_mean_window_target() {
+        // The max-over-windows truth must sit at or above any single
+        // window's IR — the defining property of the dynamic workload.
+        let spec = CaseSpec::new("dom", 16, 16, 4, CaseKind::Fake);
+        let dyn_case = DynamicCase::generate(&spec, 3);
+        let sample = build_dynamic_sample(&spec, 3, 16).unwrap();
+        let net = dyn_case.window_netlist(0);
+        let ir = solve_ir_drop(&net, CgConfig::default()).unwrap();
+        let map = ir_drop_map(&ir, &net, 16, 16, dyn_case.case.tech.dbu_per_um);
+        for (t, m) in sample.truth.data().iter().zip(map.data()) {
+            assert!(t + 1e-6 >= *m);
+        }
+    }
+}

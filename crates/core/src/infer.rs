@@ -14,7 +14,7 @@ use crate::metrics::{hotspot_mask, HOTSPOT_FRAC};
 use crate::model::IrPredictor;
 use crate::pointcloud::PointCloud;
 use lmmir_features::spatial::{normalize_channel, spatial_adjust, spatial_restore};
-use lmmir_features::{current_map, FeatureStack, Raster, SpatialInfo};
+use lmmir_features::{current_map, FeatureStack, Raster, SpatialInfo, WindowStack};
 use lmmir_pdn::PowerMap;
 use lmmir_spice::Netlist;
 use lmmir_tensor::{Result, Tensor, TensorError, Var};
@@ -27,12 +27,17 @@ use std::time::Instant;
 /// internals are `Rc`-based and pinned to the inference thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InputSpec {
-    /// Image channels the model consumes (1, 3 or 6).
+    /// Image channels the model consumes (1, 3 or 6 for static models;
+    /// the window count W for dynamic models).
     pub channels: usize,
     /// Square input size the model was configured for.
     pub size: usize,
     /// Whether the model consumes the netlist point cloud.
     pub uses_netlist: bool,
+    /// Time windows a dynamic (PowerNet-style) model consumes; `0` marks a
+    /// static model. Non-zero implies `channels == windows` and routes
+    /// preparation through [`prepare_window_parts`].
+    pub windows: usize,
 }
 
 impl InputSpec {
@@ -43,6 +48,7 @@ impl InputSpec {
             channels: model.input_channels(),
             size: model.input_size(),
             uses_netlist: model.uses_netlist(),
+            windows: model.dynamic_config().map_or(0, |c| c.windows),
         }
     }
 }
@@ -95,6 +101,13 @@ pub fn prepare_parts(
     netlist: Option<&Netlist>,
     dbu_per_um: i64,
 ) -> Result<PreparedInput> {
+    if spec.windows > 0 {
+        return Err(TensorError::Io(format!(
+            "model consumes {} per-window power maps, but the request \
+             carried only a static map (see prepare_window_parts)",
+            spec.windows
+        )));
+    }
     let (w, h) = (power.width(), power.height());
     if w == 0 || h == 0 {
         return Err(TensorError::InvalidShape {
@@ -148,6 +161,58 @@ pub fn prepare_parts(
     Ok(PreparedInput {
         images,
         cloud,
+        info,
+    })
+}
+
+/// Prepares a dynamic design given as per-window power maps for a
+/// windows-bearing model input contract.
+///
+/// The produced images are bitwise identical to what
+/// [`crate::build_dynamic_sample`] would produce for the same window
+/// content — both run the same per-window rasterize → adjust → normalize
+/// pipeline ([`WindowStack`]).
+///
+/// # Errors
+///
+/// Returns [`TensorError::Io`] when the spec is not dynamic or the window
+/// count disagrees, and [`TensorError::InvalidShape`] for empty or
+/// mismatched window maps.
+pub fn prepare_window_parts(spec: InputSpec, windows: &[PowerMap]) -> Result<PreparedInput> {
+    if spec.windows == 0 {
+        return Err(TensorError::Io(
+            "static model cannot consume per-window power maps".to_string(),
+        ));
+    }
+    if windows.len() != spec.windows {
+        return Err(TensorError::Io(format!(
+            "model consumes {} windows but the request carried {}",
+            spec.windows,
+            windows.len()
+        )));
+    }
+    if windows.iter().any(|m| m.width() == 0 || m.height() == 0) {
+        return Err(TensorError::InvalidShape {
+            dims: vec![0],
+            reason: "window maps must be non-empty".to_string(),
+        });
+    }
+    let (w0, h0) = (windows[0].width(), windows[0].height());
+    if windows.iter().any(|m| m.width() != w0 || m.height() != h0) {
+        return Err(TensorError::InvalidShape {
+            dims: vec![w0, h0],
+            reason: "window maps must share one size".to_string(),
+        });
+    }
+    let stack = WindowStack::rasterize(windows);
+    let (adj, info) = stack.adjusted_normalized(spec.size);
+    let images = adj
+        .to_tensor()
+        .reshape(&[1, spec.windows, spec.size, spec.size])
+        .expect("adjusted stack is W×size²");
+    Ok(PreparedInput {
+        images,
+        cloud: None,
         info,
     })
 }
@@ -212,6 +277,16 @@ impl<'m> InferenceSession<'m> {
         dbu_per_um: i64,
     ) -> Result<PreparedInput> {
         prepare_parts(self.spec, power, netlist, dbu_per_um)
+    }
+
+    /// Prepares a dynamic design given as per-window power maps (see
+    /// [`prepare_window_parts`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`prepare_window_parts`].
+    pub fn prepare_windows(&self, windows: &[PowerMap]) -> Result<PreparedInput> {
+        prepare_window_parts(self.spec, windows)
     }
 
     /// Prepares a precomputed [`Sample`] (no rasterization; selects the
@@ -363,6 +438,57 @@ mod tests {
             .unwrap();
         assert!(input.cloud.is_some());
         assert!(session.predict(&input).is_ok());
+    }
+
+    #[test]
+    fn window_parts_match_dynamic_sample_bitwise() {
+        use crate::dynamic::{build_dynamic_sample, DynamicIrConfig, DynamicIrPredictor};
+        let spec = CaseSpec::new("dw", 16, 16, 6, CaseKind::Hidden);
+        let sample = build_dynamic_sample(&spec, 3, 16).unwrap();
+        let model = DynamicIrPredictor::new(DynamicIrConfig {
+            windows: 3,
+            widths: vec![4, 8],
+            stem_kernel: 3,
+            input_size: 16,
+            seed: 2,
+        });
+        let session = InferenceSession::new(&model);
+        assert_eq!(session.spec().windows, 3);
+        let dyn_case = lmmir_pdn::DynamicCase::generate(&spec, 3);
+        let prepared = session.prepare_windows(&dyn_case.windows).unwrap();
+        let sample_images = sample.images.reshape(&[1, 3, 16, 16]).unwrap();
+        assert_eq!(prepared.images.data(), sample_images.data());
+        assert_eq!(prepared.info, sample.info);
+        assert!(session.predict(&prepared).is_ok());
+    }
+
+    #[test]
+    fn dynamic_spec_rejects_static_preparation_and_vice_versa() {
+        use crate::dynamic::{DynamicIrConfig, DynamicIrPredictor};
+        let case = CaseSpec::new("dx", 16, 16, 1, CaseKind::Fake).generate();
+        let model = DynamicIrPredictor::new(DynamicIrConfig {
+            windows: 2,
+            widths: vec![4, 8],
+            stem_kernel: 3,
+            input_size: 16,
+            seed: 1,
+        });
+        let session = InferenceSession::new(&model);
+        let err = session
+            .prepare(&case.power, Some(&case.netlist), case.tech.dbu_per_um)
+            .unwrap_err();
+        assert!(err.to_string().contains("per-window"), "got {err}");
+        // Wrong window count is rejected.
+        let err = session
+            .prepare_windows(std::slice::from_ref(&case.power))
+            .unwrap_err();
+        assert!(err.to_string().contains("2 windows"), "got {err}");
+        // Static models reject window payloads.
+        let static_model = irpnet(16, 3);
+        let static_session = InferenceSession::new(&static_model);
+        assert!(static_session
+            .prepare_windows(&[case.power.clone(), case.power.clone()])
+            .is_err());
     }
 
     #[test]

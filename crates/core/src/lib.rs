@@ -50,6 +50,7 @@ pub mod blocks;
 pub mod capabilities;
 pub mod checkpoint;
 pub mod data;
+pub mod dynamic;
 pub mod fixer;
 pub mod infer;
 pub mod lnt;
@@ -66,9 +67,13 @@ pub use checkpoint::{
     load_meta, load_predictor, restore_parameters, save_predictor, split_meta, CheckpointMeta,
 };
 pub use data::{build_dataset, build_sample, oversample_indices, Sample, TARGET_SCALE};
+pub use dynamic::{
+    build_dynamic_sample, train_dynamic, DynamicIrConfig, DynamicIrPredictor, DynamicSample,
+};
 pub use fixer::{predict_case, suggest_pad_fixes, PadFix};
 pub use infer::{
-    prepare_parts, restore_prediction, InferenceSession, InputSpec, Prediction, PreparedInput,
+    prepare_parts, prepare_window_parts, restore_prediction, InferenceSession, InputSpec,
+    Prediction, PreparedInput,
 };
 pub use lnt::{Lnt, LntConfig};
 pub use metrics::{

@@ -36,6 +36,14 @@ pub trait IrPredictor {
         None
     }
 
+    /// The dynamic (PowerNet-style) configuration, for models of that
+    /// family. Serialized into a `config.dynamic` checkpoint entry so a
+    /// trained dynamic predictor reconstructs its window count and trunk
+    /// plan exactly. Static models return `None`.
+    fn dynamic_config(&self) -> Option<&crate::dynamic::DynamicIrConfig> {
+        None
+    }
+
     /// Predicts an IR-drop map `[N, 1, H, W]` from images `[N, C, H, W]`
     /// and (for multimodal models) the netlist point cloud.
     ///

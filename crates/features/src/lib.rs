@@ -42,6 +42,7 @@ pub mod raster;
 pub mod spatial;
 pub mod stack;
 pub mod violations;
+pub mod windows;
 
 pub use fingerprint::Fnv1a;
 pub use maps::{
@@ -52,3 +53,4 @@ pub use raster::Raster;
 pub use spatial::{normalize_channel, pad_to, resize_bilinear, spatial_adjust, SpatialInfo};
 pub use stack::{FeatureChannel, FeatureStack};
 pub use violations::{check_budget, find_violations, ViolationRegion, ViolationReport};
+pub use windows::WindowStack;

@@ -151,6 +151,19 @@ impl CaseSpec {
         }
     }
 
+    /// The netlist-builder options this spec implies. Exposed so dynamic
+    /// workloads can rebuild the PDN against per-window power maps with
+    /// identical geometry (see [`crate::vectors`]).
+    #[must_use]
+    pub fn build_options(&self) -> BuildOptions {
+        BuildOptions {
+            pad_pitch_um: self.pad_pitch_um,
+            pad_keepout: self.pad_keepout,
+            weak_via_region: self.weak_via_region,
+            extra_pads: self.extra_pads.clone(),
+        }
+    }
+
     /// Generates the case: synthesizes the power map and builds the netlist.
     #[must_use]
     pub fn generate(&self) -> Case {
@@ -162,14 +175,8 @@ impl CaseSpec {
             self.total_current,
             &mut rng,
         );
-        let opts = BuildOptions {
-            pad_pitch_um: self.pad_pitch_um,
-            pad_keepout: self.pad_keepout,
-            weak_via_region: self.weak_via_region,
-            extra_pads: self.extra_pads.clone(),
-        };
         let tech = PdnTech::standard();
-        let netlist = build_netlist(&tech, &power, &opts);
+        let netlist = build_netlist(&tech, &power, &self.build_options());
         Case {
             spec: self.clone(),
             tech,

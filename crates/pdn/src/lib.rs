@@ -31,9 +31,11 @@ pub mod contest;
 pub mod export;
 pub mod power;
 pub mod tech;
+pub mod vectors;
 
 pub use builder::{build_netlist, BuildOptions};
 pub use contest::{hidden_suite, training_suite, Case, CaseKind, CaseSpec, TESTCASE_SHAPES};
 pub use export::{export_case, export_suite, ExportError};
 pub use power::PowerMap;
 pub use tech::{LayerDir, LayerSpec, PdnTech};
+pub use vectors::{DynamicCase, DynamicWorkload, VectorSpec, MAX_WINDOWS};

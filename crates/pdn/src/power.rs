@@ -126,6 +126,61 @@ impl PowerMap {
     pub fn peak(&self) -> f64 {
         self.data.iter().copied().fold(0.0, f64::max)
     }
+
+    /// Adds `k * other` into this map, pixelwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the maps have different dimensions.
+    pub fn add_scaled(&mut self, other: &PowerMap, k: f64) {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "power map size mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += k * b;
+        }
+    }
+
+    /// Multiplies every pixel by `k`.
+    pub fn scale(&mut self, k: f64) {
+        for v in &mut self.data {
+            *v *= k;
+        }
+    }
+
+    /// Raises each pixel to the max of itself and `other` (pixelwise max).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the maps have different dimensions.
+    pub fn max_in_place(&mut self, other: &PowerMap) {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "power map size mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a = a.max(*b);
+        }
+    }
+
+    /// Pixelwise maximum over a set of maps — the *envelope* a set of
+    /// per-window power maps induces (PowerNet's worst-case instantaneous
+    /// draw per pixel).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `maps` is empty or dimensions disagree.
+    #[must_use]
+    pub fn envelope(maps: &[PowerMap]) -> PowerMap {
+        let mut out = maps.first().expect("envelope of no maps").clone();
+        for m in &maps[1..] {
+            out.max_in_place(m);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -185,5 +240,30 @@ mod tests {
     #[should_panic(expected = "size mismatch")]
     fn from_vec_validates() {
         let _ = PowerMap::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn add_scaled_and_scale_combine_linearly() {
+        let mut a = PowerMap::from_vec(2, 1, vec![1.0, 2.0]);
+        let b = PowerMap::from_vec(2, 1, vec![10.0, 20.0]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.data(), &[6.0, 12.0]);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[12.0, 24.0]);
+    }
+
+    #[test]
+    fn envelope_is_pixelwise_max() {
+        let a = PowerMap::from_vec(2, 1, vec![1.0, 5.0]);
+        let b = PowerMap::from_vec(2, 1, vec![3.0, 2.0]);
+        let e = PowerMap::envelope(&[a, b]);
+        assert_eq!(e.data(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn max_in_place_validates_shape() {
+        let mut a = PowerMap::zeros(2, 2);
+        a.max_in_place(&PowerMap::zeros(3, 2));
     }
 }

@@ -26,12 +26,12 @@
 //! the re-encode.
 
 use crate::cache::{LruCache, ResultCache};
-use crate::metrics::{Health, Metrics};
+use crate::metrics::{model_label, Health, Metrics};
 use crate::proto::{PredictRequest, PredictResponse};
 use crate::registry::{ModelRegistry, RegistrySpec};
 use crate::server::ServeConfig;
 use crate::ServeError;
-use lmm_ir::{prepare_parts, InferenceSession, InputSpec, PreparedInput};
+use lmm_ir::{prepare_parts, prepare_window_parts, InferenceSession, InputSpec, PreparedInput};
 use lmmir_spice::Netlist;
 use std::rc::Rc;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
@@ -81,6 +81,23 @@ pub enum Job {
 /// Returns a client-visible message for an unparsable netlist or a request
 /// the model contract cannot consume.
 pub fn prepare_request(spec: InputSpec, request: &PredictRequest) -> Result<PreparedInput, String> {
+    if spec.windows > 0 {
+        // Dynamic model: consume the per-window block. A request without
+        // one is a client mistake worth a precise message — the model
+        // cannot fall back to the static envelope.
+        if request.windows.is_empty() {
+            return Err(format!(
+                "model consumes {} per-window power maps but the request \
+                 carried none (dynamic requests append the window block \
+                 after the netlist field)",
+                spec.windows
+            ));
+        }
+        return prepare_window_parts(spec, &request.window_maps()).map_err(|e| e.to_string());
+    }
+    // Static model: consume the (envelope) power map and netlist; any
+    // per-window block rides along ignored, so one dynamic design can be
+    // served by both families.
     let netlist = match &request.netlist {
         Some(text) => {
             Some(Netlist::parse_str(text).map_err(|e| format!("netlist does not parse: {e}"))?)
@@ -94,6 +111,32 @@ pub fn prepare_request(spec: InputSpec, request: &PredictRequest) -> Result<Prep
         i64::from(request.dbu_per_um),
     )
     .map_err(|e| e.to_string())
+}
+
+/// Reorders a drained batch's groups so forward passes **interleave
+/// across models** round-robin: `[A1 A2 A3 B1 B2]` runs as
+/// `[A1 B1 A2 B2 A3]`. Within one model the first-seen order is kept, so
+/// replies stay deterministic; across models no family waits for another
+/// family's whole backlog — a slow dynamic forward cannot starve static
+/// traffic queued in the same drain cycle.
+pub fn interleave_groups<T>(groups: Vec<T>, model_of: impl Fn(&T) -> String) -> Vec<T> {
+    let mut lanes: Vec<(String, std::collections::VecDeque<T>)> = Vec::new();
+    for group in groups {
+        let model = model_of(&group);
+        match lanes.iter_mut().find(|(name, _)| *name == model) {
+            Some((_, lane)) => lane.push_back(group),
+            None => lanes.push((model, std::collections::VecDeque::from([group]))),
+        }
+    }
+    let mut out = Vec::new();
+    while lanes.iter().any(|(_, lane)| !lane.is_empty()) {
+        for (_, lane) in &mut lanes {
+            if let Some(group) = lane.pop_front() {
+                out.push(group);
+            }
+        }
+    }
+    out
 }
 
 /// Runs the inference loop until the job channel disconnects.
@@ -253,6 +296,7 @@ fn process_batch(
             .canonical_name(&job.request.model)
             .map(str::to_string)
         else {
+            Metrics::dec(&metrics.model(model_label(&job.request.model)).queue_depth);
             (job.reply)(Err(format!(
                 "unknown model '{}' (loaded: {})",
                 job.request.model,
@@ -273,6 +317,26 @@ fn process_batch(
             }),
         }
     }
+
+    // Record each model's share of this drain, then interleave the groups
+    // across models so no family's forwards wait behind another family's
+    // whole backlog within the cycle.
+    {
+        let mut counted: Vec<&str> = Vec::new();
+        for i in 0..groups.len() {
+            if counted.contains(&groups[i].model.as_str()) {
+                continue;
+            }
+            let jobs: usize = groups
+                .iter()
+                .filter(|g| g.model == groups[i].model)
+                .map(|g| g.jobs.len())
+                .sum();
+            metrics.model(&groups[i].model).observe_batch(jobs);
+            counted.push(groups[i].model.as_str());
+        }
+    }
+    let mut groups = interleave_groups(groups, |g| g.model.clone());
 
     // Resolve cached features per group; collect the misses.
     let mut prepared: Vec<Option<(Rc<PreparedInput>, bool)>> = Vec::with_capacity(groups.len());
@@ -320,6 +384,7 @@ fn process_batch(
                 // group) and notify every job now; `take` consumes the
                 // one-shot notifiers.
                 for job in std::mem::take(&mut groups[*gi].jobs) {
+                    Metrics::dec(&metrics.model(model_label(&job.request.model)).queue_depth);
                     (job.reply)(Err(msg.clone()));
                     Metrics::inc(&metrics.predict_error_total);
                 }
@@ -336,7 +401,11 @@ fn process_batch(
             .resolve(&group.model)
             .expect("group built from resolvable jobs");
         let session = InferenceSession::new(loaded.model.as_ref());
+        let forward_started = Instant::now();
         let outcome = session.predict(&input).map_err(|e| e.to_string());
+        metrics
+            .model(&group.model)
+            .observe_forward(forward_started.elapsed());
         // Encode the frame exactly once per group: duplicates and future
         // result-cache hits all share these bytes by `Arc`.
         let frame = match &outcome {
@@ -374,6 +443,7 @@ fn process_batch(
             }
         }
         for job in group.jobs {
+            Metrics::dec(&metrics.model(model_label(&job.request.model)).queue_depth);
             let reply = match (&frame, &outcome) {
                 (Some(frame), _) => {
                     Metrics::inc(&metrics.predict_ok_total);
@@ -387,5 +457,24 @@ fn process_batch(
             };
             (job.reply)(reply);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_round_robins_across_models_preserving_lane_order() {
+        let groups = vec!["A1", "A2", "A3", "B1", "B2"];
+        let order = interleave_groups(groups, |g| g[..1].to_string());
+        assert_eq!(order, vec!["A1", "B1", "A2", "B2", "A3"]);
+    }
+
+    #[test]
+    fn interleave_is_identity_for_a_single_model() {
+        let groups = vec!["A1", "A2", "A3"];
+        let order = interleave_groups(groups, |g| g[..1].to_string());
+        assert_eq!(order, vec!["A1", "A2", "A3"]);
     }
 }

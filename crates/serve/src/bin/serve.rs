@@ -10,6 +10,7 @@
 //!       [--health-interval-ms N] [--fail-threshold K] [--forwarders N]
 //!       [--no-respawn] [--addr A]
 //! serve demo-ckpt PATH [--arch IREDGe] [--size 16] [--epochs 2] [--cases 2] [--seed 7]
+//!       [--windows 4]   (--arch DynIR: per-window dynamic IR model)
 //! ```
 //!
 //! Environment fallbacks: `LMMIR_SERVE_ADDR`, `LMMIR_MAX_BATCH`,
@@ -19,7 +20,8 @@
 //! `LMMIR_WATCH_CHECKPOINTS`, `LMMIR_WATCH_INTERVAL_MS` (flags win).
 
 use lmm_ir::{
-    build_sample, save_predictor, train, CheckpointMeta, LmmIr, LmmIrConfig, TrainConfig,
+    build_dynamic_sample, build_sample, save_predictor, train, train_dynamic, CheckpointMeta,
+    DynamicIrConfig, DynamicIrPredictor, LmmIr, LmmIrConfig, TrainConfig,
 };
 use lmmir_pdn::{CaseKind, CaseSpec};
 use lmmir_serve::{
@@ -39,8 +41,8 @@ fn usage() -> ExitCode {
          [--worker-addr HOST:PORT ...] [--addr A] [--health-interval-ms N] \
          [--fail-threshold K] [--forwarders N] [--probe-timeout-ms N] \
          [--respawn-backoff-ms N] [--no-respawn] + worker flags to pass through\n  \
-         serve demo-ckpt PATH [--arch IREDGe|IRPnet|LMM-IR|'1st Place'|'2nd Place'] \
-         [--size 16] [--widths 12,24,48] [--epochs 2] [--cases 2] [--seed 7]"
+         serve demo-ckpt PATH [--arch IREDGe|IRPnet|LMM-IR|DynIR|'1st Place'|'2nd Place'] \
+         [--size 16] [--widths 12,24,48] [--windows 4] [--epochs 2] [--cases 2] [--seed 7]"
     );
     ExitCode::from(2)
 }
@@ -333,6 +335,8 @@ fn demo_ckpt(args: &[String]) -> ExitCode {
     let mut cases = 2usize;
     let mut seed = 7u64;
     let mut widths: Option<Vec<usize>> = None;
+    let mut windows = 4usize;
+    let mut windows_set = false;
     for (name, value) in &flags {
         let result: Result<(), String> = match name.as_str() {
             "arch" => {
@@ -348,12 +352,23 @@ fn demo_ckpt(args: &[String]) -> ExitCode {
                 .map(|w| parse("widths", w.trim()))
                 .collect::<Result<Vec<usize>, _>>()
                 .map(|v| widths = Some(v)),
+            "windows" => parse("windows", value).map(|v| {
+                windows = v;
+                windows_set = true;
+            }),
             other => Err(format!("unknown flag --{other}")),
         };
         if let Err(e) = result {
             eprintln!("serve: {e}");
             return usage();
         }
+    }
+    if windows_set && arch != "DynIR" {
+        eprintln!("serve: --windows only configures --arch DynIR");
+        return ExitCode::FAILURE;
+    }
+    if arch == "DynIR" {
+        return demo_dynamic_ckpt(path, size, windows, widths, epochs, cases, seed);
     }
     let channels = match arch.as_str() {
         "IREDGe" => 3,
@@ -365,7 +380,7 @@ fn demo_ckpt(args: &[String]) -> ExitCode {
         }
     };
     if widths.is_some() && arch != "LMM-IR" {
-        eprintln!("serve: --widths only configures --arch LMM-IR");
+        eprintln!("serve: --widths only configures --arch LMM-IR or DynIR");
         return ExitCode::FAILURE;
     }
     // A custom width plan produces a *full-config* (format v3) checkpoint:
@@ -389,6 +404,7 @@ fn demo_ckpt(args: &[String]) -> ExitCode {
             input_channels: channels,
             input_size: size,
             config: None,
+            dynamic: None,
             quant_scales: Default::default(),
         };
         match instantiate(&meta) {
@@ -437,6 +453,76 @@ fn demo_ckpt(args: &[String]) -> ExitCode {
     }
     eprintln!(
         "[serve] wrote {path}: {arch} ({channels} channels, {size} px), \
+         trained {epochs} epoch(s) on {cases} generated case(s)"
+    );
+    ExitCode::SUCCESS
+}
+
+/// The `demo-ckpt --arch DynIR` path: generates vector-based dynamic
+/// workloads, golden-solves every window for the max-over-windows targets,
+/// and writes a full-config (v4 `config.dynamic`) checkpoint.
+fn demo_dynamic_ckpt(
+    path: &str,
+    size: usize,
+    windows: usize,
+    widths: Option<Vec<usize>>,
+    epochs: usize,
+    cases: usize,
+    seed: u64,
+) -> ExitCode {
+    let mut cfg = DynamicIrConfig {
+        windows,
+        input_size: size,
+        seed,
+        ..DynamicIrConfig::quick()
+    };
+    if let Some(widths) = widths {
+        cfg.widths = widths;
+    }
+    if let Err(e) = cfg.validate() {
+        eprintln!("serve: invalid DynIR config: {e}");
+        return ExitCode::FAILURE;
+    }
+    let model = DynamicIrPredictor::new(cfg);
+    let samples: Result<Vec<_>, _> = (0..cases)
+        .map(|i| {
+            build_dynamic_sample(
+                &CaseSpec::new(
+                    format!("demo{i}"),
+                    size,
+                    size,
+                    seed + i as u64,
+                    CaseKind::Fake,
+                ),
+                windows,
+                size,
+            )
+        })
+        .collect();
+    let samples = match samples {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: dynamic demo case generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let train_cfg = TrainConfig {
+        epochs,
+        pretrain_epochs: 0,
+        oversample: (1, 1),
+        seed,
+        ..TrainConfig::quick()
+    };
+    if let Err(e) = train_dynamic(&model, &samples, &train_cfg) {
+        eprintln!("serve: dynamic demo training failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = save_predictor(&model, path) {
+        eprintln!("serve: saving checkpoint failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[serve] wrote {path}: DynIR ({windows} windows, {size} px), \
          trained {epochs} epoch(s) on {cases} generated case(s)"
     );
     ExitCode::SUCCESS

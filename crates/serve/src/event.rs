@@ -52,7 +52,7 @@
 use crate::batch::{Job, PredictJob};
 use crate::cache::ResultCache;
 use crate::http::{self, Parsed, Request};
-use crate::metrics::{Health, Metrics, MetricsExtra};
+use crate::metrics::{model_label, Health, Metrics, MetricsExtra};
 use crate::proto::{PredictRequest, PredictResponse};
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
@@ -666,6 +666,11 @@ impl EventLoop {
             }
         };
         let fingerprint = request.fingerprint();
+        // Per-model traffic accounting uses the *requested* name (the
+        // label clients see); result-cache hits count as requests but
+        // never enter the queue.
+        let series = self.ctx.metrics.model(model_label(&request.model));
+        Metrics::inc(&series.requests_total);
 
         // Layer 1: the result cache. A hit writes the already-encoded
         // frame without enqueueing a job — the inference thread never
@@ -694,7 +699,12 @@ impl EventLoop {
             fingerprint,
             reply: self.notifier(id, seq, Event::Predict),
         });
+        // Gauge up *before* the send so the inference thread can never
+        // observe (and decrement for) a job the gauge missed; a failed
+        // send backs the increment out.
+        Metrics::inc(&series.queue_depth);
         if self.ctx.job_tx.send(job).is_err() {
+            Metrics::dec(&series.queue_depth);
             conn.respond(
                 503,
                 "application/octet-stream",

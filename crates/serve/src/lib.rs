@@ -94,10 +94,10 @@ pub mod shard;
 mod event;
 mod server;
 
-pub use batch::prepare_request;
+pub use batch::{interleave_groups, prepare_request};
 pub use cache::{result_cache, LruCache, ResultCache};
 pub use client::Client;
-pub use metrics::{Health, LoadState, Metrics, MetricsExtra};
+pub use metrics::{model_label, Health, LoadState, Metrics, MetricsExtra, ModelSeries};
 pub use proto::{PredictRequest, PredictResponse};
 pub use registry::{instantiate, ModelRegistry, ModelSpec, RegistrySpec};
 pub use server::{ServeConfig, Server};

@@ -2,6 +2,7 @@
 //! histogram, rendered as Prometheus-style text at `GET /metrics` — plus
 //! the [`Health`] readiness state `GET /healthz` reports.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -12,6 +13,100 @@ const BUCKET_BOUNDS_US: [u64; 15] = [
     100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
     1_000_000, 2_500_000, 10_000_000,
 ];
+
+/// Upper bounds of the per-model batch-size buckets. The final bucket is
+/// open-ended.
+const BATCH_BUCKET_BOUNDS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// The `model="…"` label a request's (possibly empty) model field renders
+/// under: the empty default route gets its own label rather than an empty
+/// string.
+#[must_use]
+pub fn model_label(name: &str) -> &str {
+    if name.is_empty() {
+        "default"
+    } else {
+        name
+    }
+}
+
+/// Per-model serving counters, rendered as `{model="…"}`-labelled series.
+/// One model family must not be able to hide behind another's aggregate:
+/// a slow dynamic forward shows up in *its* latency histogram, and a
+/// starved queue shows up in *its* depth gauge.
+#[derive(Debug, Default)]
+pub struct ModelSeries {
+    /// Predict requests addressed to this model (counted at dispatch,
+    /// including result-cache hits and requests that later fail).
+    pub requests_total: AtomicU64,
+    /// Predict jobs currently queued for (or in flight on) the inference
+    /// thread for this model (gauge).
+    pub queue_depth: AtomicU64,
+    /// Batch-size histogram: jobs of this model per drained batch.
+    batch_buckets: [AtomicU64; BATCH_BUCKET_BOUNDS.len() + 1],
+    batch_jobs_sum: AtomicU64,
+    batch_count: AtomicU64,
+    /// Forward-pass latency histogram (one observation per group forward).
+    forward_buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    forward_sum_us: AtomicU64,
+    forward_count: AtomicU64,
+}
+
+impl ModelSeries {
+    /// Records this model's share of one drained batch (`jobs ≥ 1`).
+    pub fn observe_batch(&self, jobs: usize) {
+        let idx = BATCH_BUCKET_BOUNDS
+            .iter()
+            .position(|&b| jobs as u64 <= b)
+            .unwrap_or(BATCH_BUCKET_BOUNDS.len());
+        self.batch_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.batch_jobs_sum
+            .fetch_add(jobs as u64, Ordering::Relaxed);
+        self.batch_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one forward-pass latency for this model.
+    pub fn observe_forward(&self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.forward_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.forward_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.forward_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Approximate forward-latency quantile in seconds (bucket upper
+    /// bound; `None` before any observation).
+    #[must_use]
+    pub fn forward_quantile(&self, q: f64) -> Option<f64> {
+        let total = self.forward_count.load(Ordering::Relaxed);
+        if total == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.forward_buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                let bound_us = BUCKET_BOUNDS_US
+                    .get(i)
+                    .copied()
+                    .unwrap_or(BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1] * 10);
+                return Some(bound_us as f64 / 1e6);
+            }
+        }
+        None
+    }
+
+    /// Forward passes recorded so far.
+    #[must_use]
+    pub fn forwards(&self) -> u64 {
+        self.forward_count.load(Ordering::Relaxed)
+    }
+}
 
 /// Shared server counters. Every field is monotonically increasing (except
 /// the gauges noted), updated with relaxed atomics — consistency between
@@ -70,6 +165,10 @@ pub struct Metrics {
     /// The acceptor deals each new connection to the loop with the lowest
     /// gauge, so one saturated loop stops receiving work while others idle.
     loop_connections: Mutex<Vec<Arc<AtomicU64>>>,
+    /// Per-model series keyed by [`model_label`], created lazily on the
+    /// first request naming a model. `BTreeMap` so `/metrics` renders the
+    /// labels in a stable sorted order.
+    model_series: Mutex<BTreeMap<String, Arc<ModelSeries>>>,
     /// End-to-end predict latency histogram (handler-observed).
     latency_buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
     latency_sum_us: AtomicU64,
@@ -109,6 +208,30 @@ impl Metrics {
     /// server startup) so `render` can expose them as labelled series.
     pub fn set_loop_gauges(&self, gauges: Vec<Arc<AtomicU64>>) {
         *self.loop_connections.lock().expect("loop gauge lock") = gauges;
+    }
+
+    /// The per-model series for `label` (see [`model_label`]), created on
+    /// first use. The returned handle is lock-free to update; only this
+    /// lookup takes the (short) table lock.
+    #[must_use]
+    pub fn model(&self, label: &str) -> Arc<ModelSeries> {
+        let mut table = self.model_series.lock().expect("model series lock");
+        Arc::clone(
+            table
+                .entry(label.to_string())
+                .or_insert_with(|| Arc::new(ModelSeries::default())),
+        )
+    }
+
+    /// Snapshot of the per-model series, sorted by label.
+    #[must_use]
+    pub fn model_snapshot(&self) -> Vec<(String, Arc<ModelSeries>)> {
+        self.model_series
+            .lock()
+            .expect("model series lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
     }
 
     /// Records one drained batch of `jobs` predict jobs.
@@ -267,6 +390,56 @@ impl Metrics {
             "predict_latency_seconds_count",
             g(&self.latency_count).to_string(),
         );
+        // Per-model series: requests, queue depth, batch-size histogram
+        // and forward latency, each labelled `{model="…"}` so one family's
+        // regression cannot hide inside another's aggregate.
+        for (name, s) in self.model_snapshot() {
+            line(
+                &format!("requests_total{{model=\"{name}\"}}"),
+                g(&s.requests_total).to_string(),
+            );
+            line(
+                &format!("model_queue_depth{{model=\"{name}\"}}"),
+                g(&s.queue_depth).to_string(),
+            );
+            let mut cumulative = 0u64;
+            for (i, bound) in BATCH_BUCKET_BOUNDS.iter().enumerate() {
+                cumulative += s.batch_buckets[i].load(Ordering::Relaxed);
+                line(
+                    &format!("model_batch_size_bucket{{model=\"{name}\",le=\"{bound}\"}}"),
+                    cumulative.to_string(),
+                );
+            }
+            cumulative += s.batch_buckets[BATCH_BUCKET_BOUNDS.len()].load(Ordering::Relaxed);
+            line(
+                &format!("model_batch_size_bucket{{model=\"{name}\",le=\"+Inf\"}}"),
+                cumulative.to_string(),
+            );
+            line(
+                &format!("model_batch_size_sum{{model=\"{name}\"}}"),
+                g(&s.batch_jobs_sum).to_string(),
+            );
+            line(
+                &format!("model_batch_size_count{{model=\"{name}\"}}"),
+                g(&s.batch_count).to_string(),
+            );
+            for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
+                if let Some(v) = s.forward_quantile(q) {
+                    line(
+                        &format!("model_forward_seconds{{model=\"{name}\",quantile=\"{label}\"}}"),
+                        format!("{v:.6}"),
+                    );
+                }
+            }
+            line(
+                &format!("model_forward_seconds_sum{{model=\"{name}\"}}"),
+                format!("{:.6}", g(&s.forward_sum_us) as f64 / 1e6),
+            );
+            line(
+                &format!("model_forward_seconds_count{{model=\"{name}\"}}"),
+                g(&s.forward_count).to_string(),
+            );
+        }
         out
     }
 }
@@ -464,6 +637,46 @@ mod tests {
         ] {
             assert!(text.contains(key), "missing {key} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn per_model_series_render_with_labels() {
+        let m = Metrics::new();
+        assert_eq!(model_label(""), "default");
+        assert_eq!(model_label("dyn"), "dyn");
+        let stat = m.model("static");
+        let dynamic = m.model("dyn");
+        assert!(Arc::ptr_eq(&m.model("static"), &stat), "handle is stable");
+        Metrics::inc(&stat.requests_total);
+        Metrics::inc(&stat.requests_total);
+        Metrics::inc(&dynamic.requests_total);
+        Metrics::inc(&dynamic.queue_depth);
+        stat.observe_batch(3);
+        stat.observe_batch(5);
+        dynamic.observe_batch(1);
+        dynamic.observe_forward(Duration::from_millis(40));
+        assert!((dynamic.forward_quantile(0.5).unwrap() - 50e-3).abs() < 1e-9);
+        assert_eq!(dynamic.forwards(), 1);
+        assert_eq!(stat.forward_quantile(0.5), None);
+        let text = m.render();
+        for key in [
+            "lmmir_requests_total{model=\"static\"} 2",
+            "lmmir_requests_total{model=\"dyn\"} 1",
+            "lmmir_model_queue_depth{model=\"dyn\"} 1",
+            "lmmir_model_batch_size_bucket{model=\"static\",le=\"4\"} 1",
+            "lmmir_model_batch_size_bucket{model=\"static\",le=\"+Inf\"} 2",
+            "lmmir_model_batch_size_sum{model=\"static\"} 8",
+            "lmmir_model_batch_size_count{model=\"static\"} 2",
+            "lmmir_model_forward_seconds{model=\"dyn\",quantile=\"0.99\"}",
+            "lmmir_model_forward_seconds_count{model=\"dyn\"} 1",
+        ] {
+            assert!(text.contains(key), "missing {key} in:\n{text}");
+        }
+        // Labels render sorted ("default" < "dyn" < "static" would, here
+        // "dyn" < "static"), keeping scrape diffs stable.
+        let dyn_at = text.find("model=\"dyn\"").unwrap();
+        let stat_at = text.find("model=\"static\"").unwrap();
+        assert!(dyn_at < stat_at, "sorted label order:\n{text}");
     }
 
     #[test]

@@ -11,7 +11,16 @@
 //! magic "LMIQ" | u8 version | u16 model_len, model | u16 design_len, design
 //! | u32 width | u32 height | u32 dbu_per_um | f32 power[width*height]
 //! | u8 has_netlist | (u32 netlist_len, netlist SPICE text)
+//! | [u16 window_count | f32 window[width*height] × count]     (optional)
 //! ```
+//!
+//! The per-window block carries a dynamic (PowerNet-style) workload: one
+//! toggle-weighted power map per time window, appended **after** the
+//! netlist field and encoded only when present. The decoder branches on
+//! remaining bytes, so a VERSION 1 static frame (which ends at the
+//! netlist) still parses byte-for-byte — old clients need no changes. A
+//! dynamic request still fills `power` with the windows' envelope, so the
+//! same design can be routed to a static model unchanged.
 //!
 //! ### Response
 //!
@@ -24,7 +33,7 @@
 
 use crate::ServeError;
 use lmmir_features::Fnv1a;
-use lmmir_pdn::{Case, PowerMap};
+use lmmir_pdn::{Case, DynamicCase, PowerMap, MAX_WINDOWS};
 use lmmir_spice::Netlist;
 
 const REQUEST_MAGIC: &[u8; 4] = b"LMIQ";
@@ -41,6 +50,10 @@ pub const MAX_PIXELS: u64 = 1 << 24;
 pub const MAX_NETLIST: usize = 64 << 20;
 /// Largest accepted database-unit scale (the contest uses 2000 dbu/µm).
 pub const MAX_DBU_PER_UM: u32 = 1_000_000;
+/// Most pixels accepted *summed over all per-window maps* of one request —
+/// the same budget a static map gets, so a dynamic request cannot ask the
+/// allocator for more than any static one could.
+pub const MAX_WINDOW_PIXELS: u64 = MAX_PIXELS;
 
 /// Default database units per µm when a caller builds a request without a
 /// technology in hand (`lmmir_pdn::PdnTech::standard()` uses the same).
@@ -64,6 +77,11 @@ pub struct PredictRequest {
     /// SPICE netlist text; required by models that consume netlist-derived
     /// feature channels or the point-cloud modality.
     pub netlist: Option<String>,
+    /// Per-window toggle-weighted power maps (`width × height` values
+    /// each), present only for dynamic (PowerNet-style) requests. When
+    /// non-empty, `power` holds the windows' envelope so static models can
+    /// still serve the design.
+    pub windows: Vec<Vec<f32>>,
 }
 
 impl PredictRequest {
@@ -81,6 +99,7 @@ impl PredictRequest {
             dbu_per_um: DEFAULT_DBU_PER_UM,
             power: power.data().iter().map(|&v| v as f32).collect(),
             netlist: netlist.map(Netlist::to_spice),
+            windows: Vec::new(),
         }
     }
 
@@ -90,6 +109,21 @@ impl PredictRequest {
     pub fn from_case(case: &Case) -> Self {
         let mut req = PredictRequest::from_parts(&case.spec.id, &case.power, Some(&case.netlist));
         req.dbu_per_um = u32::try_from(case.tech.dbu_per_um).unwrap_or(DEFAULT_DBU_PER_UM);
+        req
+    }
+
+    /// Builds a dynamic request from a generated vector workload: `power`
+    /// carries the envelope (so a static model can serve the same bytes),
+    /// the netlist matches the envelope, and the per-window maps ride in
+    /// [`PredictRequest::windows`].
+    #[must_use]
+    pub fn from_dynamic_case(dyn_case: &DynamicCase) -> Self {
+        let mut req = PredictRequest::from_case(&dyn_case.case);
+        req.windows = dyn_case
+            .windows
+            .iter()
+            .map(|w| w.data().iter().map(|&v| v as f32).collect())
+            .collect();
         req
     }
 
@@ -103,6 +137,23 @@ impl PredictRequest {
             self.height as usize,
             self.power.iter().map(|&v| f64::from(v)).collect(),
         )
+    }
+
+    /// The per-window maps as solver-precision [`PowerMap`]s (exact `f32 →
+    /// f64` widening, same as [`PredictRequest::power_map`]); empty for a
+    /// static request.
+    #[must_use]
+    pub fn window_maps(&self) -> Vec<PowerMap> {
+        self.windows
+            .iter()
+            .map(|w| {
+                PowerMap::from_vec(
+                    self.width as usize,
+                    self.height as usize,
+                    w.iter().map(|&v| f64::from(v)).collect(),
+                )
+            })
+            .collect()
     }
 
     /// Content fingerprint of the design payload (dimensions, bit-exact
@@ -125,6 +176,17 @@ impl PredictRequest {
             }
             None => h.write_u64(0),
         }
+        // Static requests hash exactly as they always did (nothing is
+        // written for an absent window block), so existing cache keys and
+        // shard-hash ranges survive the protocol extension.
+        if !self.windows.is_empty() {
+            h.write_u64(self.windows.len() as u64);
+            for window in &self.windows {
+                for &v in window {
+                    h.write_f32(v);
+                }
+            }
+        }
         h.finish()
     }
 
@@ -145,6 +207,22 @@ impl PredictRequest {
                 nl.len()
             );
         }
+        if !self.windows.is_empty() {
+            assert!(
+                self.windows.len() <= MAX_WINDOWS,
+                "{} windows exceed protocol cap {MAX_WINDOWS}",
+                self.windows.len()
+            );
+            let pixels = self.power.len();
+            assert!(
+                self.windows.iter().all(|w| w.len() == pixels),
+                "every window must carry width×height values"
+            );
+            assert!(
+                (self.windows.len() * pixels) as u64 <= MAX_WINDOW_PIXELS,
+                "window payload exceeds {MAX_WINDOW_PIXELS} total pixels"
+            );
+        }
         let mut out = Vec::with_capacity(32 + self.power.len() * 4);
         out.extend_from_slice(REQUEST_MAGIC);
         out.push(VERSION);
@@ -163,6 +241,14 @@ impl PredictRequest {
                 out.extend_from_slice(nl.as_bytes());
             }
             None => out.push(0),
+        }
+        if !self.windows.is_empty() {
+            out.extend_from_slice(&(self.windows.len() as u16).to_le_bytes());
+            for window in &self.windows {
+                for &v in window {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
         }
         out
     }
@@ -204,6 +290,29 @@ impl PredictRequest {
             }
             other => return Err(proto(format!("bad has_netlist flag {other}"))),
         };
+        // Optional dynamic block: a VERSION 1 static frame ends right
+        // here, so the branch keys on whether any bytes remain.
+        let windows = if r.remaining() == 0 {
+            Vec::new()
+        } else {
+            let count = r.u16()? as usize;
+            if count == 0 || count > MAX_WINDOWS {
+                return Err(proto(format!(
+                    "window count {count} outside 1..={MAX_WINDOWS}"
+                )));
+            }
+            if (count as u64) * (pixels as u64) > MAX_WINDOW_PIXELS {
+                return Err(proto(format!(
+                    "{count} windows of {pixels} pixels exceed \
+                     {MAX_WINDOW_PIXELS} total pixels"
+                )));
+            }
+            let mut windows = Vec::with_capacity(count);
+            for _ in 0..count {
+                windows.push(r.f32s(pixels)?);
+            }
+            windows
+        };
         r.finish()?;
         Ok(PredictRequest {
             model,
@@ -213,6 +322,7 @@ impl PredictRequest {
             dbu_per_um,
             power,
             netlist,
+            windows,
         })
     }
 }
@@ -398,6 +508,10 @@ impl<'a> Cursor<'a> {
             .collect())
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn finish(&self) -> Result<(), ServeError> {
         if self.pos != self.buf.len() {
             return Err(proto(format!(
@@ -476,6 +590,68 @@ mod tests {
         let dims_at = 4 + 1 + 2 + "demo".len() + 2 + 1;
         huge[dims_at..dims_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(PredictRequest::decode(&huge).is_err());
+    }
+
+    fn dynamic_request() -> PredictRequest {
+        let dyn_case = DynamicCase::generate(&CaseSpec::new("dd", 10, 8, 11, CaseKind::Fake), 3);
+        let mut req = PredictRequest::from_dynamic_case(&dyn_case);
+        req.model = "dyn".to_string();
+        req
+    }
+
+    #[test]
+    fn dynamic_request_round_trips_with_windows() {
+        let req = dynamic_request();
+        assert_eq!(req.windows.len(), 3);
+        let back = PredictRequest::decode(&req.encode()).unwrap();
+        assert_eq!(req, back);
+        assert_eq!(req.fingerprint(), back.fingerprint());
+        // The window maps widen exactly, like the envelope does.
+        let maps = back.window_maps();
+        assert_eq!(maps.len(), 3);
+        assert_eq!(maps[0].width(), 10);
+        assert_eq!(maps[0].height(), 8);
+    }
+
+    #[test]
+    fn windows_change_the_fingerprint_but_static_hash_is_stable() {
+        let with = dynamic_request();
+        let mut without = with.clone();
+        without.windows.clear();
+        assert_ne!(with.fingerprint(), without.fingerprint());
+        // A static request built the old way hashes identically to one
+        // whose (empty) window field simply exists: the extension must not
+        // shift existing cache keys or shard ranges.
+        let legacy = PredictRequest::decode(&without.encode()).unwrap();
+        assert_eq!(legacy.fingerprint(), without.fingerprint());
+        // And two different window payloads on the same envelope differ.
+        let mut other = with.clone();
+        other.windows[1][0] += 1.0;
+        assert_ne!(with.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn hostile_window_blocks_are_rejected() {
+        let req = dynamic_request();
+        let good = req.encode();
+        // Truncations inside the window block fail cleanly.
+        for cut in [good.len() - 1, good.len() - 4 * 10 * 8, good.len() - 2] {
+            assert!(PredictRequest::decode(&good[..cut]).is_err(), "cut {cut}");
+        }
+        // A zero window count is rejected (present block must be non-empty).
+        let mut zero = req.clone();
+        zero.windows.clear();
+        let mut frame = zero.encode();
+        frame.extend_from_slice(&0u16.to_le_bytes());
+        assert!(PredictRequest::decode(&frame).is_err());
+        // A count over the cap is rejected before any window allocation.
+        let mut frame = zero.encode();
+        frame.extend_from_slice(&(MAX_WINDOWS as u16 + 1).to_le_bytes());
+        assert!(PredictRequest::decode(&frame).is_err());
+        // Trailing garbage after the window block is rejected too.
+        let mut long = good;
+        long.push(0);
+        assert!(PredictRequest::decode(&long).is_err());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use crate::ServeError;
 use lmm_ir::{
     first_place, iredge, irpnet, restore_parameters, second_place, split_meta, CheckpointMeta,
-    IrPredictor, LmmIr, LmmIrConfig,
+    DynamicIrConfig, DynamicIrPredictor, IrPredictor, LmmIr, LmmIrConfig,
 };
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -113,10 +113,29 @@ pub fn instantiate(meta: &CheckpointMeta) -> Result<Box<dyn IrPredictor>, ServeE
             })?;
             Box::new(LmmIr::new(cfg))
         }
+        "DynIR" => {
+            // A dynamic checkpoint with a recorded trunk plan (the
+            // `config.dynamic` entry) rebuilds exactly; without one, the
+            // window count is pinned by the channel metadata and the trunk
+            // falls back to the quick() plan — matching what a writer
+            // without the config entry could have produced.
+            let cfg = match &meta.dynamic {
+                Some(cfg) => cfg.clone(),
+                None => DynamicIrConfig {
+                    windows: meta.input_channels,
+                    input_size: size,
+                    ..DynamicIrConfig::quick()
+                },
+            };
+            cfg.validate().map_err(|e| {
+                ServeError::Registry(format!("cannot build DynIR at {size} px: {e}"))
+            })?;
+            Box::new(DynamicIrPredictor::new(cfg))
+        }
         other => {
             return Err(ServeError::Registry(format!(
                 "checkpoint names unknown architecture '{other}' \
-                 (known: IREDGe, 1st Place, 2nd Place, IRPnet, LMM-IR)"
+                 (known: IREDGe, 1st Place, 2nd Place, IRPnet, LMM-IR, DynIR)"
             )))
         }
     };
@@ -320,12 +339,14 @@ mod tests {
             ("2nd Place", 6),
             ("IRPnet", 1),
             ("LMM-IR", 6),
+            ("DynIR", 4),
         ] {
             let meta = CheckpointMeta {
                 model: name.to_string(),
                 input_channels: channels,
                 input_size: 16,
                 config: None,
+                dynamic: None,
                 quant_scales: Default::default(),
             };
             let model = instantiate(&meta).unwrap();
@@ -362,6 +383,7 @@ mod tests {
             input_channels: 6,
             input_size: 16,
             config: Some(cfg),
+            dynamic: None,
             quant_scales: Default::default(),
         };
         let built = instantiate(&meta).unwrap();
@@ -473,12 +495,40 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_checkpoint_round_trips_through_registry() {
+        let cfg = DynamicIrConfig {
+            windows: 3,
+            widths: vec![4, 8],
+            stem_kernel: 3,
+            input_size: 16,
+            seed: 21,
+        };
+        let model = DynamicIrPredictor::new(cfg.clone());
+        let path = tmp("reg_dyn.lmmt");
+        save_predictor(&model, &path).unwrap();
+        let reg = ModelRegistry::load(RegistrySpec::single("dyn", &path)).unwrap();
+        let loaded = reg.resolve("dyn").unwrap();
+        assert_eq!(loaded.meta.model, "DynIR");
+        assert_eq!(loaded.meta.dynamic.as_ref(), Some(&cfg));
+        assert_eq!(loaded.model.input_channels(), 3);
+        // The recorded trunk plan rebuilds exactly: weights restore
+        // bit-for-bit (a quick()-width fallback could not hold them).
+        let (orig, srv) = (model.parameters(), loaded.model.parameters());
+        assert_eq!(orig.len(), srv.len());
+        for (a, b) in orig.iter().zip(&srv) {
+            assert_eq!(a.value().data(), b.value().data());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn rejects_unknown_architecture_and_channel_mismatch() {
         let meta = CheckpointMeta {
             model: "ResNet".to_string(),
             input_channels: 3,
             input_size: 16,
             config: None,
+            dynamic: None,
             quant_scales: Default::default(),
         };
         assert!(instantiate(&meta).is_err());
@@ -487,6 +537,7 @@ mod tests {
             input_channels: 6,
             input_size: 16,
             config: None,
+            dynamic: None,
             quant_scales: Default::default(),
         };
         assert!(instantiate(&meta).is_err());

@@ -315,7 +315,7 @@ impl Server {
         let health = Health::new();
         let (job_tx, job_rx) = mpsc::channel::<Job>();
 
-        let launched = shard::launch(spec, job_rx, &shutdown, &health)?;
+        let launched = shard::launch(spec, job_rx, &shutdown, &health, &metrics)?;
         let router = Arc::clone(&launched.router);
 
         let (acceptor, event_loops) = start_frontend(

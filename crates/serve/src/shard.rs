@@ -50,7 +50,7 @@
 
 use crate::batch::{Job, PredictJob};
 use crate::client::{self, Client};
-use crate::metrics::{Health, MetricsExtra};
+use crate::metrics::{model_label, Health, Metrics, MetricsExtra};
 use crate::ServeError;
 use lmmir_features::Fnv1a;
 use std::collections::HashMap;
@@ -328,6 +328,7 @@ pub(crate) fn launch(
     jobs: Receiver<Job>,
     shutdown: &Arc<AtomicBool>,
     health: &Arc<Health>,
+    metrics: &Arc<Metrics>,
 ) -> Result<Launched, ServeError> {
     if spec.spawn.is_empty() && spec.attach.is_empty() {
         return Err(ServeError::Config(
@@ -382,10 +383,11 @@ pub(crate) fn launch(
     for k in 0..pool {
         let router = Arc::clone(&router);
         let jobs = Arc::clone(&jobs);
+        let metrics = Arc::clone(metrics);
         threads.push(
             std::thread::Builder::new()
                 .name(format!("lmmir-forward-{k}"))
-                .spawn(move || run_forwarder(&router, &jobs))?,
+                .spawn(move || run_forwarder(&router, &jobs, &metrics))?,
         );
     }
 
@@ -406,7 +408,7 @@ pub(crate) fn launch(
 
 /// One forwarder thread: drains the shared job queue and proxies each job
 /// to a worker, retrying predicts on the next live shard in ring order.
-fn run_forwarder(router: &Arc<Router>, jobs: &Arc<Mutex<Receiver<Job>>>) {
+fn run_forwarder(router: &Arc<Router>, jobs: &Arc<Mutex<Receiver<Job>>>, metrics: &Arc<Metrics>) {
     // Persistent keep-alive connection per shard, so proxied predicts ride
     // warm connections and the workers' keep-alive path stays exercised.
     let mut clients: HashMap<usize, Client> = HashMap::new();
@@ -419,7 +421,12 @@ fn run_forwarder(router: &Arc<Router>, jobs: &Arc<Mutex<Receiver<Job>>>) {
             rx.recv()
         };
         match job {
-            Ok(Job::Predict(p)) => forward_predict(router, &mut clients, p),
+            Ok(Job::Predict(p)) => {
+                // The front end gauged the job up at dispatch; the proxy
+                // replies exactly once below, so this balances it.
+                Metrics::dec(&metrics.model(model_label(&p.request.model)).queue_depth);
+                forward_predict(router, &mut clients, p);
+            }
             Ok(Job::Reload(reply)) => reply(forward_reload(router)),
             Err(_) => return, // front end drained and dropped its senders
         }
