@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# Builds the release binaries the serving smoke jobs exercise.
+set -euo pipefail
+cargo build --release -p lmmir-serve -p lmmir-bench --bin serve --bin loadgen

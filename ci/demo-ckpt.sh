@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Trains and checkpoints a tiny demo model for the smoke jobs.
+#
+#   ci/demo-ckpt.sh PATH ARCH [extra serve demo-ckpt args...]
+#
+# Defaults match the CI regime (32 px, 1 epoch); extra args override or
+# extend (e.g. --widths 8,16 --cases 1 for the full-config LMM-IR).
+set -euo pipefail
+path=$1
+arch=$2
+shift 2
+target/release/serve demo-ckpt "$path" --arch "$arch" --size 32 --epochs 1 "$@"

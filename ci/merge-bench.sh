@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Merges guard/loadgen JSON records into a tracked benchmark file:
+#
+#   ci/merge-bench.sh TARGET.json key=file.json [key=file.json ...]
+#
+# Each record lands under its key; the special key `flat` merges the
+# record's top-level fields directly into TARGET (used to fold a
+# kernels-guard section back into the committed BENCH_kernels.json).
+# A missing TARGET starts from an empty object.
+set -euo pipefail
+target=$1
+shift
+python3 - "$target" "$@" <<'EOF'
+import json
+import sys
+
+target = sys.argv[1]
+try:
+    with open(target) as f:
+        bench = json.load(f)
+except FileNotFoundError:
+    bench = {}
+for spec in sys.argv[2:]:
+    key, path = spec.split("=", 1)
+    with open(path) as f:
+        record = json.load(f)
+    if key == "flat":
+        bench.update(record)
+    else:
+        bench[key] = record
+with open(target, "w") as f:
+    json.dump(bench, f, indent=2)
+    f.write("\n")
+EOF
+cat "$target"

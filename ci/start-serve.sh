@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Starts a serve instance in the background and blocks until /healthz
+# answers (up to 30 s), so smoke steps never race the listener.
+#
+#   ci/start-serve.sh ADDR [serve args...]
+set -euo pipefail
+addr=$1
+shift
+target/release/serve --addr "$addr" "$@" &
+for _ in $(seq 1 60); do
+  if curl -fsS "http://$addr/healthz" > /dev/null 2>&1; then
+    exit 0
+  fi
+  sleep 0.5
+done
+echo "serve at $addr never became healthy" >&2
+exit 1

@@ -330,6 +330,10 @@ impl<'m> InferenceSession<'m> {
         let images = Var::constant(images);
         let t0 = Instant::now();
         let pred = self.model.forward(&images, cloud)?;
+        // Serving boundary: force any pending fused chain *inside* the
+        // timed region, so TAT measures the full compute rather than
+        // deferring the tail onto whoever reads the prediction next.
+        pred.value().force();
         let tat = t0.elapsed().as_secs_f64();
         Ok((pred.to_tensor(), tat))
     }

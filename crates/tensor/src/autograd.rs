@@ -8,6 +8,14 @@
 //!
 //! The graph is a DAG of `Rc` nodes built per forward pass and freed when the
 //! loss variable is dropped, mirroring PyTorch's define-by-run semantics.
+//!
+//! Values are lazy [`Tensor`]s (see [`crate::lazy`]): elementwise forward
+//! chains record fused programs instead of materializing per-op buffers, and
+//! the backward closures in [`crate::ops`] build their gradients from the
+//! same lazy ops, so backward chains (relu masks, sigmoid/tanh derivative
+//! products, accumulated `add_assign` sums) fuse too. Results are bitwise
+//! identical to the historical eager evaluation; reductions, matmul, conv,
+//! and the optimizer's reads realize buffers at the usual boundaries.
 
 use crate::tensor::Tensor;
 use std::cell::{Ref, RefCell};
@@ -129,7 +137,8 @@ impl Var {
         self.0.value.borrow()
     }
 
-    /// Deep copy of the current value.
+    /// Copy of the current value (cheap: the buffer is shared
+    /// copy-on-write and any pending fused chain stays pending).
     #[must_use]
     pub fn to_tensor(&self) -> Tensor {
         self.0.value.borrow().clone()

@@ -34,6 +34,7 @@ pub mod conv;
 pub mod error;
 pub mod init;
 pub mod io;
+pub mod lazy;
 pub mod linalg;
 pub mod ops;
 pub mod optim;

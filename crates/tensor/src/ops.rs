@@ -137,7 +137,8 @@ impl Var {
             out,
             vec![self.clone()],
             Box::new(move |g| {
-                let mask = x.value().map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                // Lazy mask: fuses with the multiply into one backward loop.
+                let mask = x.value().relu_mask();
                 vec![Some(g.mul(&mask).expect("same shape"))]
             }),
         )
@@ -146,13 +147,15 @@ impl Var {
     /// Elementwise logistic sigmoid.
     #[must_use]
     pub fn sigmoid(&self) -> Var {
-        let y = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
+        let y = self.value().sigmoid();
         let saved = y.clone();
         Var::from_op(
             y,
             vec![self.clone()],
             Box::new(move |g| {
-                let dy = saved.map(|s| s * (1.0 - s));
+                // s * (1 - s), recorded lazily so it fuses with g's chain.
+                let one_minus = Tensor::scalar(1.0).sub(&saved).expect("same shape");
+                let dy = saved.mul(&one_minus).expect("same shape");
                 vec![Some(g.mul(&dy).expect("same shape"))]
             }),
         )
@@ -161,13 +164,15 @@ impl Var {
     /// Elementwise hyperbolic tangent.
     #[must_use]
     pub fn tanh(&self) -> Var {
-        let y = self.value().map(f32::tanh);
+        let y = self.value().tanh();
         let saved = y.clone();
         Var::from_op(
             y,
             vec![self.clone()],
             Box::new(move |g| {
-                let dy = saved.map(|s| 1.0 - s * s);
+                let dy = Tensor::scalar(1.0)
+                    .sub(&saved.square())
+                    .expect("same shape");
                 vec![Some(g.mul(&dy).expect("same shape"))]
             }),
         )
@@ -176,7 +181,7 @@ impl Var {
     /// Elementwise exponential.
     #[must_use]
     pub fn exp(&self) -> Var {
-        let y = self.value().map(f32::exp);
+        let y = self.value().exp();
         let saved = y.clone();
         Var::from_op(
             y,
@@ -188,7 +193,7 @@ impl Var {
     /// Elementwise natural logarithm.
     #[must_use]
     pub fn ln(&self) -> Var {
-        let y = self.value().map(f32::ln);
+        let y = self.value().ln();
         let x = self.clone();
         Var::from_op(
             y,
@@ -200,13 +205,16 @@ impl Var {
     /// Elementwise square root.
     #[must_use]
     pub fn sqrt(&self) -> Var {
-        let y = self.value().map(f32::sqrt);
+        let y = self.value().sqrt();
         let saved = y.clone();
         Var::from_op(
             y,
             vec![self.clone()],
             Box::new(move |g| {
-                let dy = saved.map(|s| 0.5 / s.max(1e-12));
+                // 0.5 / max(s, 1e-12) — same guard as the historical eager
+                // closure, recorded as two fusable scalar-operand ops.
+                let guarded = saved.maximum(&Tensor::scalar(1e-12)).expect("same shape");
+                let dy = Tensor::scalar(0.5).div(&guarded).expect("same shape");
                 vec![Some(g.mul(&dy).expect("same shape"))]
             }),
         )
@@ -229,7 +237,7 @@ impl Var {
     /// Elementwise square (`x * x` without a second graph edge).
     #[must_use]
     pub fn square(&self) -> Var {
-        let y = self.value().map(|v| v * v);
+        let y = self.value().square();
         let x = self.clone();
         Var::from_op(
             y,

@@ -1,14 +1,24 @@
 //! The dense, contiguous, row-major `f32` tensor and its raw kernels.
+//!
+//! Elementwise ops are **lazy**: they record nodes into the op graph of
+//! [`crate::lazy`] and fuse into single loops when the buffer is first
+//! needed. Everything else (reductions, shape ops, the linalg/conv kernels)
+//! realizes its inputs and computes eagerly, exactly as before the lazy
+//! runtime existed — results are bitwise identical either way.
 
 use crate::error::TensorError;
+use crate::lazy::{self, BinOp, LazyNode, UnaryOp};
 use crate::shape::{broadcast_shapes, check_axis, numel, strides, BroadcastIter};
 use crate::Result;
 use std::fmt;
+use std::sync::Arc;
 
 /// A dense n-dimensional `f32` array in row-major (C) order.
 ///
 /// `Tensor` carries no gradient information — see [`crate::Var`] for the
-/// autograd wrapper. Cloning a tensor deep-copies its buffer.
+/// autograd wrapper. Cloning a tensor is cheap (the buffer is shared and
+/// copied on write); mutation through [`Tensor::data_mut`] / [`Tensor::set`]
+/// never affects clones.
 ///
 /// ```
 /// use lmmir_tensor::Tensor;
@@ -19,13 +29,39 @@ use std::fmt;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Tensor {
     dims: Vec<usize>,
-    data: Vec<f32>,
+    node: Arc<LazyNode>,
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.dims == other.dims && self.data() == other.data()
+    }
 }
 
 impl Tensor {
+    /// Internal: realized tensor over an exact-length buffer.
+    fn leaf(dims: Vec<usize>, data: Vec<f32>) -> Self {
+        debug_assert_eq!(data.len(), numel(&dims));
+        Tensor {
+            dims,
+            node: LazyNode::leaf(data),
+        }
+    }
+
+    /// Internal: lazy (or eager-bypass) elementwise unary over `self`.
+    fn lazy_unary(&self, op: UnaryOp) -> Self {
+        if lazy::eager_mode() {
+            return Tensor::leaf(self.dims.clone(), lazy::unary_eager(op, self.data()));
+        }
+        Tensor {
+            dims: self.dims.clone(),
+            node: LazyNode::unary(op, self.node.clone()),
+        }
+    }
+
     /// Creates a tensor from a flat buffer and a shape.
     ///
     /// # Errors
@@ -40,19 +76,13 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Tensor {
-            dims: dims.to_vec(),
-            data,
-        })
+        Ok(Tensor::leaf(dims.to_vec(), data))
     }
 
     /// All-zeros tensor of the given shape.
     #[must_use]
     pub fn zeros(dims: &[usize]) -> Self {
-        Tensor {
-            dims: dims.to_vec(),
-            data: vec![0.0; numel(dims)],
-        }
+        Tensor::leaf(dims.to_vec(), vec![0.0; numel(dims)])
     }
 
     /// All-ones tensor of the given shape.
@@ -64,38 +94,29 @@ impl Tensor {
     /// Tensor filled with a constant.
     #[must_use]
     pub fn full(dims: &[usize], value: f32) -> Self {
-        Tensor {
-            dims: dims.to_vec(),
-            data: vec![value; numel(dims)],
-        }
+        Tensor::leaf(dims.to_vec(), vec![value; numel(dims)])
     }
 
     /// Rank-0 scalar tensor.
     #[must_use]
     pub fn scalar(value: f32) -> Self {
-        Tensor {
-            dims: Vec::new(),
-            data: vec![value],
-        }
+        Tensor::leaf(Vec::new(), vec![value])
     }
 
     /// `n × n` identity matrix.
     #[must_use]
     pub fn eye(n: usize) -> Self {
-        let mut t = Tensor::zeros(&[n, n]);
+        let mut data = vec![0.0; n * n];
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            data[i * n + i] = 1.0;
         }
-        t
+        Tensor::leaf(vec![n, n], data)
     }
 
     /// Evenly spaced values `[0, 1, ..., n-1]` as a rank-1 tensor.
     #[must_use]
     pub fn arange(n: usize) -> Self {
-        Tensor {
-            dims: vec![n],
-            data: (0..n).map(|i| i as f32).collect(),
-        }
+        Tensor::leaf(vec![n], (0..n).map(|i| i as f32).collect())
     }
 
     /// Shape of the tensor.
@@ -110,27 +131,51 @@ impl Tensor {
         self.dims.len()
     }
 
-    /// Total number of elements.
+    /// Total number of elements. Does not force realization.
     #[must_use]
     pub fn numel(&self) -> usize {
-        self.data.len()
+        self.node.numel()
     }
 
-    /// Read-only view of the flat buffer.
+    /// Forces any pending fused chain to compute (idempotent), then returns
+    /// `self`. Useful at module/serving boundaries where timing or memory
+    /// footprint should reflect finished work; plain reads via
+    /// [`Tensor::data`] realize on their own.
+    pub fn force(&self) -> &Self {
+        lazy::realize(&self.node);
+        self
+    }
+
+    /// True when the buffer has been computed (i.e. no fused chain is
+    /// pending on this tensor).
+    #[must_use]
+    pub fn is_realized(&self) -> bool {
+        self.node.is_realized()
+    }
+
+    /// Read-only view of the flat buffer (realizes any pending chain).
     #[must_use]
     pub fn data(&self) -> &[f32] {
-        &self.data
+        lazy::realize(&self.node)
     }
 
-    /// Mutable view of the flat buffer.
+    /// Mutable view of the flat buffer. Realizes first; unshares the buffer
+    /// (copy-on-write) when clones exist.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        lazy::realize(&self.node);
+        let n = Arc::make_mut(&mut self.node);
+        n.clear_expr();
+        n.buf_mut().as_mut_slice()
     }
 
     /// Consumes the tensor and returns its flat buffer.
     #[must_use]
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        lazy::realize(&self.node);
+        match Arc::try_unwrap(self.node) {
+            Ok(mut n) => n.take_buf(),
+            Err(shared) => shared.buf_ref().clone(),
+        }
     }
 
     /// Value at a multi-dimensional index.
@@ -141,7 +186,7 @@ impl Tensor {
     /// debugging accessor; hot paths index the flat buffer directly).
     #[must_use]
     pub fn at(&self, index: &[usize]) -> f32 {
-        self.data[self.flat_index(index)]
+        self.data()[self.flat_index(index)]
     }
 
     /// Writes a value at a multi-dimensional index.
@@ -151,7 +196,7 @@ impl Tensor {
     /// Panics when `index` has the wrong rank or is out of bounds.
     pub fn set(&mut self, index: &[usize], value: f32) {
         let i = self.flat_index(index);
-        self.data[i] = value;
+        self.data_mut()[i] = value;
     }
 
     fn flat_index(&self, index: &[usize]) -> usize {
@@ -179,30 +224,32 @@ impl Tensor {
     #[must_use]
     pub fn item(&self) -> f32 {
         assert_eq!(
-            self.data.len(),
+            self.numel(),
             1,
             "item() requires a single-element tensor, got shape {:?}",
             self.dims
         );
-        self.data[0]
+        self.data()[0]
     }
 
     // ---------------------------------------------------------------------
     // Unary ops
     // ---------------------------------------------------------------------
 
-    /// Applies `f` elementwise, producing a new tensor.
+    /// Applies `f` elementwise, producing a new tensor. Arbitrary closures
+    /// cannot be recorded into the fused graph, so this realizes and
+    /// computes eagerly — prefer the named ops where fusion matters.
     #[must_use]
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Tensor {
-            dims: self.dims.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Tensor::leaf(
+            self.dims.clone(),
+            self.data().iter().map(|&x| f(x)).collect(),
+        )
     }
 
     /// Applies `f` elementwise in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
+        for v in self.data_mut() {
             *v = f(*v);
         }
     }
@@ -210,72 +257,114 @@ impl Tensor {
     /// Elementwise negation.
     #[must_use]
     pub fn neg(&self) -> Self {
-        self.map(|x| -x)
+        self.lazy_unary(UnaryOp::Neg)
     }
 
     /// Elementwise `max(x, 0)`.
     #[must_use]
     pub fn relu(&self) -> Self {
-        self.map(|x| x.max(0.0))
+        self.lazy_unary(UnaryOp::Relu)
+    }
+
+    /// Elementwise `x > 0 ? 1 : 0` — the relu backward mask.
+    #[must_use]
+    pub fn relu_mask(&self) -> Self {
+        self.lazy_unary(UnaryOp::GtzMask)
+    }
+
+    /// Elementwise logistic sigmoid `1 / (1 + e^-x)`.
+    #[must_use]
+    pub fn sigmoid(&self) -> Self {
+        self.lazy_unary(UnaryOp::Sigmoid)
+    }
+
+    /// Elementwise hyperbolic tangent.
+    #[must_use]
+    pub fn tanh(&self) -> Self {
+        self.lazy_unary(UnaryOp::Tanh)
+    }
+
+    /// Elementwise `e^x`.
+    #[must_use]
+    pub fn exp(&self) -> Self {
+        self.lazy_unary(UnaryOp::Exp)
+    }
+
+    /// Elementwise natural logarithm.
+    #[must_use]
+    pub fn ln(&self) -> Self {
+        self.lazy_unary(UnaryOp::Ln)
+    }
+
+    /// Elementwise square root.
+    #[must_use]
+    pub fn sqrt(&self) -> Self {
+        self.lazy_unary(UnaryOp::Sqrt)
+    }
+
+    /// Elementwise `x * x`.
+    #[must_use]
+    pub fn square(&self) -> Self {
+        self.lazy_unary(UnaryOp::Square)
     }
 
     /// Elementwise scaling by a constant.
     #[must_use]
     pub fn scale(&self, k: f32) -> Self {
-        self.map(|x| x * k)
+        self.lazy_unary(UnaryOp::ScalarRhs(BinOp::Mul, k))
     }
 
     /// Elementwise addition of a constant.
     #[must_use]
     pub fn add_scalar(&self, k: f32) -> Self {
-        self.map(|x| x + k)
+        self.lazy_unary(UnaryOp::ScalarRhs(BinOp::Add, k))
     }
 
     /// Clamps every element into `[lo, hi]`.
     #[must_use]
     pub fn clamp(&self, lo: f32, hi: f32) -> Self {
-        self.map(|x| x.clamp(lo, hi))
+        self.lazy_unary(UnaryOp::Clamp(lo, hi))
     }
 
     // ---------------------------------------------------------------------
     // Binary broadcast ops
     // ---------------------------------------------------------------------
 
-    fn binary(&self, rhs: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Self> {
+    fn binary(&self, rhs: &Tensor, name: &'static str, op: BinOp) -> Result<Self> {
         if self.dims == rhs.dims {
-            // Fast path: identical shapes.
-            let data = self
-                .data
-                .iter()
-                .zip(&rhs.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect();
+            // Fast path: identical shapes — records a fused graph node.
+            if lazy::eager_mode() {
+                return Ok(Tensor::leaf(
+                    self.dims.clone(),
+                    lazy::binary_eager(op, self.data(), rhs.data()),
+                ));
+            }
             return Ok(Tensor {
                 dims: self.dims.clone(),
-                data,
+                node: LazyNode::binary(op, self.node.clone(), rhs.node.clone()),
             });
         }
-        if rhs.data.len() == 1 {
-            // Fast path: rhs scalar.
-            let b = rhs.data[0];
-            return Ok(self.map(|a| f(a, b)));
+        if rhs.numel() == 1 {
+            // Fast path: rhs scalar folds into a unary (keeps self's shape).
+            let b = rhs.data()[0];
+            return Ok(self.lazy_unary(UnaryOp::ScalarRhs(op, b)));
         }
-        if self.data.len() == 1 {
-            let a = self.data[0];
-            let mut out = rhs.map(|b| f(a, b));
+        if self.numel() == 1 {
+            let a = self.data()[0];
+            let mut out = rhs.lazy_unary(UnaryOp::ScalarLhs(op, a));
             // Result shape follows broadcasting (scalar lhs adopts rhs shape).
-            out.dims = broadcast_shapes(&self.dims, &rhs.dims, op)?;
+            out.dims = broadcast_shapes(&self.dims, &rhs.dims, name)?;
             return Ok(out);
         }
-        let out_dims = broadcast_shapes(&self.dims, &rhs.dims, op)?;
+        // General broadcast: a gather pattern the fused elementwise programs
+        // do not express — realize and fall back to the eager kernel.
+        let out_dims = broadcast_shapes(&self.dims, &rhs.dims, name)?;
+        let (a, b) = (self.data(), rhs.data());
         let mut data = Vec::with_capacity(numel(&out_dims));
         for (ai, bi) in BroadcastIter::new(&out_dims, &self.dims, &rhs.dims) {
-            data.push(f(self.data[ai], rhs.data[bi]));
+            data.push(op.apply(a[ai], b[bi]));
         }
-        Ok(Tensor {
-            dims: out_dims,
-            data,
-        })
+        Ok(Tensor::leaf(out_dims, data))
     }
 
     /// Broadcast elementwise addition.
@@ -285,7 +374,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when shapes are not
     /// broadcast-compatible.
     pub fn add(&self, rhs: &Tensor) -> Result<Self> {
-        self.binary(rhs, "add", |a, b| a + b)
+        self.binary(rhs, "add", BinOp::Add)
     }
 
     /// Broadcast elementwise subtraction.
@@ -294,7 +383,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] on incompatible shapes.
     pub fn sub(&self, rhs: &Tensor) -> Result<Self> {
-        self.binary(rhs, "sub", |a, b| a - b)
+        self.binary(rhs, "sub", BinOp::Sub)
     }
 
     /// Broadcast elementwise multiplication.
@@ -303,7 +392,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] on incompatible shapes.
     pub fn mul(&self, rhs: &Tensor) -> Result<Self> {
-        self.binary(rhs, "mul", |a, b| a * b)
+        self.binary(rhs, "mul", BinOp::Mul)
     }
 
     /// Broadcast elementwise division.
@@ -312,7 +401,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] on incompatible shapes.
     pub fn div(&self, rhs: &Tensor) -> Result<Self> {
-        self.binary(rhs, "div", |a, b| a / b)
+        self.binary(rhs, "div", BinOp::Div)
     }
 
     /// Broadcast elementwise maximum.
@@ -321,10 +410,13 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] on incompatible shapes.
     pub fn maximum(&self, rhs: &Tensor) -> Result<Self> {
-        self.binary(rhs, "maximum", f32::max)
+        self.binary(rhs, "maximum", BinOp::Max)
     }
 
     /// Accumulates `rhs` into `self` (shapes must match exactly).
+    ///
+    /// Lazily rebinds `self` to `self + rhs`, so gradient-accumulation
+    /// chains fuse; the sum is computed when the buffer is next read.
     ///
     /// # Errors
     ///
@@ -337,9 +429,14 @@ impl Tensor {
                 op: "add_assign",
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += b;
+        if lazy::eager_mode() {
+            let src = rhs.data();
+            for (a, &b) in self.data_mut().iter_mut().zip(src) {
+                *a += b;
+            }
+            return Ok(());
         }
+        self.node = LazyNode::binary(BinOp::Add, self.node.clone(), rhs.node.clone());
         Ok(())
     }
 
@@ -350,29 +447,32 @@ impl Tensor {
     /// Sum of all elements.
     #[must_use]
     pub fn sum_all(&self) -> f32 {
-        self.data.iter().sum()
+        self.data().iter().sum()
     }
 
     /// Mean of all elements (0 for an empty tensor).
     #[must_use]
     pub fn mean_all(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.numel() == 0 {
             0.0
         } else {
-            self.sum_all() / self.data.len() as f32
+            self.sum_all() / self.numel() as f32
         }
     }
 
     /// Maximum element (−∞ for an empty tensor).
     #[must_use]
     pub fn max_all(&self) -> f32 {
-        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element (+∞ for an empty tensor).
     #[must_use]
     pub fn min_all(&self) -> f32 {
-        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
     }
 
     /// Sum along `axes`. When `keepdim` is true the reduced axes remain with
@@ -389,18 +489,17 @@ impl Tensor {
         for &a in axes {
             reduced[a] = 1;
         }
-        let mut out = Tensor::zeros(&reduced);
+        let mut out = vec![0.0f32; numel(&reduced)];
         let out_strides = strides(&reduced);
-        let in_strides = strides(&self.dims);
         // Walk the input space; fold each element into its reduced slot.
         let mut idx = vec![0usize; self.rank()];
-        for &v in &self.data {
+        for &v in self.data() {
             let mut off = 0;
             for (ax, &i) in idx.iter().enumerate() {
                 let j = if reduced[ax] == 1 { 0 } else { i };
                 off += j * out_strides[ax];
             }
-            out.data[off] += v;
+            out[off] += v;
             // Odometer increment.
             for ax in (0..self.rank()).rev() {
                 idx[ax] += 1;
@@ -410,21 +509,18 @@ impl Tensor {
                 idx[ax] = 0;
             }
         }
-        let _ = in_strides;
-        if !keepdim {
-            let kept: Vec<usize> = self
-                .dims
+        let out_dims = if keepdim {
+            reduced
+        } else {
+            // Reducing every axis yields a scalar (empty dims).
+            self.dims
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| !axes.contains(i))
                 .map(|(_, &d)| d)
-                .collect();
-            out.dims = kept;
-            if out.dims.is_empty() {
-                // Reducing every axis yields a scalar.
-            }
-        }
-        Ok(out)
+                .collect()
+        };
+        Ok(Tensor::leaf(out_dims, out))
     }
 
     /// Mean along `axes`; see [`Tensor::sum_axes`].
@@ -480,7 +576,6 @@ impl Tensor {
         }
         let mut out = self.sum_axes(&axes, true)?;
         out.dims = target_dims.to_vec();
-        out.data.shrink_to_fit();
         Ok(out)
     }
 
@@ -488,22 +583,24 @@ impl Tensor {
     // Shape manipulation
     // ---------------------------------------------------------------------
 
-    /// Returns a tensor with the same data and a new shape.
+    /// Returns a tensor with the same data and a new shape. O(1): the buffer
+    /// (or pending fused chain) is shared copy-on-write, so fusion flows
+    /// through reshapes.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::LengthMismatch`] when element counts differ.
     pub fn reshape(&self, dims: &[usize]) -> Result<Self> {
         let expected = numel(dims);
-        if expected != self.data.len() {
+        if expected != self.numel() {
             return Err(TensorError::LengthMismatch {
                 expected,
-                actual: self.data.len(),
+                actual: self.numel(),
             });
         }
         Ok(Tensor {
             dims: dims.to_vec(),
-            data: self.data.clone(),
+            node: self.node.clone(),
         })
     }
 
@@ -534,14 +631,15 @@ impl Tensor {
         }
         let out_dims: Vec<usize> = perm.iter().map(|&p| self.dims[p]).collect();
         let in_strides = strides(&self.dims);
-        let mut out = Tensor::zeros(&out_dims);
+        let src = self.data();
+        let mut out = vec![0.0f32; numel(&out_dims)];
         let mut idx = vec![0usize; rank];
-        for slot in out.data.iter_mut() {
+        for slot in out.iter_mut() {
             let mut off = 0;
             for (k, &p) in perm.iter().enumerate() {
                 off += idx[k] * in_strides[p];
             }
-            *slot = self.data[off];
+            *slot = src[off];
             for ax in (0..rank).rev() {
                 idx[ax] += 1;
                 if idx[ax] < out_dims[ax] {
@@ -550,7 +648,7 @@ impl Tensor {
                 idx[ax] = 0;
             }
         }
-        Ok(out)
+        Ok(Tensor::leaf(out_dims, out))
     }
 
     /// 2-D transpose. Optimized special case of [`Tensor::permute`].
@@ -566,13 +664,14 @@ impl Tensor {
             });
         }
         let (m, n) = (self.dims[0], self.dims[1]);
-        let mut out = Tensor::zeros(&[n, m]);
+        let src = self.data();
+        let mut out = vec![0.0f32; m * n];
         for i in 0..m {
             for j in 0..n {
-                out.data[j * m + i] = self.data[i * n + j];
+                out[j * m + i] = src[i * n + j];
             }
         }
-        Ok(out)
+        Ok(Tensor::leaf(vec![n, m], out))
     }
 
     /// Slices `[start, end)` along `axis`.
@@ -593,15 +692,13 @@ impl Tensor {
         out_dims[axis] = end - start;
         let outer: usize = self.dims[..axis].iter().product();
         let inner: usize = self.dims[axis + 1..].iter().product();
+        let src = self.data();
         let mut data = Vec::with_capacity(numel(&out_dims));
         for o in 0..outer {
             let base = o * self.dims[axis] * inner;
-            data.extend_from_slice(&self.data[base + start * inner..base + end * inner]);
+            data.extend_from_slice(&src[base + start * inner..base + end * inner]);
         }
-        Ok(Tensor {
-            dims: out_dims,
-            data,
-        })
+        Ok(Tensor::leaf(out_dims, data))
     }
 
     /// Concatenates tensors along `axis`. All other dims must match.
@@ -643,13 +740,10 @@ impl Tensor {
             for p in parts {
                 let len = p.dims[axis] * inner;
                 let base = o * len;
-                data.extend_from_slice(&p.data[base..base + len]);
+                data.extend_from_slice(&p.data()[base..base + len]);
             }
         }
-        Ok(Tensor {
-            dims: out_dims,
-            data,
-        })
+        Ok(Tensor::leaf(out_dims, data))
     }
 
     /// Gathers rows of a rank-2 tensor: `out[i, :] = self[indices[i], :]`.
@@ -666,6 +760,7 @@ impl Tensor {
             });
         }
         let (rows, cols) = (self.dims[0], self.dims[1]);
+        let src = self.data();
         let mut data = Vec::with_capacity(indices.len() * cols);
         for &ix in indices {
             if ix >= rows {
@@ -674,7 +769,7 @@ impl Tensor {
                     bound: rows,
                 });
             }
-            data.extend_from_slice(&self.data[ix * cols..(ix + 1) * cols]);
+            data.extend_from_slice(&src[ix * cols..(ix + 1) * cols]);
         }
         Tensor::from_vec(data, &[indices.len(), cols])
     }
@@ -694,7 +789,8 @@ impl Tensor {
             });
         }
         let cols = rows.dims[1];
-        let mut out = Tensor::zeros(&[num_rows, cols]);
+        let src = rows.data();
+        let mut out = vec![0.0f32; num_rows * cols];
         for (i, &ix) in indices.iter().enumerate() {
             if ix >= num_rows {
                 return Err(TensorError::IndexOutOfBounds {
@@ -703,10 +799,10 @@ impl Tensor {
                 });
             }
             for c in 0..cols {
-                out.data[ix * cols + c] += rows.data[i * cols + c];
+                out[ix * cols + c] += src[i * cols + c];
             }
         }
-        Ok(out)
+        Ok(Tensor::leaf(vec![num_rows, cols], out))
     }
 
     /// Zero-pads the last two axes of an NCHW (or CHW / HW) tensor.
@@ -733,15 +829,16 @@ impl Tensor {
         out_dims[rank - 2] = nh;
         out_dims[rank - 1] = nw;
         let planes: usize = self.dims[..rank - 2].iter().product();
-        let mut out = Tensor::zeros(&out_dims);
+        let src = self.data();
+        let mut out = vec![0.0f32; numel(&out_dims)];
         for p in 0..planes {
             for y in 0..h {
-                let src = p * h * w + y * w;
+                let s = p * h * w + y * w;
                 let dst = p * nh * nw + (y + top) * nw + left;
-                out.data[dst..dst + w].copy_from_slice(&self.data[src..src + w]);
+                out[dst..dst + w].copy_from_slice(&src[s..s + w]);
             }
         }
-        Ok(out)
+        Ok(Tensor::leaf(out_dims, out))
     }
 
     /// Crops the last two axes (adjoint of [`Tensor::pad_spatial`]).
@@ -769,15 +866,16 @@ impl Tensor {
         out_dims[rank - 2] = h;
         out_dims[rank - 1] = w;
         let planes: usize = self.dims[..rank - 2].iter().product();
-        let mut out = Tensor::zeros(&out_dims);
+        let src = self.data();
+        let mut out = vec![0.0f32; numel(&out_dims)];
         for p in 0..planes {
             for y in 0..h {
-                let src = p * sh * sw + (y + top) * sw + left;
+                let s = p * sh * sw + (y + top) * sw + left;
                 let dst = p * h * w + y * w;
-                out.data[dst..dst + w].copy_from_slice(&self.data[src..src + w]);
+                out[dst..dst + w].copy_from_slice(&src[s..s + w]);
             }
         }
-        Ok(out)
+        Ok(Tensor::leaf(out_dims, out))
     }
 
     /// Numerically stable softmax along the last axis.
@@ -787,8 +885,8 @@ impl Tensor {
         if inner == 0 {
             return self.clone();
         }
-        let mut out = self.clone();
-        for row in out.data.chunks_mut(inner) {
+        let mut data = self.data().to_vec();
+        for row in data.chunks_mut(inner) {
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0;
             for v in row.iter_mut() {
@@ -800,33 +898,34 @@ impl Tensor {
                 *v *= inv;
             }
         }
-        out
+        Tensor::leaf(self.dims.clone(), data)
     }
 
     /// Frobenius norm (`sqrt(sum(x^2))`).
     #[must_use]
     pub fn norm(&self) -> f32 {
-        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+        self.data().iter().map(|&x| x * x).sum::<f32>().sqrt()
     }
 
     /// True when any element is NaN or infinite.
     #[must_use]
     pub fn has_non_finite(&self) -> bool {
-        self.data.iter().any(|x| !x.is_finite())
+        self.data().iter().any(|x| !x.is_finite())
     }
 }
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{:?}", self.dims)?;
-        if self.data.len() <= 16 {
-            write!(f, " {:?}", self.data)
+        let data = self.data();
+        if data.len() <= 16 {
+            write!(f, " {data:?}")
         } else {
             write!(
                 f,
                 " [{:.4}, {:.4}, ... ; mean={:.4}]",
-                self.data[0],
-                self.data[1],
+                data[0],
+                data[1],
                 self.mean_all()
             )
         }
@@ -955,6 +1054,24 @@ mod tests {
         let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
         assert!(a.reshape(&[4]).is_ok());
         assert!(a.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn reshape_is_copy_on_write() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let mut b = a.reshape(&[4]).unwrap();
+        b.set(&[0], 9.0);
+        assert_eq!(a.data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(b.data(), &[9.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let mut b = a.clone();
+        b.data_mut()[0] = 5.0;
+        assert_eq!(a.data(), &[1.0, 2.0]);
+        assert_eq!(b.data(), &[5.0, 2.0]);
     }
 
     #[test]
