@@ -83,6 +83,20 @@ impl AblationVariant {
         cfg
     }
 
+    /// [`AblationVariant::model_config`] lifted to [`crate::arch::ArchConfig`]:
+    /// applies this variant's flag flips when the base describes an LMM-IR
+    /// trunk, and returns `None` for every other architecture (the ablation
+    /// axes — attention gates, LNT — only exist there).
+    #[must_use]
+    pub fn arch_config(&self, base: &crate::arch::ArchConfig) -> Option<crate::arch::ArchConfig> {
+        match base {
+            crate::arch::ArchConfig::LmmIr(cfg) => {
+                Some(crate::arch::ArchConfig::LmmIr(self.model_config(cfg)))
+            }
+            _ => None,
+        }
+    }
+
     /// Derives the training configuration for this variant.
     #[must_use]
     pub fn train_config(&self, base: &TrainConfig) -> TrainConfig {
@@ -132,6 +146,22 @@ mod tests {
         assert_eq!(cfg, base);
         let t = AblationVariant::WithoutAugmentation.train_config(&TrainConfig::quick());
         assert_eq!(t.noise_std, 0.0);
+    }
+
+    #[test]
+    fn arch_config_only_ablates_lmmir() {
+        use crate::arch::ArchConfig;
+        let base = ArchConfig::LmmIr(LmmIrConfig::quick());
+        let ec = AblationVariant::EncoderDecoder.arch_config(&base).unwrap();
+        match ec {
+            ArchConfig::LmmIr(cfg) => {
+                assert!(!cfg.use_lnt);
+                assert!(!cfg.use_attention_gates);
+            }
+            other => panic!("ablating an LMM-IR config changed its family: {other:?}"),
+        }
+        let waca = ArchConfig::Waca(crate::zoo::WacaUnetConfig::quick());
+        assert_eq!(AblationVariant::WithoutLnt.arch_config(&waca), None);
     }
 
     #[test]

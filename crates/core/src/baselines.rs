@@ -2,6 +2,7 @@
 //! IREDGe and IRPnet, re-implemented on the same substrate so the
 //! comparison isolates modelling choices rather than frameworks.
 
+use crate::arch::ArchSpec;
 use crate::blocks::{UNetDecoder, UNetEncoder};
 use crate::model::IrPredictor;
 use crate::pointcloud::PointCloud;
@@ -15,7 +16,7 @@ use rand::SeedableRng;
 /// winners (they differ in feature set, width and use of attention gates).
 #[derive(Debug)]
 pub struct UNetModel {
-    name: &'static str,
+    arch: ArchSpec,
     in_channels: usize,
     input_size: usize,
     encoder: UNetEncoder,
@@ -23,10 +24,10 @@ pub struct UNetModel {
 }
 
 impl UNetModel {
-    /// Builds a U-Net predictor.
+    /// Builds a U-Net predictor presenting as `arch`.
     #[must_use]
     pub fn new(
-        name: &'static str,
+        arch: ArchSpec,
         in_channels: usize,
         widths: &[usize],
         stem_kernel: usize,
@@ -36,7 +37,7 @@ impl UNetModel {
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         UNetModel {
-            name,
+            arch,
             in_channels,
             input_size,
             encoder: UNetEncoder::new(in_channels, widths, stem_kernel, &mut rng),
@@ -46,8 +47,8 @@ impl UNetModel {
 }
 
 impl IrPredictor for UNetModel {
-    fn name(&self) -> &'static str {
-        self.name
+    fn arch(&self) -> ArchSpec {
+        self.arch
     }
 
     fn input_channels(&self) -> usize {
@@ -83,7 +84,15 @@ impl IrPredictor for UNetModel {
 /// three basic channels — no attention, no netlist, no extra features.
 #[must_use]
 pub fn iredge(input_size: usize, seed: u64) -> UNetModel {
-    UNetModel::new("IREDGe", 3, &[6, 12, 24], 3, false, input_size, seed)
+    UNetModel::new(
+        ArchSpec::Iredge,
+        3,
+        &[6, 12, 24],
+        3,
+        false,
+        input_size,
+        seed,
+    )
 }
 
 /// Contest 1st-place style model: U-Net with the extended feature set and
@@ -91,14 +100,30 @@ pub fn iredge(input_size: usize, seed: u64) -> UNetModel {
 /// shows it ~5× slower than the rest).
 #[must_use]
 pub fn first_place(input_size: usize, seed: u64) -> UNetModel {
-    UNetModel::new("1st Place", 6, &[24, 48, 96], 7, true, input_size, seed)
+    UNetModel::new(
+        ArchSpec::FirstPlace,
+        6,
+        &[24, 48, 96],
+        7,
+        true,
+        input_size,
+        seed,
+    )
 }
 
 /// Contest 2nd-place style model: lighter U-Net with the extended feature
 /// set (their edge came from heavy data generation, not model size).
 #[must_use]
 pub fn second_place(input_size: usize, seed: u64) -> UNetModel {
-    UNetModel::new("2nd Place", 6, &[8, 16, 32], 3, false, input_size, seed)
+    UNetModel::new(
+        ArchSpec::SecondPlace,
+        6,
+        &[8, 16, 32],
+        3,
+        false,
+        input_size,
+        seed,
+    )
 }
 
 /// IRPnet (Meng et al., DATE 2024): a physics-window CNN operating at full
@@ -156,8 +181,8 @@ pub fn irpnet(input_size: usize, seed: u64) -> IrpNet {
 }
 
 impl IrPredictor for IrpNet {
-    fn name(&self) -> &'static str {
-        "IRPnet"
+    fn arch(&self) -> ArchSpec {
+        ArchSpec::IrpNet
     }
 
     fn input_channels(&self) -> usize {

@@ -12,13 +12,16 @@
 //! parameter-count mismatch deep in the tensor list. Checkpoints written
 //! before the metadata entry existed (format v1) still load.
 //!
-//! Format v3 additionally serializes the **full [`LmmIrConfig`]** (widths,
-//! stem kernel, LNT plan, ablation switches, seed) into a `config.lmmir`
-//! entry when the saved model carries one. A v3 reader reconstructs the
-//! exact trained architecture instead of assuming the `quick()` widths —
-//! which is what makes paper-scale LMM-IR checkpoints servable. v1 and v2
-//! files still load: the config entry is simply absent and
-//! [`CheckpointMeta::config`] is `None`.
+//! Format v3 additionally serializes the **full model configuration** (an
+//! [`ArchConfig`]: widths, stem kernel, per-family extras, seed) into one
+//! family-specific `config.*` entry when the saved model carries one
+//! (`config.lmmir`, `config.dynamic`, `config.cfirstnet`, `config.waca`).
+//! A v3 reader reconstructs the exact trained architecture instead of
+//! assuming the `quick()` widths — which is what makes paper-scale
+//! checkpoints servable. The entry names and payload layouts live with
+//! [`ArchSpec`] in the `arch` module, so this module has no per-family
+//! branches. v1 and v2 files still load: the config entry is simply absent
+//! and [`CheckpointMeta::config`] is `None`.
 //!
 //! Format v4 additionally records **post-training int8 weight scales**: one
 //! `quant.{i}` entry (a rank-1 scale vector, one scale per output channel)
@@ -32,8 +35,8 @@
 //! load (quantized serving of an old file computes the identical scales at
 //! load time).
 
+use crate::arch::{ArchConfig, ArchSpec};
 use crate::dynamic::DynamicIrConfig;
-use crate::lnt::LntConfig;
 use crate::model::{IrPredictor, LmmIrConfig};
 use lmmir_tensor::quant::weight_scales;
 use lmmir_tensor::{io, Result, Tensor, TensorError};
@@ -44,26 +47,13 @@ use std::path::Path;
 /// name itself (entry names are the only string-typed field in the format).
 const META_PREFIX: &str = "meta.";
 
-/// Name of the full-config entry written since format v3.
-const CONFIG_ENTRY: &str = "config.lmmir";
-
-/// Name of the dynamic-family config entry. Structurally a sibling of
-/// `config.lmmir` (v4-compatible: readers that predate the dynamic family
-/// never see one, because they also predate "DynIR" checkpoints).
-const DYNAMIC_ENTRY: &str = "config.dynamic";
+/// Name prefix of every family-specific full-config entry (format v3+);
+/// the suffix is owned by [`ArchSpec::config_entry`].
+const CONFIG_PREFIX: &str = "config.";
 
 /// Name prefix of the per-parameter int8 scale entries written since
 /// format v4 (`quant.{i}` describes `param.{i}`).
 const QUANT_PREFIX: &str = "quant.";
-
-/// Layout version of the `config.lmmir` payload (independent of the
-/// checkpoint format version, so the payload can evolve without touching
-/// the meta entry).
-const CONFIG_LAYOUT: u32 = 1;
-
-/// Hard cap on the serialized width-plan length — far above any realistic
-/// encoder (the paper uses 5 stages), but bounds a hostile payload.
-const MAX_WIDTHS: usize = 64;
 
 /// Architecture metadata stored alongside checkpoint parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,13 +64,10 @@ pub struct CheckpointMeta {
     pub input_channels: usize,
     /// Square input size the model was configured for.
     pub input_size: usize,
-    /// Full LMM-IR configuration (format v3; `None` for v1/v2 files and
-    /// for baseline architectures, which are fully determined by name,
+    /// Full family-tagged configuration (format v3; `None` for v1/v2 files
+    /// and for baseline architectures, which are fully determined by name,
     /// channels and size).
-    pub config: Option<LmmIrConfig>,
-    /// Dynamic-family configuration (window count and trunk plan; `None`
-    /// for every static model).
-    pub dynamic: Option<DynamicIrConfig>,
+    pub config: Option<ArchConfig>,
     /// Per-parameter int8 weight scales keyed by parameter index
     /// (format v4; empty for older files). Every rank-2/rank-4 parameter
     /// has an entry.
@@ -102,8 +89,7 @@ impl CheckpointMeta {
             model: model.name().to_string(),
             input_channels: model.input_channels(),
             input_size: model.input_size(),
-            config: model.lmmir_config().cloned(),
-            dynamic: model.dynamic_config().cloned(),
+            config: model.arch_config(),
             quant_scales,
         }
     }
@@ -116,10 +102,28 @@ impl CheckpointMeta {
     pub fn format_version(&self) -> u8 {
         if !self.quant_scales.is_empty() {
             4
-        } else if self.config.is_some() || self.dynamic.is_some() {
+        } else if self.config.is_some() {
             3
         } else {
             2
+        }
+    }
+
+    /// The LMM-IR configuration, when this metadata carries one.
+    #[must_use]
+    pub fn lmmir_config(&self) -> Option<&LmmIrConfig> {
+        match &self.config {
+            Some(ArchConfig::LmmIr(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The dynamic-family configuration, when this metadata carries one.
+    #[must_use]
+    pub fn dynamic_config(&self) -> Option<&DynamicIrConfig> {
+        match &self.config {
+            Some(ArchConfig::Dynamic(c)) => Some(c),
+            _ => None,
         }
     }
 
@@ -150,184 +154,9 @@ impl CheckpointMeta {
             input_channels: data[0] as usize,
             input_size: data[1] as usize,
             config: None,
-            dynamic: None,
             quant_scales: BTreeMap::new(),
         })
     }
-}
-
-/// Serializes a full [`LmmIrConfig`] into the v3 `config.lmmir` entry.
-///
-/// Every field is an exact integer in `f32` (all ≪ 2²⁴) except the 64-bit
-/// seed, which rides as four 16-bit chunks. The payload leads with a layout
-/// version so it can evolve independently of the checkpoint format.
-fn config_entry(cfg: &LmmIrConfig) -> (String, Tensor) {
-    let mut payload = vec![
-        CONFIG_LAYOUT as f32,
-        cfg.in_channels as f32,
-        cfg.stem_kernel as f32,
-        cfg.input_size as f32,
-        f32::from(u8::from(cfg.use_lnt)),
-        f32::from(u8::from(cfg.use_attention_gates)),
-    ];
-    for i in 0..4 {
-        payload.push(((cfg.seed >> (16 * i)) & 0xFFFF) as f32);
-    }
-    payload.extend([
-        cfg.lnt.d_model as f32,
-        cfg.lnt.heads as f32,
-        cfg.lnt.layers as f32,
-        cfg.lnt.max_points as f32,
-        cfg.lnt.chunk as f32,
-        cfg.lnt.ff_mult as f32,
-        cfg.widths.len() as f32,
-    ]);
-    payload.extend(cfg.widths.iter().map(|&w| w as f32));
-    let len = payload.len();
-    (
-        CONFIG_ENTRY.to_string(),
-        Tensor::from_vec(payload, &[len]).expect("config payload is rank 1"),
-    )
-}
-
-/// Parses a `config.lmmir` entry previously written by [`config_entry`].
-fn parse_config(t: &Tensor) -> Result<LmmIrConfig> {
-    let bad = |why: &str| TensorError::Io(format!("malformed '{CONFIG_ENTRY}' entry: {why}"));
-    let data = t.data();
-    if t.dims().len() != 1 || data.len() < 17 {
-        return Err(bad("payload too short"));
-    }
-    if data
-        .iter()
-        .any(|v| *v < 0.0 || v.fract() != 0.0 || *v > (1 << 24) as f32)
-    {
-        return Err(bad("fields must be small non-negative integers"));
-    }
-    let at = |i: usize| data[i] as usize;
-    if at(0) != CONFIG_LAYOUT as usize {
-        return Err(bad(&format!(
-            "unknown config layout {} (this reader knows {CONFIG_LAYOUT})",
-            at(0)
-        )));
-    }
-    let flag = |i: usize| match at(i) {
-        0 => Ok(false),
-        1 => Ok(true),
-        other => Err(bad(&format!("flag field holds {other}, want 0 or 1"))),
-    };
-    let mut seed = 0u64;
-    for i in 0..4 {
-        let chunk = at(6 + i);
-        if chunk > 0xFFFF {
-            return Err(bad("seed chunk exceeds 16 bits"));
-        }
-        seed |= (chunk as u64) << (16 * i);
-    }
-    let widths_len = at(16);
-    if widths_len == 0 || widths_len > MAX_WIDTHS {
-        return Err(bad(&format!(
-            "width plan of {widths_len} (cap {MAX_WIDTHS})"
-        )));
-    }
-    if data.len() != 17 + widths_len {
-        return Err(bad(&format!(
-            "payload holds {} values but the width plan wants {}",
-            data.len(),
-            17 + widths_len
-        )));
-    }
-    Ok(LmmIrConfig {
-        in_channels: at(1),
-        stem_kernel: at(2),
-        input_size: at(3),
-        use_lnt: flag(4)?,
-        use_attention_gates: flag(5)?,
-        seed,
-        lnt: LntConfig {
-            d_model: at(10),
-            heads: at(11),
-            layers: at(12),
-            max_points: at(13),
-            chunk: at(14),
-            ff_mult: at(15),
-        },
-        widths: (0..widths_len).map(|i| at(17 + i)).collect(),
-    })
-}
-
-/// Serializes a [`DynamicIrConfig`] into the `config.dynamic` entry.
-///
-/// Same encoding discipline as [`config_entry`]: exact small integers in
-/// `f32`, the 64-bit seed as four 16-bit chunks, a leading layout version.
-fn dynamic_entry(cfg: &DynamicIrConfig) -> (String, Tensor) {
-    let mut payload = vec![
-        CONFIG_LAYOUT as f32,
-        cfg.windows as f32,
-        cfg.stem_kernel as f32,
-        cfg.input_size as f32,
-    ];
-    for i in 0..4 {
-        payload.push(((cfg.seed >> (16 * i)) & 0xFFFF) as f32);
-    }
-    payload.push(cfg.widths.len() as f32);
-    payload.extend(cfg.widths.iter().map(|&w| w as f32));
-    let len = payload.len();
-    (
-        DYNAMIC_ENTRY.to_string(),
-        Tensor::from_vec(payload, &[len]).expect("dynamic config payload is rank 1"),
-    )
-}
-
-/// Parses a `config.dynamic` entry previously written by [`dynamic_entry`].
-fn parse_dynamic(t: &Tensor) -> Result<DynamicIrConfig> {
-    let bad = |why: &str| TensorError::Io(format!("malformed '{DYNAMIC_ENTRY}' entry: {why}"));
-    let data = t.data();
-    if t.dims().len() != 1 || data.len() < 9 {
-        return Err(bad("payload too short"));
-    }
-    if data
-        .iter()
-        .any(|v| *v < 0.0 || v.fract() != 0.0 || *v > (1 << 24) as f32)
-    {
-        return Err(bad("fields must be small non-negative integers"));
-    }
-    let at = |i: usize| data[i] as usize;
-    if at(0) != CONFIG_LAYOUT as usize {
-        return Err(bad(&format!(
-            "unknown config layout {} (this reader knows {CONFIG_LAYOUT})",
-            at(0)
-        )));
-    }
-    let mut seed = 0u64;
-    for i in 0..4 {
-        let chunk = at(4 + i);
-        if chunk > 0xFFFF {
-            return Err(bad("seed chunk exceeds 16 bits"));
-        }
-        seed |= (chunk as u64) << (16 * i);
-    }
-    let widths_len = at(8);
-    if widths_len == 0 || widths_len > MAX_WIDTHS {
-        return Err(bad(&format!(
-            "width plan of {widths_len} (cap {MAX_WIDTHS})"
-        )));
-    }
-    if data.len() != 9 + widths_len {
-        return Err(bad(&format!(
-            "payload holds {} values but the width plan wants {}",
-            data.len(),
-            9 + widths_len
-        )));
-    }
-    let cfg = DynamicIrConfig {
-        windows: at(1),
-        stem_kernel: at(2),
-        input_size: at(3),
-        seed,
-        widths: (0..widths_len).map(|i| at(9 + i)).collect(),
-    };
-    cfg.validate().map_err(|e| bad(&e))?;
-    Ok(cfg)
 }
 
 /// A named tensor as stored in a checkpoint file.
@@ -352,7 +181,8 @@ fn parse_quant(name: &str, t: &Tensor) -> Result<(usize, Vec<f32>)> {
 }
 
 /// Splits loaded entries into the optional metadata and the parameter list
-/// (order preserved). A v3 `config.lmmir` entry is folded into
+/// (order preserved). A v3 `config.*` entry is decoded by the family that
+/// owns the entry name ([`ArchSpec::for_config_entry`]), folded into
 /// [`CheckpointMeta::config`] and cross-checked against the meta entry;
 /// v4 `quant.{i}` entries are folded into [`CheckpointMeta::quant_scales`]
 /// and cross-checked **bitwise** against a recomputation from the
@@ -360,31 +190,30 @@ fn parse_quant(name: &str, t: &Tensor) -> Result<(usize, Vec<f32>)> {
 ///
 /// # Errors
 ///
-/// Returns [`TensorError::Io`] for a malformed or duplicated meta/config/
-/// quant entry, a config or quant entry without a meta entry, a config that
-/// disagrees with the meta's architecture name, channel count or input
-/// size, or a quant entry whose scales disagree with its parameter.
+/// Returns [`TensorError::Io`] for a malformed, unknown or duplicated
+/// meta/config/quant entry, a config or quant entry without a meta entry,
+/// a config that disagrees with the meta's architecture name, channel count
+/// or input size, or a quant entry whose scales disagree with its
+/// parameter.
 pub fn split_meta(entries: Vec<NamedTensor>) -> Result<(Option<CheckpointMeta>, Vec<NamedTensor>)> {
     let mut meta: Option<CheckpointMeta> = None;
-    let mut config: Option<LmmIrConfig> = None;
-    let mut dynamic: Option<DynamicIrConfig> = None;
+    let mut config: Option<ArchConfig> = None;
     let mut quant: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
     let mut params = Vec::with_capacity(entries.len());
     for (name, t) in entries {
-        if name == CONFIG_ENTRY {
+        if name.starts_with(CONFIG_PREFIX) {
+            let Some(arch) = ArchSpec::for_config_entry(&name) else {
+                return Err(TensorError::Io(format!(
+                    "checkpoint has an unknown config entry '{name}' \
+                     (no architecture owns it)"
+                )));
+            };
             if config.is_some() {
                 return Err(TensorError::Io(
                     "checkpoint has more than one config entry".to_string(),
                 ));
             }
-            config = Some(parse_config(&t)?);
-        } else if name == DYNAMIC_ENTRY {
-            if dynamic.is_some() {
-                return Err(TensorError::Io(
-                    "checkpoint has more than one dynamic config entry".to_string(),
-                ));
-            }
-            dynamic = Some(parse_dynamic(&t)?);
+            config = Some(ArchConfig::decode(arch, &t)?);
         } else if name.starts_with(QUANT_PREFIX) {
             let (index, scales) = parse_quant(&name, &t)?;
             if quant.insert(index, scales).is_some() {
@@ -429,46 +258,30 @@ pub fn split_meta(entries: Vec<NamedTensor>) -> Result<(Option<CheckpointMeta>, 
         }
     }
     if let Some(cfg) = config {
+        let entry = cfg.entry_name();
         let Some(meta) = meta.as_mut() else {
             return Err(TensorError::Io(format!(
-                "checkpoint has a '{CONFIG_ENTRY}' entry but no meta entry"
+                "checkpoint has a '{entry}' entry but no meta entry"
             )));
         };
-        if meta.model != "LMM-IR" {
+        if meta.model != cfg.arch().name() {
             return Err(TensorError::Io(format!(
-                "'{CONFIG_ENTRY}' entry on a '{}' checkpoint (configs describe LMM-IR)",
-                meta.model
+                "'{entry}' entry on a '{}' checkpoint (it describes '{}')",
+                meta.model,
+                cfg.arch().name()
             )));
         }
-        if cfg.in_channels != meta.input_channels || cfg.input_size != meta.input_size {
+        if cfg.input_channels() != meta.input_channels || cfg.input_size() != meta.input_size {
             return Err(TensorError::Io(format!(
                 "config entry ({} channels, {} px) disagrees with meta entry \
                  ({} channels, {} px)",
-                cfg.in_channels, cfg.input_size, meta.input_channels, meta.input_size
+                cfg.input_channels(),
+                cfg.input_size(),
+                meta.input_channels,
+                meta.input_size
             )));
         }
         meta.config = Some(cfg);
-    }
-    if let Some(cfg) = dynamic {
-        let Some(meta) = meta.as_mut() else {
-            return Err(TensorError::Io(format!(
-                "checkpoint has a '{DYNAMIC_ENTRY}' entry but no meta entry"
-            )));
-        };
-        if meta.model != "DynIR" {
-            return Err(TensorError::Io(format!(
-                "'{DYNAMIC_ENTRY}' entry on a '{}' checkpoint (dynamic configs describe DynIR)",
-                meta.model
-            )));
-        }
-        if cfg.windows != meta.input_channels || cfg.input_size != meta.input_size {
-            return Err(TensorError::Io(format!(
-                "dynamic config entry ({} windows, {} px) disagrees with meta \
-                 entry ({} channels, {} px)",
-                cfg.windows, cfg.input_size, meta.input_channels, meta.input_size
-            )));
-        }
-        meta.dynamic = Some(cfg);
     }
     if !quant.is_empty() {
         meta.as_mut().expect("checked above").quant_scales = quant;
@@ -488,7 +301,7 @@ pub fn load_meta(path: impl AsRef<Path>) -> Result<Option<CheckpointMeta>> {
 }
 
 /// Serializes a predictor's parameters (plus architecture metadata, plus —
-/// for models that carry one — the full LMM-IR configuration, plus the
+/// for models that carry one — the full family configuration, plus the
 /// int8 weight scales of every quantizable parameter; format v4)
 /// to the binary checkpoint format.
 ///
@@ -499,10 +312,7 @@ pub fn save_predictor(model: &dyn IrPredictor, path: impl AsRef<Path>) -> Result
     let meta = CheckpointMeta::of(model);
     let mut entries: Vec<(String, Tensor)> = vec![meta.entry()];
     if let Some(cfg) = &meta.config {
-        entries.push(config_entry(cfg));
-    }
-    if let Some(cfg) = &meta.dynamic {
-        entries.push(dynamic_entry(cfg));
+        entries.push(cfg.entry());
     }
     for (i, p) in model.parameters().iter().enumerate() {
         entries.push((format!("param.{i}"), p.to_tensor()));
@@ -551,40 +361,14 @@ pub fn load_predictor(model: &dyn IrPredictor, path: impl AsRef<Path>) -> Result
         }
         // The full config is compared only when both sides record one: a
         // v2 checkpoint (no config) restores into any same-shape model, and
-        // restore_parameters still validates every tensor shape below.
+        // restore_parameters still validates every tensor shape below. Seed
+        // differences are fine — weights are restored.
         if let (Some(file_cfg), Some(model_cfg)) = (&meta.config, &target.config) {
-            if file_cfg.widths != model_cfg.widths
-                || file_cfg.stem_kernel != model_cfg.stem_kernel
-                || file_cfg.lnt != model_cfg.lnt
-                || file_cfg.use_lnt != model_cfg.use_lnt
-                || file_cfg.use_attention_gates != model_cfg.use_attention_gates
-            {
+            if !file_cfg.same_trunk(model_cfg) {
                 return Err(TensorError::Io(format!(
-                    "checkpoint configuration mismatch: file records widths \
-                     {:?} (lnt {}, gates {}) but the target model is built \
-                     with widths {:?} (lnt {}, gates {})",
-                    file_cfg.widths,
-                    file_cfg.use_lnt,
-                    file_cfg.use_attention_gates,
-                    model_cfg.widths,
-                    model_cfg.use_lnt,
-                    model_cfg.use_attention_gates,
-                )));
-            }
-        }
-        // Same discipline for the dynamic family: when both the file and
-        // the target record a config, trunk plan and window count must
-        // agree exactly (seed differences are fine — weights are restored).
-        if let (Some(file_cfg), Some(model_cfg)) = (&meta.dynamic, &target.dynamic) {
-            if file_cfg.widths != model_cfg.widths
-                || file_cfg.stem_kernel != model_cfg.stem_kernel
-                || file_cfg.windows != model_cfg.windows
-            {
-                return Err(TensorError::Io(format!(
-                    "checkpoint configuration mismatch: file records a dynamic \
-                     trunk of widths {:?} over {} windows but the target model \
-                     is built with widths {:?} over {} windows",
-                    file_cfg.widths, file_cfg.windows, model_cfg.widths, model_cfg.windows,
+                    "checkpoint configuration mismatch: file records \
+                     {file_cfg:?} but the target model is built as \
+                     {model_cfg:?}"
                 )));
             }
         }
@@ -631,6 +415,7 @@ pub fn restore_parameters(model: &dyn IrPredictor, entries: Vec<NamedTensor>) ->
 mod tests {
     use super::*;
     use crate::baselines::{iredge, irpnet};
+    use crate::lnt::LntConfig;
     use crate::model::IrPredictor;
     use lmmir_tensor::{Tensor, Var};
 
@@ -777,8 +562,8 @@ mod tests {
         // Fresh saves always carry int8 scales now (format v4); the point
         // of this test — the full config surviving the round trip — holds.
         assert_eq!(meta.format_version(), 4);
-        assert_eq!(meta.config.as_ref(), Some(&cfg), "config must survive");
-        assert_eq!(meta.config.unwrap().seed, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(meta.lmmir_config(), Some(&cfg), "config must survive");
+        assert_eq!(meta.lmmir_config().unwrap().seed, 0xDEAD_BEEF_CAFE_F00D);
         // And the weights restore into a model built from that config.
         let b = LmmIr::new(LmmIrConfig {
             seed: 1,
@@ -857,7 +642,7 @@ mod tests {
         let meta = load_meta(&path).unwrap().expect("v3 files carry meta");
         assert_eq!(meta.format_version(), 3);
         assert!(meta.quant_scales.is_empty());
-        assert_eq!(meta.config, Some(cfg.clone()), "config must survive");
+        assert_eq!(meta.lmmir_config(), Some(&cfg), "config must survive");
         let b = LmmIr::new(LmmIrConfig { seed: 9, ..cfg });
         load_predictor(&b, &path).unwrap();
         std::fs::remove_file(&path).ok();
@@ -955,9 +740,9 @@ mod tests {
         assert_eq!(meta.model, "DynIR");
         assert_eq!(meta.input_channels, 5, "channels record the window count");
         assert_eq!(meta.format_version(), 4, "fresh saves carry int8 scales");
-        assert_eq!(meta.dynamic.as_ref(), Some(&cfg), "config must survive");
-        assert_eq!(meta.dynamic.unwrap().seed, 0xFEED_FACE_BEEF_1234);
-        assert!(meta.config.is_none(), "no LMM-IR config on a DynIR file");
+        assert_eq!(meta.dynamic_config(), Some(&cfg), "config must survive");
+        assert_eq!(meta.dynamic_config().unwrap().seed, 0xFEED_FACE_BEEF_1234);
+        assert!(meta.lmmir_config().is_none(), "no LMM-IR config here");
         // Weights restore into a model built from that config (fresh seed).
         let b = DynamicIrPredictor::new(DynamicIrConfig {
             seed: 1,
@@ -1001,7 +786,8 @@ mod tests {
         let good = vec![1.0, 5.0, 5.0, 16.0, 0.0, 0.0, 0.0, 0.0, 3.0, 4.0, 8.0, 16.0];
         // Well-formed parses.
         let (m, _) = split_meta(vec![meta(5.0, 16.0), payload(good.clone())]).unwrap();
-        let cfg = m.unwrap().dynamic.unwrap();
+        let m = m.unwrap();
+        let cfg = m.dynamic_config().unwrap();
         assert_eq!(cfg.windows, 5);
         assert_eq!(cfg.widths, vec![4, 8, 16]);
         // Too short.
@@ -1077,8 +863,196 @@ mod tests {
         let meta_out = meta_out.unwrap();
         assert!(params.is_empty());
         assert_eq!(meta_out.format_version(), 3);
-        let cfg = meta_out.config.unwrap();
+        let cfg = meta_out.lmmir_config().unwrap();
         assert_eq!(cfg.widths, vec![12, 24]);
         assert_eq!(cfg.stem_kernel, 7);
+    }
+
+    #[test]
+    fn unknown_config_entry_is_rejected() {
+        let meta = (
+            "meta.IREDGe".to_string(),
+            Tensor::from_vec(vec![3.0, 16.0], &[2]).unwrap(),
+        );
+        let rogue = (
+            "config.resnet".to_string(),
+            Tensor::from_vec(vec![1.0, 3.0], &[2]).unwrap(),
+        );
+        let err = split_meta(vec![meta, rogue]).unwrap_err().to_string();
+        assert!(err.contains("unknown config entry"), "got {err}");
+    }
+
+    #[test]
+    fn two_config_entries_of_any_kind_are_rejected() {
+        use crate::zoo::{CfirstNet, CfirstNetConfig, WacaUnet, WacaUnetConfig};
+        let c = CfirstNet::new(CfirstNetConfig {
+            widths: vec![4, 8],
+            input_size: 16,
+            ..CfirstNetConfig::quick()
+        });
+        let w = WacaUnet::new(WacaUnetConfig {
+            widths: vec![4, 8],
+            input_size: 16,
+            ..WacaUnetConfig::quick()
+        });
+        let meta = CheckpointMeta::of(&c);
+        let entries = vec![
+            meta.entry(),
+            meta.config.as_ref().unwrap().entry(),
+            w.arch_config().unwrap().entry(),
+        ];
+        let err = split_meta(entries).unwrap_err().to_string();
+        assert!(err.contains("more than one config entry"), "got {err}");
+    }
+
+    #[test]
+    fn zoo_configs_round_trip_and_reject_mismatched_trunks() {
+        use crate::zoo::{CfirstNet, CfirstNetConfig, WacaUnet, WacaUnetConfig};
+        let ccfg = CfirstNetConfig {
+            widths: vec![4, 8, 16],
+            stem_kernel: 5,
+            input_size: 16,
+            seed: 0xAAAA_BBBB_CCCC_DDDD,
+            ..CfirstNetConfig::quick()
+        };
+        let wcfg = WacaUnetConfig {
+            widths: vec![4, 8, 16],
+            reduction: 2,
+            input_size: 16,
+            seed: 0x1234_5678_9ABC_DEF0,
+            ..WacaUnetConfig::quick()
+        };
+
+        let a = CfirstNet::new(ccfg.clone());
+        let path = tmp("cfirstnet_config.lmmt");
+        save_predictor(&a, &path).unwrap();
+        let meta = load_meta(&path)
+            .unwrap()
+            .expect("zoo checkpoints have meta");
+        assert_eq!(meta.model, "CFIRSTNET");
+        assert_eq!(meta.input_channels, 8);
+        assert_eq!(meta.format_version(), 4, "fresh saves carry int8 scales");
+        assert_eq!(meta.config, Some(ArchConfig::Cfirst(ccfg.clone())));
+        // Weights restore into a model built from that config (fresh seed).
+        let b = CfirstNet::new(CfirstNetConfig {
+            seed: 1,
+            ..ccfg.clone()
+        });
+        load_predictor(&b, &path).unwrap();
+        // A different trunk plan is rejected by the config cross-check.
+        let wrong = CfirstNet::new(CfirstNetConfig {
+            widths: vec![4, 8],
+            ..ccfg
+        });
+        let err = load_predictor(&wrong, &path).unwrap_err().to_string();
+        assert!(err.contains("mismatch"), "got {err}");
+        std::fs::remove_file(&path).ok();
+
+        let a = WacaUnet::new(wcfg.clone());
+        let path = tmp("waca_config.lmmt");
+        save_predictor(&a, &path).unwrap();
+        let meta = load_meta(&path)
+            .unwrap()
+            .expect("zoo checkpoints have meta");
+        assert_eq!(meta.model, "WACA-UNet");
+        assert_eq!(meta.config, Some(ArchConfig::Waca(wcfg.clone())));
+        let b = WacaUnet::new(WacaUnetConfig {
+            seed: 2,
+            ..wcfg.clone()
+        });
+        load_predictor(&b, &path).unwrap();
+        // A different attention reduction changes the trunk; reject it.
+        let wrong = WacaUnet::new(WacaUnetConfig {
+            reduction: 1,
+            ..wcfg
+        });
+        let err = load_predictor(&wrong, &path).unwrap_err().to_string();
+        assert!(err.contains("configuration mismatch"), "got {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hostile_zoo_entries_are_rejected() {
+        let meta = |model: &str, channels: f32| {
+            (
+                format!("meta.{model}"),
+                Tensor::from_vec(vec![channels, 16.0], &[2]).unwrap(),
+            )
+        };
+        let payload = |entry: &str, v: Vec<f32>| {
+            let len = v.len();
+            (entry.to_string(), Tensor::from_vec(v, &[len]).unwrap())
+        };
+        // layout, in_channels, stem, size, seed×4, widths_len, widths…
+        let cgood = vec![1.0, 8.0, 3.0, 16.0, 0.0, 0.0, 0.0, 0.0, 2.0, 4.0, 8.0];
+        let (m, _) = split_meta(vec![
+            meta("CFIRSTNET", 8.0),
+            payload("config.cfirstnet", cgood.clone()),
+        ])
+        .unwrap();
+        assert!(matches!(
+            m.unwrap().config,
+            Some(ArchConfig::Cfirst(ref c)) if c.widths == vec![4, 8]
+        ));
+        // Too short.
+        assert!(split_meta(vec![
+            meta("CFIRSTNET", 8.0),
+            payload("config.cfirstnet", vec![1.0; 4])
+        ])
+        .is_err());
+        // Width plan lies about the payload length.
+        let mut lying = cgood.clone();
+        lying[8] = 9.0;
+        assert!(split_meta(vec![
+            meta("CFIRSTNET", 8.0),
+            payload("config.cfirstnet", lying)
+        ])
+        .is_err());
+        // Channel count disagreeing with the meta entry.
+        assert!(split_meta(vec![
+            meta("CFIRSTNET", 6.0),
+            payload("config.cfirstnet", cgood.clone())
+        ])
+        .is_err());
+        // Config on the wrong family's checkpoint.
+        assert!(split_meta(vec![
+            meta("WACA-UNet", 8.0),
+            payload("config.cfirstnet", cgood.clone())
+        ])
+        .is_err());
+        // Config failing its own validation (size not divisible by pools).
+        let mut bad_size = cgood.clone();
+        bad_size[3] = 17.0;
+        assert!(split_meta(vec![
+            meta("CFIRSTNET", 8.0),
+            payload("config.cfirstnet", bad_size)
+        ])
+        .is_err());
+        // Config without a meta entry.
+        assert!(split_meta(vec![payload("config.cfirstnet", cgood)]).is_err());
+
+        // layout, in_channels, stem, size, reduction, seed×4, widths_len, widths…
+        let wgood = vec![1.0, 8.0, 3.0, 16.0, 2.0, 0.0, 0.0, 0.0, 0.0, 2.0, 4.0, 8.0];
+        let (m, _) = split_meta(vec![
+            meta("WACA-UNet", 8.0),
+            payload("config.waca", wgood.clone()),
+        ])
+        .unwrap();
+        assert!(matches!(
+            m.unwrap().config,
+            Some(ArchConfig::Waca(ref c)) if c.reduction == 2
+        ));
+        // A zero reduction fails the config's own validation.
+        let mut zero_red = wgood.clone();
+        zero_red[4] = 0.0;
+        assert!(split_meta(vec![
+            meta("WACA-UNet", 8.0),
+            payload("config.waca", zero_red)
+        ])
+        .is_err());
+        // Fractional field.
+        let mut frac = wgood;
+        frac[10] = 4.5;
+        assert!(split_meta(vec![meta("WACA-UNet", 8.0), payload("config.waca", frac)]).is_err());
     }
 }

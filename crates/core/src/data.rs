@@ -1,9 +1,10 @@
 //! Dataset assembly: generated cases → model-ready samples.
 //!
 //! A [`Sample`] bundles everything one training/evaluation step needs:
-//! both feature stacks (basic 3-channel and extended 6-channel) adjusted to
-//! the training size, the netlist point cloud, the adjusted target and the
-//! original-resolution ground truth for faithful evaluation.
+//! all three static feature stacks (basic 3-channel, extended 6-channel,
+//! comprehensive 8-channel) adjusted to the training size, the netlist
+//! point cloud, the adjusted target and the original-resolution ground
+//! truth for faithful evaluation.
 
 use crate::pointcloud::PointCloud;
 use lmmir_features::{ir_drop_map, FeatureStack, Raster, SpatialInfo};
@@ -28,6 +29,9 @@ pub struct Sample {
     pub images_basic: Tensor,
     /// Extended 6-channel images `[6, S, S]`, adjusted + normalized.
     pub images_extended: Tensor,
+    /// Comprehensive 8-channel images `[8, S, S]`, adjusted + normalized
+    /// (extended + effective-resistance + pad-distance maps).
+    pub images_comprehensive: Tensor,
     /// Netlist point cloud (full; models subsample to their budget).
     pub cloud: PointCloud,
     /// Adjusted ground-truth IR map `[1, S, S]`, in volts × [`TARGET_SCALE`].
@@ -50,11 +54,12 @@ impl Sample {
     /// tensor.
     ///
     /// `1` selects the current map alone (IRPnet's physics-window input),
-    /// `3` the basic stack, `6` the extended stack.
+    /// `3` the basic stack, `6` the extended stack, `8` the comprehensive
+    /// stack.
     ///
     /// # Panics
     ///
-    /// Panics for channel counts other than 1, 3 or 6.
+    /// Panics for channel counts other than 1, 3, 6 or 8.
     #[must_use]
     pub fn images_tensor_for(&self, channels: usize) -> Tensor {
         let t = match channels {
@@ -71,6 +76,7 @@ impl Sample {
             }
             3 => &self.images_basic,
             6 => &self.images_extended,
+            8 => &self.images_comprehensive,
             other => panic!("no feature stack with {other} channels"),
         };
         let d = t.dims();
@@ -83,7 +89,7 @@ impl Sample {
     ///
     /// # Panics
     ///
-    /// Panics for channel counts other than 1, 3 or 6.
+    /// Panics for channel counts other than 1, 3, 6 or 8.
     #[must_use]
     pub fn images_for(&self, channels: usize) -> Var {
         Var::constant(self.images_tensor_for(channels))
@@ -135,6 +141,8 @@ pub fn build_sample(spec: &CaseSpec, input_size: usize) -> Result<Sample, SolveI
     let (ext_adj, _) = extended.adjusted_normalized(input_size);
     let basic = FeatureStack::basic(&case);
     let (basic_adj, _) = basic.adjusted_normalized(input_size);
+    let comprehensive = FeatureStack::comprehensive(&case);
+    let (comp_adj, _) = comprehensive.adjusted_normalized(input_size);
 
     let cloud = PointCloud::from_netlist(&case.netlist, dbu, w as f64, h as f64);
     let target = truth_adj
@@ -148,6 +156,7 @@ pub fn build_sample(spec: &CaseSpec, input_size: usize) -> Result<Sample, SolveI
         kind: spec.kind,
         images_basic: basic_adj.to_tensor(),
         images_extended: ext_adj.to_tensor(),
+        images_comprehensive: comp_adj.to_tensor(),
         cloud,
         target,
         info,
@@ -201,6 +210,7 @@ mod tests {
         let s = sample();
         assert_eq!(s.images_basic.dims(), &[3, 32, 32]);
         assert_eq!(s.images_extended.dims(), &[6, 32, 32]);
+        assert_eq!(s.images_comprehensive.dims(), &[8, 32, 32]);
         assert_eq!(s.target.dims(), &[1, 32, 32]);
         assert_eq!(s.truth.width(), 20);
         assert!(s.nodes > 0);
@@ -213,6 +223,7 @@ mod tests {
         let s = sample();
         assert_eq!(s.images_for(3).dims(), vec![1, 3, 32, 32]);
         assert_eq!(s.images_for(6).dims(), vec![1, 6, 32, 32]);
+        assert_eq!(s.images_for(8).dims(), vec![1, 8, 32, 32]);
         assert_eq!(s.target_var().dims(), vec![1, 1, 32, 32]);
     }
 

@@ -135,8 +135,8 @@ fn elementwise_max(a: &Var, b: &Var) -> Result<Var> {
 }
 
 impl IrPredictor for DynamicIrPredictor {
-    fn name(&self) -> &'static str {
-        "DynIR"
+    fn arch(&self) -> crate::arch::ArchSpec {
+        crate::arch::ArchSpec::DynIr
     }
 
     fn input_channels(&self) -> usize {
@@ -147,8 +147,8 @@ impl IrPredictor for DynamicIrPredictor {
         self.cfg.input_size
     }
 
-    fn dynamic_config(&self) -> Option<&DynamicIrConfig> {
-        Some(&self.cfg)
+    fn arch_config(&self) -> Option<crate::arch::ArchConfig> {
+        Some(crate::arch::ArchConfig::Dynamic(self.cfg.clone()))
     }
 
     fn forward(&self, images: &Var, _cloud: Option<&PointCloud>) -> Result<Var> {
@@ -388,8 +388,10 @@ mod tests {
         assert_eq!(m.name(), "DynIR");
         assert_eq!(m.input_channels(), 3);
         assert!(!m.uses_netlist());
-        assert!(m.dynamic_config().is_some());
-        assert!(m.lmmir_config().is_none());
+        assert!(matches!(
+            m.arch_config(),
+            Some(crate::arch::ArchConfig::Dynamic(_))
+        ));
         let x = Var::constant(Tensor::zeros(&[1, 3, 16, 16]));
         let y = m.forward(&x, None).unwrap();
         assert_eq!(y.dims(), vec![1, 1, 16, 16]);

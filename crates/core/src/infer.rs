@@ -9,6 +9,7 @@
 //! netlist), and both meet at [`InferenceSession::forward`] /
 //! [`restore_prediction`].
 
+use crate::arch::FeatureSet;
 use crate::data::{Sample, TARGET_SCALE};
 use crate::metrics::{hotspot_mask, HOTSPOT_FRAC};
 use crate::model::IrPredictor;
@@ -44,11 +45,15 @@ impl InputSpec {
     /// Reads the contract off a model.
     #[must_use]
     pub fn of(model: &dyn IrPredictor) -> Self {
+        let windows = match model.arch_config() {
+            Some(crate::arch::ArchConfig::Dynamic(c)) => c.windows,
+            _ => 0,
+        };
         InputSpec {
             channels: model.input_channels(),
             size: model.input_size(),
             uses_netlist: model.uses_netlist(),
-            windows: model.dynamic_config().map_or(0, |c| c.windows),
+            windows,
         }
     }
 }
@@ -115,11 +120,16 @@ pub fn prepare_parts(
             reason: "power map must be non-empty".to_string(),
         });
     }
-    let (images, info) = match spec.channels {
+    let feature_set =
+        FeatureSet::for_channels(spec.channels).ok_or_else(|| TensorError::InvalidShape {
+            dims: vec![spec.channels],
+            reason: "no feature stack with this channel count".to_string(),
+        })?;
+    let (images, info) = match feature_set {
         // The current map alone (IRPnet's physics-window input) needs no
         // netlist; the adjust + normalize steps match the basic stack's
         // treatment of its current channel exactly.
-        1 => {
+        FeatureSet::CurrentOnly => {
             let (adj, info) = spatial_adjust(&current_map(power), spec.size);
             let (norm, _) = normalize_channel(&adj);
             let images = norm
@@ -128,30 +138,25 @@ pub fn prepare_parts(
                 .expect("adjusted raster is size²");
             (images, info)
         }
-        c @ (3 | 6) => {
+        set => {
             let netlist = netlist.ok_or_else(|| {
                 TensorError::Io(format!(
-                    "model consumes {c} feature channels, which require a netlist, \
-                     but the request carried none"
+                    "model consumes {} feature channels, which require a netlist, \
+                     but the request carried none",
+                    spec.channels
                 ))
             })?;
-            let stack = if c == 3 {
-                FeatureStack::basic_parts(power, netlist, dbu_per_um)
-            } else {
-                FeatureStack::extended_parts(power, netlist, dbu_per_um)
+            let stack = match set {
+                FeatureSet::Basic => FeatureStack::basic_parts(power, netlist, dbu_per_um),
+                FeatureSet::Extended => FeatureStack::extended_parts(power, netlist, dbu_per_um),
+                _ => FeatureStack::comprehensive_parts(power, netlist, dbu_per_um),
             };
             let (adj, info) = stack.adjusted_normalized(spec.size);
             let images = adj
                 .to_tensor()
-                .reshape(&[1, c, spec.size, spec.size])
+                .reshape(&[1, spec.channels, spec.size, spec.size])
                 .expect("adjusted stack is C×size²");
             (images, info)
-        }
-        other => {
-            return Err(TensorError::InvalidShape {
-                dims: vec![other],
-                reason: "no feature stack with this channel count".to_string(),
-            })
         }
     };
     let cloud = match (spec.uses_netlist, netlist) {
@@ -493,6 +498,32 @@ mod tests {
         assert!(static_session
             .prepare_windows(&[case.power.clone(), case.power.clone()])
             .is_err());
+    }
+
+    #[test]
+    fn comprehensive_model_prepares_eight_channels_bitwise() {
+        use crate::zoo::{WacaUnet, WacaUnetConfig};
+        let spec = CaseSpec::new("u", 16, 16, 4, CaseKind::Hidden);
+        let case = spec.generate();
+        let sample = build_sample(&spec, 16).unwrap();
+        let model = WacaUnet::new(WacaUnetConfig {
+            widths: vec![4, 8],
+            input_size: 16,
+            ..WacaUnetConfig::quick()
+        });
+        let session = InferenceSession::new(&model);
+        let from_sample = session.prepare_sample(&sample);
+        assert_eq!(from_sample.images.dims(), &[1, 8, 16, 16]);
+        let from_parts = session
+            .prepare(&case.power, Some(&case.netlist), case.tech.dbu_per_um)
+            .unwrap();
+        assert_eq!(from_sample.images.data(), from_parts.images.data());
+        assert!(session.predict(&from_parts).is_ok());
+        // And like every netlist-fed stack, a missing netlist is rejected.
+        let err = session
+            .prepare(&case.power, None, case.tech.dbu_per_um)
+            .unwrap_err();
+        assert!(err.to_string().contains("netlist"), "got {err}");
     }
 
     #[test]

@@ -45,6 +45,7 @@
 //! ```
 
 pub mod ablation;
+pub mod arch;
 pub mod baselines;
 pub mod blocks;
 pub mod capabilities;
@@ -59,8 +60,10 @@ pub mod model;
 pub mod pipeline;
 pub mod pointcloud;
 pub mod train;
+pub mod zoo;
 
 pub use ablation::AblationVariant;
+pub use arch::{build_predictor, ArchConfig, ArchSpec, FeatureSet};
 pub use baselines::{first_place, iredge, irpnet, second_place, IrpNet, UNetModel};
 pub use capabilities::{table1, ModelCapabilities};
 pub use checkpoint::{
@@ -77,9 +80,10 @@ pub use infer::{
 };
 pub use lnt::{Lnt, LntConfig};
 pub use metrics::{
-    average, confusion, f1_score, hotspot_mask, mae, CaseMetrics, Confusion, HOTSPOT_FRAC,
+    average, cc, confusion, f1_score, hotspot_mask, mae, CaseMetrics, Confusion, HOTSPOT_FRAC,
 };
 pub use model::{FusionModule, IrPredictor, LmmIr, LmmIrConfig};
 pub use pipeline::{evaluate, golden_speedups};
 pub use pointcloud::{NetlistPoint, PointCloud};
 pub use train::{train, TrainConfig, TrainReport};
+pub use zoo::{CfirstNet, CfirstNetConfig, WacaUnet, WacaUnetConfig};

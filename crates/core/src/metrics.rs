@@ -136,6 +136,41 @@ pub fn mae(pred: &Raster, truth: &Raster) -> f64 {
         / pred.data().len() as f64
 }
 
+/// Pearson correlation coefficient between a predicted and a true map —
+/// the CC column CFIRSTNET-style comparisons report alongside MAE.
+///
+/// Returns 0 when either map has no variance (a constant map correlates
+/// with nothing) or the maps are empty.
+///
+/// # Panics
+///
+/// Panics when the rasters differ in size.
+#[must_use]
+pub fn cc(pred: &Raster, truth: &Raster) -> f64 {
+    assert_eq!(
+        (pred.width(), pred.height()),
+        (truth.width(), truth.height()),
+        "prediction/truth raster size mismatch"
+    );
+    let n = pred.data().len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = |r: &Raster| r.data().iter().map(|&v| f64::from(v)).sum::<f64>() / n as f64;
+    let (mp, mt) = (mean(pred), mean(truth));
+    let (mut cov, mut vp, mut vt) = (0.0f64, 0.0f64, 0.0f64);
+    for (p, t) in pred.data().iter().zip(truth.data()) {
+        let (dp, dt) = (f64::from(*p) - mp, f64::from(*t) - mt);
+        cov += dp * dt;
+        vp += dp * dp;
+        vt += dt * dt;
+    }
+    if vp == 0.0 || vt == 0.0 {
+        return 0.0;
+    }
+    cov / (vp * vt).sqrt()
+}
+
 /// Metrics for one evaluated case, matching one row of Table III.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CaseMetrics {
@@ -253,6 +288,29 @@ mod tests {
         assert!((avg.mae_e4 - 3.0).abs() < 1e-12);
         assert!((avg.tat - 2.0).abs() < 1e-12);
         assert_eq!(avg.id, "Avg");
+    }
+
+    #[test]
+    fn cc_tracks_linear_relationships() {
+        let t = raster(&[0.1, 0.2, 0.3, 0.4], 2);
+        // Any positive affine transform correlates perfectly.
+        let scaled = raster(&[0.3, 0.5, 0.7, 0.9], 2);
+        assert!((cc(&scaled, &t) - 1.0).abs() < 1e-12);
+        // A negated map anti-correlates perfectly.
+        let neg = raster(&[0.4, 0.3, 0.2, 0.1], 2);
+        assert!((cc(&neg, &t) + 1.0).abs() < 1e-12);
+        // Constant maps carry no signal.
+        let flat = raster(&[0.5; 4], 2);
+        assert_eq!(cc(&flat, &t), 0.0);
+        assert_eq!(cc(&t, &flat), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn cc_size_mismatch_panics() {
+        let a = raster(&[0.0; 4], 2);
+        let b = raster(&[0.0; 6], 3);
+        let _ = cc(&a, &b);
     }
 
     #[test]

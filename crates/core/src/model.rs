@@ -14,8 +14,16 @@ use rand::{Rng, SeedableRng};
 /// (LMM-IR and all baselines), so the trainer and the benchmark harness
 /// treat them uniformly.
 pub trait IrPredictor {
-    /// Model name as used in the paper's tables.
-    fn name(&self) -> &'static str;
+    /// The architecture descriptor this model is an instance of — the
+    /// single identity the registry, the checkpoint layer and the benchmark
+    /// harness dispatch on.
+    fn arch(&self) -> crate::arch::ArchSpec;
+
+    /// Model name as used in the paper's tables (derived from the
+    /// descriptor; never override).
+    fn name(&self) -> &'static str {
+        self.arch().name()
+    }
 
     /// Number of input image channels the model expects.
     fn input_channels(&self) -> usize;
@@ -28,19 +36,12 @@ pub trait IrPredictor {
         false
     }
 
-    /// The full LMM-IR configuration, for models that carry one. Baselines
-    /// return `None` — their architecture is fully determined by name,
-    /// channel count and input size. Checkpoint format v3 serializes this,
-    /// so a trained non-`quick()` LMM-IR reconstructs exactly.
-    fn lmmir_config(&self) -> Option<&LmmIrConfig> {
-        None
-    }
-
-    /// The dynamic (PowerNet-style) configuration, for models of that
-    /// family. Serialized into a `config.dynamic` checkpoint entry so a
-    /// trained dynamic predictor reconstructs its window count and trunk
-    /// plan exactly. Static models return `None`.
-    fn dynamic_config(&self) -> Option<&crate::dynamic::DynamicIrConfig> {
+    /// The full family-tagged configuration, for models that carry one.
+    /// Baselines return `None` — their architecture is fully determined by
+    /// name, channel count and input size. Checkpoint format v3+ serializes
+    /// this into a `config.*` entry, so a trained non-`quick()` model
+    /// reconstructs exactly.
+    fn arch_config(&self) -> Option<crate::arch::ArchConfig> {
         None
     }
 
@@ -272,8 +273,8 @@ impl LmmIr {
 }
 
 impl IrPredictor for LmmIr {
-    fn name(&self) -> &'static str {
-        "LMM-IR"
+    fn arch(&self) -> crate::arch::ArchSpec {
+        crate::arch::ArchSpec::LmmIr
     }
 
     fn input_channels(&self) -> usize {
@@ -288,8 +289,8 @@ impl IrPredictor for LmmIr {
         self.cfg.use_lnt
     }
 
-    fn lmmir_config(&self) -> Option<&LmmIrConfig> {
-        Some(&self.cfg)
+    fn arch_config(&self) -> Option<crate::arch::ArchConfig> {
+        Some(crate::arch::ArchConfig::LmmIr(self.cfg.clone()))
     }
 
     fn forward(&self, images: &Var, cloud: Option<&PointCloud>) -> Result<Var> {

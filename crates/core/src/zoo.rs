@@ -1,0 +1,412 @@
+//! Comprehensive-feature model-zoo variants: a CFIRSTNET-style plain U-Net
+//! and the WACA-UNet channel-attention variant.
+//!
+//! Both consume the 8-channel **comprehensive** feature stack
+//! (`lmmir_features::FeatureStack::comprehensive`, after CFIRSTNET,
+//! arXiv:2502.12168): the extended 6-channel stack plus the
+//! effective-resistance and pad-distance maps. They differ only in the
+//! skip-connection treatment:
+//!
+//! * [`CfirstNet`] — a plain U-Net trunk (no gates), betting entirely on
+//!   the richer input features.
+//! * [`WacaUnet`] — the same trunk with a weak-aware channel-attention
+//!   block ([`lmmir_nn::ChannelAttention`], after WACA-UNet,
+//!   arXiv:2507.19197) recalibrating every encoder feature before the
+//!   decoder consumes it.
+
+use crate::arch::{ArchConfig, ArchSpec};
+use crate::blocks::{UNetDecoder, UNetEncoder};
+use crate::model::IrPredictor;
+use crate::pointcloud::PointCloud;
+use lmmir_nn::{ChannelAttention, Module};
+use lmmir_tensor::{Result, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the CFIRSTNET-style comprehensive-feature U-Net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfirstNetConfig {
+    /// Input image channels (8 for the comprehensive stack).
+    pub in_channels: usize,
+    /// Encoder/decoder channel plan; `len - 1` pooling stages.
+    pub widths: Vec<usize>,
+    /// Stem kernel size.
+    pub stem_kernel: usize,
+    /// Square input size the model trains at.
+    pub input_size: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl CfirstNetConfig {
+    /// Laptop-scale preset matching the other `quick()` models.
+    #[must_use]
+    pub fn quick() -> Self {
+        CfirstNetConfig {
+            in_channels: 8,
+            widths: vec![8, 16, 32],
+            stem_kernel: 3,
+            input_size: 48,
+            seed: 0xCF12,
+        }
+    }
+
+    /// Validates internal consistency (pooling divisibility, non-empty plan).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated constraint.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.widths.len() < 2 {
+            return Err("need at least two widths (one pooling stage)".to_string());
+        }
+        let pools = self.widths.len() - 1;
+        if self.input_size % (1 << pools) != 0 {
+            return Err(format!(
+                "input size {} not divisible by 2^{pools}",
+                self.input_size
+            ));
+        }
+        if self.in_channels == 0 {
+            return Err("in_channels must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// CFIRSTNET-style predictor: plain U-Net over the comprehensive stack.
+#[derive(Debug)]
+pub struct CfirstNet {
+    cfg: CfirstNetConfig,
+    encoder: UNetEncoder,
+    decoder: UNetDecoder,
+}
+
+impl CfirstNet {
+    /// Builds the model from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid (see
+    /// [`CfirstNetConfig::validate`]) — configurations are
+    /// programmer-supplied; checkpoint-supplied ones go through
+    /// [`ArchSpec::build`], which validates first.
+    #[must_use]
+    pub fn new(cfg: CfirstNetConfig) -> Self {
+        cfg.validate().expect("valid CFIRSTNET configuration");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let encoder = UNetEncoder::new(cfg.in_channels, &cfg.widths, cfg.stem_kernel, &mut rng);
+        let decoder = UNetDecoder::new(&cfg.widths, 1, false, &mut rng);
+        CfirstNet {
+            cfg,
+            encoder,
+            decoder,
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &CfirstNetConfig {
+        &self.cfg
+    }
+}
+
+impl IrPredictor for CfirstNet {
+    fn arch(&self) -> ArchSpec {
+        ArchSpec::CfirstNet
+    }
+
+    fn input_channels(&self) -> usize {
+        self.cfg.in_channels
+    }
+
+    fn input_size(&self) -> usize {
+        self.cfg.input_size
+    }
+
+    fn arch_config(&self) -> Option<ArchConfig> {
+        Some(ArchConfig::Cfirst(self.cfg.clone()))
+    }
+
+    fn forward(&self, images: &Var, _cloud: Option<&PointCloud>) -> Result<Var> {
+        self.decoder.decode(&self.encoder.encode(images)?)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.encoder.parameters();
+        p.extend(self.decoder.parameters());
+        p
+    }
+
+    fn set_training(&self, training: bool) {
+        self.encoder.set_training(training);
+        self.decoder.set_training(training);
+    }
+
+    fn quantize(&self) -> usize {
+        self.encoder.quantize() + self.decoder.quantize()
+    }
+}
+
+/// Configuration of the WACA-UNet variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WacaUnetConfig {
+    /// Input image channels (8 for the comprehensive stack).
+    pub in_channels: usize,
+    /// Encoder/decoder channel plan; `len - 1` pooling stages.
+    pub widths: Vec<usize>,
+    /// Stem kernel size.
+    pub stem_kernel: usize,
+    /// Squeeze-excitation reduction ratio of every channel-attention block.
+    pub reduction: usize,
+    /// Square input size the model trains at.
+    pub input_size: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl WacaUnetConfig {
+    /// Laptop-scale preset matching the other `quick()` models.
+    #[must_use]
+    pub fn quick() -> Self {
+        WacaUnetConfig {
+            in_channels: 8,
+            widths: vec![8, 16, 32],
+            stem_kernel: 3,
+            reduction: 4,
+            input_size: 48,
+            seed: 0x3ACA,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated constraint.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.widths.len() < 2 {
+            return Err("need at least two widths (one pooling stage)".to_string());
+        }
+        let pools = self.widths.len() - 1;
+        if self.input_size % (1 << pools) != 0 {
+            return Err(format!(
+                "input size {} not divisible by 2^{pools}",
+                self.input_size
+            ));
+        }
+        if self.in_channels == 0 {
+            return Err("in_channels must be positive".to_string());
+        }
+        if self.reduction == 0 {
+            return Err("reduction must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// WACA-UNet predictor: the CFIRSTNET trunk with weak-aware channel
+/// attention recalibrating every encoder feature (skips *and* bottleneck)
+/// before decoding.
+#[derive(Debug)]
+pub struct WacaUnet {
+    cfg: WacaUnetConfig,
+    encoder: UNetEncoder,
+    attn: Vec<ChannelAttention>,
+    decoder: UNetDecoder,
+}
+
+impl WacaUnet {
+    /// Builds the model from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid (see
+    /// [`WacaUnetConfig::validate`]).
+    #[must_use]
+    pub fn new(cfg: WacaUnetConfig) -> Self {
+        cfg.validate().expect("valid WACA-UNet configuration");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let encoder = UNetEncoder::new(cfg.in_channels, &cfg.widths, cfg.stem_kernel, &mut rng);
+        let attn = cfg
+            .widths
+            .iter()
+            .map(|&w| ChannelAttention::new(w, cfg.reduction, &mut rng))
+            .collect();
+        let decoder = UNetDecoder::new(&cfg.widths, 1, false, &mut rng);
+        WacaUnet {
+            cfg,
+            encoder,
+            attn,
+            decoder,
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &WacaUnetConfig {
+        &self.cfg
+    }
+}
+
+impl IrPredictor for WacaUnet {
+    fn arch(&self) -> ArchSpec {
+        ArchSpec::WacaUnet
+    }
+
+    fn input_channels(&self) -> usize {
+        self.cfg.in_channels
+    }
+
+    fn input_size(&self) -> usize {
+        self.cfg.input_size
+    }
+
+    fn arch_config(&self) -> Option<ArchConfig> {
+        Some(ArchConfig::Waca(self.cfg.clone()))
+    }
+
+    fn forward(&self, images: &Var, _cloud: Option<&PointCloud>) -> Result<Var> {
+        let mut features = self.encoder.encode(images)?;
+        for (f, a) in features.iter_mut().zip(&self.attn) {
+            *f = a.forward(f)?;
+        }
+        self.decoder.decode(&features)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.encoder.parameters();
+        for a in &self.attn {
+            p.extend(a.parameters());
+        }
+        p.extend(self.decoder.parameters());
+        p
+    }
+
+    fn set_training(&self, training: bool) {
+        self.encoder.set_training(training);
+        for a in &self.attn {
+            a.set_training(training);
+        }
+        self.decoder.set_training(training);
+    }
+
+    fn quantize(&self) -> usize {
+        self.encoder.quantize()
+            + self.attn.iter().map(Module::quantize).sum::<usize>()
+            + self.decoder.quantize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmmir_tensor::Tensor;
+
+    fn tiny_cfirst() -> CfirstNetConfig {
+        CfirstNetConfig {
+            widths: vec![4, 8],
+            input_size: 16,
+            ..CfirstNetConfig::quick()
+        }
+    }
+
+    fn tiny_waca() -> WacaUnetConfig {
+        WacaUnetConfig {
+            widths: vec![4, 8],
+            reduction: 2,
+            input_size: 16,
+            ..WacaUnetConfig::quick()
+        }
+    }
+
+    #[test]
+    fn forward_shapes_and_identity() {
+        let x = Var::constant(Tensor::zeros(&[1, 8, 16, 16]));
+        let c = CfirstNet::new(tiny_cfirst());
+        assert_eq!(c.forward(&x, None).unwrap().dims(), vec![1, 1, 16, 16]);
+        assert_eq!(c.arch(), ArchSpec::CfirstNet);
+        assert_eq!(c.name(), "CFIRSTNET");
+        assert!(!c.uses_netlist(), "the netlist feeds features, not forward");
+        assert!(matches!(c.arch_config(), Some(ArchConfig::Cfirst(_))));
+        let w = WacaUnet::new(tiny_waca());
+        assert_eq!(w.forward(&x, None).unwrap().dims(), vec![1, 1, 16, 16]);
+        assert_eq!(w.arch(), ArchSpec::WacaUnet);
+        assert_eq!(w.name(), "WACA-UNet");
+        assert!(matches!(w.arch_config(), Some(ArchConfig::Waca(_))));
+    }
+
+    #[test]
+    fn waca_attention_adds_parameters_over_cfirst() {
+        let c = CfirstNet::new(tiny_cfirst());
+        let w = WacaUnet::new(tiny_waca());
+        assert!(
+            w.parameters().len() > c.parameters().len(),
+            "one attention block per encoder level must show up"
+        );
+        let per_level = 4; // two linear layers with bias each
+        assert_eq!(
+            w.parameters().len() - c.parameters().len(),
+            per_level * tiny_waca().widths.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        for (a, b) in [(WacaUnet::new(tiny_waca()), WacaUnet::new(tiny_waca()))] {
+            let (pa, pb) = (a.parameters(), b.parameters());
+            assert_eq!(pa.len(), pb.len());
+            for (x, y) in pa.iter().zip(&pb) {
+                assert_eq!(x.value().data(), y.value().data());
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_flow_everywhere() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let x = Var::constant(lmmir_tensor::init::uniform(&[1, 8, 16, 16], 1.0, &mut rng));
+        for m in [
+            Box::new(CfirstNet::new(tiny_cfirst())) as Box<dyn IrPredictor>,
+            Box::new(WacaUnet::new(tiny_waca())),
+        ] {
+            m.forward(&x, None).unwrap().sum().backward();
+            let missing = m.parameters().iter().filter(|p| p.grad().is_none()).count();
+            assert_eq!(missing, 0, "{}: every parameter gets gradient", m.name());
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CfirstNetConfig::quick().validate().is_ok());
+        assert!(WacaUnetConfig::quick().validate().is_ok());
+        let bad = CfirstNetConfig {
+            input_size: 47,
+            ..CfirstNetConfig::quick()
+        };
+        assert!(bad.validate().is_err());
+        let bad = WacaUnetConfig {
+            reduction: 0,
+            ..WacaUnetConfig::quick()
+        };
+        assert!(bad.validate().is_err());
+        let bad = WacaUnetConfig {
+            widths: vec![8],
+            ..WacaUnetConfig::quick()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn quantize_covers_trunk_and_attention() {
+        let c = CfirstNet::new(tiny_cfirst());
+        let w = WacaUnet::new(tiny_waca());
+        let (qc, qw) = (c.quantize(), w.quantize());
+        assert!(qc > 0);
+        assert_eq!(
+            qw,
+            qc + 2 * tiny_waca().widths.len(),
+            "each attention block quantizes its two linear layers"
+        );
+    }
+}

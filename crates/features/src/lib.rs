@@ -14,9 +14,13 @@
 //! | voltage-source map | pad positions/values (paper's extra channel) |
 //! | current-source map | tap positions/values (paper's extra channel) |
 //! | resistance map | resistor values spread over covered pixels (extra) |
+//! | effective-resistance map | uniform-injection CG solve of the PDN (comprehensive) |
+//! | pad-distance map | shortest resistive path to a pad (comprehensive) |
 //!
-//! The first three form the **basic** (IREDGe) stack; all six form the
-//! **extended** stack used by LMM-IR. The crate also rasterizes golden
+//! The first three form the **basic** (IREDGe) stack; the first six form the
+//! **extended** stack used by LMM-IR; all eight form the **comprehensive**
+//! stack (CFIRSTNET, arXiv:2502.12168) consumed by the CFIRSTNET and
+//! WACA-UNet model variants. The crate also rasterizes golden
 //! [`lmmir_solver::IrDrop`] results into ground-truth IR maps, and provides
 //! the spatial-adjustment pipeline (bilinear scaling / padding / per-channel
 //! normalization) described in §III-A.
@@ -39,6 +43,7 @@ pub mod fingerprint;
 pub mod io;
 pub mod maps;
 pub mod raster;
+pub mod resistance;
 pub mod spatial;
 pub mod stack;
 pub mod violations;
@@ -50,6 +55,7 @@ pub use maps::{
     resistance_map, voltage_source_map,
 };
 pub use raster::Raster;
+pub use resistance::{effective_resistance_map, pad_distance_map};
 pub use spatial::{normalize_channel, pad_to, resize_bilinear, spatial_adjust, SpatialInfo};
 pub use stack::{FeatureChannel, FeatureStack};
 pub use violations::{check_budget, find_violations, ViolationRegion, ViolationReport};

@@ -5,12 +5,12 @@ use lmmir_pdn::PowerMap;
 use lmmir_solver::IrDrop;
 use lmmir_spice::{ElementKind, Netlist, NodeName};
 
-fn to_px(dbu: i64, dbu_per_um: i64) -> isize {
+pub(crate) fn to_px(dbu: i64, dbu_per_um: i64) -> isize {
     (dbu as f64 / dbu_per_um as f64).floor() as isize
 }
 
 /// Lowest metal layer present in the netlist (`m1` in generated PDNs).
-fn lowest_layer(netlist: &Netlist) -> Option<u8> {
+pub(crate) fn lowest_layer(netlist: &Netlist) -> Option<u8> {
     netlist
         .iter()
         .flat_map(|e| [e.a.name(), e.b.name()])
@@ -262,12 +262,20 @@ pub fn ir_drop_map(
             splat_max(node, drop);
         }
     }
-    // Hole filling: average of filled 4-neighbours, repeated until dense.
+    fill_holes(&mut r, &mut filled);
+    r
+}
+
+/// Hole filling: every uncovered pixel becomes the average of its filled
+/// 4-neighbours, repeated until the raster is dense (used by the solved-map
+/// rasterizers, which only cover pixels that carry a lowest-layer node).
+pub(crate) fn fill_holes(r: &mut Raster, filled: &mut [bool]) {
+    let (width, height) = (r.width(), r.height());
     let mut remaining: usize = filled.iter().filter(|&&f| !f).count();
     let mut guard = width + height + 2;
     while remaining > 0 && guard > 0 {
         guard -= 1;
-        let snapshot = filled.clone();
+        let snapshot = filled.to_vec();
         let values = r.data().to_vec();
         for y in 0..height {
             for x in 0..width {
@@ -301,7 +309,6 @@ pub fn ir_drop_map(
             }
         }
     }
-    r
 }
 
 #[cfg(test)]

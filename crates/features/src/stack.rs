@@ -2,6 +2,7 @@
 
 use crate::maps;
 use crate::raster::Raster;
+use crate::resistance;
 use crate::spatial::{normalize_channel, spatial_adjust, SpatialInfo};
 use lmmir_pdn::{Case, PowerMap};
 use lmmir_spice::Netlist;
@@ -22,6 +23,10 @@ pub enum FeatureChannel {
     CurrentSource,
     /// Resistor mass per pixel.
     Resistance,
+    /// Effective resistance to the pads (uniform-injection CG solve).
+    EffectiveResistance,
+    /// Shortest resistive path to the nearest pad (multi-source Dijkstra).
+    PadDistance,
 }
 
 impl FeatureChannel {
@@ -35,6 +40,8 @@ impl FeatureChannel {
             FeatureChannel::VoltageSource => "voltage_source",
             FeatureChannel::CurrentSource => "current_source",
             FeatureChannel::Resistance => "resistance",
+            FeatureChannel::EffectiveResistance => "eff_res",
+            FeatureChannel::PadDistance => "pad_dist",
         }
     }
 }
@@ -63,6 +70,19 @@ const EXTENDED_CHANNELS: [FeatureChannel; 6] = [
     FeatureChannel::Resistance,
 ];
 
+/// The comprehensive 8-channel plan (CFIRSTNET, arXiv:2502.12168): extended
+/// plus the PDN-graph effective-resistance and pad-distance maps.
+const COMPREHENSIVE_CHANNELS: [FeatureChannel; 8] = [
+    FeatureChannel::Current,
+    FeatureChannel::EffectiveDistance,
+    FeatureChannel::PdnDensity,
+    FeatureChannel::VoltageSource,
+    FeatureChannel::CurrentSource,
+    FeatureChannel::Resistance,
+    FeatureChannel::EffectiveResistance,
+    FeatureChannel::PadDistance,
+];
+
 /// Rasterizes one feature channel from a power map and netlist.
 fn build_channel(power: &PowerMap, netlist: &Netlist, dbu: i64, kind: FeatureChannel) -> Raster {
     let (w, h) = (power.width(), power.height());
@@ -73,6 +93,10 @@ fn build_channel(power: &PowerMap, netlist: &Netlist, dbu: i64, kind: FeatureCha
         FeatureChannel::VoltageSource => maps::voltage_source_map(netlist, w, h, dbu),
         FeatureChannel::CurrentSource => maps::current_source_map(netlist, w, h, dbu),
         FeatureChannel::Resistance => maps::resistance_map(netlist, w, h, dbu),
+        FeatureChannel::EffectiveResistance => {
+            resistance::effective_resistance_map(netlist, w, h, dbu)
+        }
+        FeatureChannel::PadDistance => resistance::pad_distance_map(netlist, w, h, dbu),
     }
 }
 
@@ -114,6 +138,19 @@ impl FeatureStack {
     #[must_use]
     pub fn extended_parts(power: &PowerMap, netlist: &Netlist, dbu_per_um: i64) -> Self {
         FeatureStack::rasterize(power, netlist, dbu_per_um, &EXTENDED_CHANNELS)
+    }
+
+    /// The comprehensive 8-channel stack: extended plus the PDN-graph
+    /// effective-resistance and pad-distance maps (CFIRSTNET's feature set).
+    #[must_use]
+    pub fn comprehensive(case: &Case) -> Self {
+        FeatureStack::comprehensive_parts(&case.power, &case.netlist, case.tech.dbu_per_um)
+    }
+
+    /// [`FeatureStack::comprehensive`] from the raw design parts.
+    #[must_use]
+    pub fn comprehensive_parts(power: &PowerMap, netlist: &Netlist, dbu_per_um: i64) -> Self {
+        FeatureStack::rasterize(power, netlist, dbu_per_um, &COMPREHENSIVE_CHANNELS)
     }
 
     /// Builds a stack from explicit channels.
@@ -242,6 +279,33 @@ mod tests {
         assert!(FeatureStack::basic(&c)
             .channel(FeatureChannel::Resistance)
             .is_none());
+    }
+
+    #[test]
+    fn comprehensive_has_eight_channels() {
+        let c = case();
+        let s = FeatureStack::comprehensive(&c);
+        assert_eq!(s.channels(), 8);
+        assert!(s.channel(FeatureChannel::EffectiveResistance).is_some());
+        assert!(s.channel(FeatureChannel::PadDistance).is_some());
+        assert_eq!(
+            FeatureStack::comprehensive_parts(&c.power, &c.netlist, c.tech.dbu_per_um)
+                .content_hash(),
+            s.content_hash()
+        );
+    }
+
+    #[test]
+    fn comprehensive_stack_is_thread_count_invariant() {
+        let c = case();
+        let hashes: Vec<u64> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&t| lmmir_par::with_threads(t, || FeatureStack::comprehensive(&c).content_hash()))
+            .collect();
+        assert!(
+            hashes.windows(2).all(|p| p[0] == p[1]),
+            "comprehensive stack must be bitwise identical at any thread count: {hashes:?}"
+        );
     }
 
     #[test]

@@ -220,6 +220,94 @@ impl Module for AttentionGate {
     }
 }
 
+/// Weakness-aware channel attention (WACA-UNet, arXiv:2507.19197).
+///
+/// Squeeze-and-excitation style channel recalibration with a second
+/// "weakness" pooling branch: alongside the usual global average of each
+/// channel, the block pools the magnitude of the *negative* responses
+/// (`mean(relu(-x))`), letting the gate react to channels whose activations
+/// collapse in weak-signal regions — exactly the under-driven areas where
+/// IR hotspots hide. Both pooled vectors pass through a shared two-layer
+/// MLP with reduction ratio `r`; the sigmoid of their sum gates the input
+/// per channel.
+#[derive(Debug)]
+pub struct ChannelAttention {
+    fc1: Linear,
+    fc2: Linear,
+    channels: usize,
+}
+
+impl ChannelAttention {
+    /// Creates a channel-attention block over `channels` feature maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channels` or `reduction` is zero.
+    #[must_use]
+    pub fn new(channels: usize, reduction: usize, rng: &mut impl Rng) -> Self {
+        assert!(
+            channels > 0 && reduction > 0,
+            "channel attention needs channels {channels} > 0 and reduction {reduction} > 0"
+        );
+        let hidden = (channels / reduction).max(1);
+        ChannelAttention {
+            fc1: Linear::new(channels, hidden, true, rng),
+            fc2: Linear::new(hidden, channels, true, rng),
+            channels,
+        }
+    }
+
+    /// Channel count the block was built for.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Shared excitation MLP applied to a pooled `[N, C]` descriptor.
+    fn excite(&self, pooled: &Var) -> Result<Var> {
+        self.fc2.forward(&self.fc1.forward(pooled)?.relu())
+    }
+}
+
+impl Module for ChannelAttention {
+    /// Gates `x` (`[N, C, H, W]`) per channel; output shape equals input.
+    fn forward(&self, x: &Var) -> Result<Var> {
+        let d = x.dims();
+        if d.len() != 4 || d[1] != self.channels {
+            return Err(TensorError::InvalidShape {
+                dims: d,
+                reason: format!("channel attention expects [N, {}, H, W]", self.channels),
+            });
+        }
+        let (n, c) = (d[0], d[1]);
+        // Strength branch: global average pooling per channel.
+        let avg = x.mean_axes(&[2, 3], false)?;
+        // Weakness branch: average magnitude of the negative responses.
+        let weak = x.scale(-1.0).relu().mean_axes(&[2, 3], false)?;
+        let gate = self
+            .excite(&avg)?
+            .add(&self.excite(&weak)?)?
+            .sigmoid()
+            .reshape(&[n, c, 1, 1])?;
+        x.mul(&gate)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.fc1.parameters();
+        p.extend(self.fc2.parameters());
+        p
+    }
+
+    fn set_training(&self, training: bool) {
+        self.fc1.set_training(training);
+        self.fc2.set_training(training);
+    }
+
+    fn quantize(&self) -> usize {
+        self.fc1.quantize() + self.fc2.quantize()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +399,45 @@ mod tests {
         let g = rand_var(&[1, 4, 8, 8], 9);
         let x = rand_var(&[1, 6, 4, 4], 10);
         assert!(gate.forward_gated(&g, &x).is_err());
+    }
+
+    #[test]
+    fn channel_attention_gates_per_channel() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ca = ChannelAttention::new(6, 2, &mut rng);
+        let x = rand_var(&[2, 6, 5, 5], 13);
+        let y = ca.forward(&x).unwrap();
+        assert_eq!(y.dims(), vec![2, 6, 5, 5]);
+        // The gate is a per-(sample, channel) scalar in (0,1): within one
+        // channel every pixel must be scaled by the same factor, and the
+        // output magnitude never exceeds the input.
+        let xv = x.to_tensor();
+        let yv = y.to_tensor();
+        for (xo, yo) in xv.data().chunks(25).zip(yv.data().chunks(25)) {
+            let ratio = yo[0] / xo[0];
+            assert!(ratio > 0.0 && ratio < 1.0, "gate outside (0,1): {ratio}");
+            for (xi, yi) in xo.iter().zip(yo) {
+                assert!((yi - xi * ratio).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn channel_attention_rejects_wrong_channels() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ca = ChannelAttention::new(4, 2, &mut rng);
+        assert!(ca.forward(&rand_var(&[1, 3, 4, 4], 14)).is_err());
+        assert!(ca.forward(&rand_var(&[4, 4, 4], 15)).is_err());
+    }
+
+    #[test]
+    fn channel_attention_gradients_flow() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ca = ChannelAttention::new(4, 4, &mut rng);
+        let x = rand_var(&[1, 4, 3, 3], 16);
+        ca.forward(&x).unwrap().sum().backward();
+        assert!(ca.parameters().iter().all(|p| p.grad().is_some()));
+        assert_eq!(ca.parameters().len(), 4);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod module;
 pub mod norm;
 pub mod pool;
 
-pub use attention::{AttentionGate, MultiHeadAttention};
+pub use attention::{AttentionGate, ChannelAttention, MultiHeadAttention};
 pub use container::Sequential;
 pub use conv::{Conv2d, ConvTranspose2d};
 pub use dropout::Dropout;

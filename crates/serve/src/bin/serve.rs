@@ -370,12 +370,13 @@ fn demo_ckpt(args: &[String]) -> ExitCode {
     if arch == "DynIR" {
         return demo_dynamic_ckpt(path, size, windows, widths, epochs, cases, seed);
     }
-    let channels = match arch.as_str() {
-        "IREDGe" => 3,
-        "IRPnet" => 1,
-        "1st Place" | "2nd Place" | "LMM-IR" => 6,
-        other => {
-            eprintln!("serve: unknown --arch {other:?}");
+    let channels = match lmm_ir::ArchSpec::from_name(&arch) {
+        Some(spec) => spec.default_input_channels(),
+        None => {
+            eprintln!(
+                "serve: unknown --arch {arch:?} (known: {})",
+                lmm_ir::ArchSpec::known_names()
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -404,7 +405,6 @@ fn demo_ckpt(args: &[String]) -> ExitCode {
             input_channels: channels,
             input_size: size,
             config: None,
-            dynamic: None,
             quant_scales: Default::default(),
         };
         match instantiate(&meta) {

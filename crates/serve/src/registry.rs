@@ -13,10 +13,7 @@
 //! down serving.
 
 use crate::ServeError;
-use lmm_ir::{
-    first_place, iredge, irpnet, restore_parameters, second_place, split_meta, CheckpointMeta,
-    DynamicIrConfig, DynamicIrPredictor, IrPredictor, LmmIr, LmmIrConfig,
-};
+use lmm_ir::{restore_parameters, split_meta, CheckpointMeta, IrPredictor};
 use std::collections::HashMap;
 use std::path::PathBuf;
 
@@ -83,72 +80,18 @@ pub struct LoadedModel {
 /// recorded input size (weights are overwritten by the subsequent restore,
 /// so the seed is irrelevant).
 ///
-/// An `LMM-IR` checkpoint with a full config (format v3) is rebuilt from
-/// **exactly** that config — widths, LNT plan, ablation switches — so
-/// paper-scale checkpoints serve end-to-end. A v2 LMM-IR checkpoint (no
-/// config recorded) falls back to [`LmmIrConfig::quick`] with the input
-/// size overridden, which matches what the v2 writer could produce.
+/// This is a thin serve-flavoured wrapper over [`lmm_ir::build_predictor`]:
+/// the architecture enumeration, config-aware reconstruction (a v3+
+/// checkpoint rebuilds from **exactly** its recorded config — widths, LNT
+/// plan, ablation switches) and legacy fallbacks all live in core, so a
+/// new registry variant never needs a change here.
 ///
 /// # Errors
 ///
 /// Returns [`ServeError::Registry`] for an unknown architecture name or an
 /// input size the architecture cannot be built at.
 pub fn instantiate(meta: &CheckpointMeta) -> Result<Box<dyn IrPredictor>, ServeError> {
-    let size = meta.input_size;
-    let model: Box<dyn IrPredictor> = match meta.model.as_str() {
-        "IREDGe" => Box::new(iredge(size, 0)),
-        "1st Place" => Box::new(first_place(size, 0)),
-        "2nd Place" => Box::new(second_place(size, 0)),
-        "IRPnet" => Box::new(irpnet(size, 0)),
-        "LMM-IR" => {
-            let cfg = match &meta.config {
-                Some(cfg) => cfg.clone(),
-                None => LmmIrConfig {
-                    input_size: size,
-                    ..LmmIrConfig::quick()
-                },
-            };
-            cfg.validate().map_err(|e| {
-                ServeError::Registry(format!("cannot build LMM-IR at {size} px: {e}"))
-            })?;
-            Box::new(LmmIr::new(cfg))
-        }
-        "DynIR" => {
-            // A dynamic checkpoint with a recorded trunk plan (the
-            // `config.dynamic` entry) rebuilds exactly; without one, the
-            // window count is pinned by the channel metadata and the trunk
-            // falls back to the quick() plan — matching what a writer
-            // without the config entry could have produced.
-            let cfg = match &meta.dynamic {
-                Some(cfg) => cfg.clone(),
-                None => DynamicIrConfig {
-                    windows: meta.input_channels,
-                    input_size: size,
-                    ..DynamicIrConfig::quick()
-                },
-            };
-            cfg.validate().map_err(|e| {
-                ServeError::Registry(format!("cannot build DynIR at {size} px: {e}"))
-            })?;
-            Box::new(DynamicIrPredictor::new(cfg))
-        }
-        other => {
-            return Err(ServeError::Registry(format!(
-                "checkpoint names unknown architecture '{other}' \
-                 (known: IREDGe, 1st Place, 2nd Place, IRPnet, LMM-IR, DynIR)"
-            )))
-        }
-    };
-    if model.input_channels() != meta.input_channels {
-        return Err(ServeError::Registry(format!(
-            "architecture '{}' consumes {} channels but the checkpoint \
-             metadata claims {}",
-            meta.model,
-            model.input_channels(),
-            meta.input_channels
-        )));
-    }
-    Ok(model)
+    lmm_ir::build_predictor(meta).map_err(ServeError::Registry)
 }
 
 fn load_one(spec: &ModelSpec, quantized: bool) -> Result<LoadedModel, ServeError> {
@@ -308,7 +251,7 @@ impl ModelRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lmm_ir::save_predictor;
+    use lmm_ir::{iredge, save_predictor, ArchConfig, LmmIr, LmmIrConfig};
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("lmmir_serve_registry");
@@ -340,13 +283,14 @@ mod tests {
             ("IRPnet", 1),
             ("LMM-IR", 6),
             ("DynIR", 4),
+            ("CFIRSTNET", 8),
+            ("WACA-UNet", 8),
         ] {
             let meta = CheckpointMeta {
                 model: name.to_string(),
                 input_channels: channels,
                 input_size: 16,
                 config: None,
-                dynamic: None,
                 quant_scales: Default::default(),
             };
             let model = instantiate(&meta).unwrap();
@@ -354,6 +298,9 @@ mod tests {
             assert_eq!(model.input_channels(), channels);
             assert_eq!(model.input_size(), 16);
         }
+        // The table above must cover the whole enumeration — a registry
+        // variant added to core shows up here or this test fails.
+        assert_eq!(lmm_ir::ArchSpec::ALL.len(), 8);
     }
 
     #[test]
@@ -382,8 +329,7 @@ mod tests {
             model: "LMM-IR".to_string(),
             input_channels: 6,
             input_size: 16,
-            config: Some(cfg),
-            dynamic: None,
+            config: Some(ArchConfig::LmmIr(cfg)),
             quant_scales: Default::default(),
         };
         let built = instantiate(&meta).unwrap();
@@ -414,7 +360,7 @@ mod tests {
         save_predictor(&model, &path).unwrap();
         let reg = ModelRegistry::load(RegistrySpec::single("big", &path)).unwrap();
         let loaded = reg.resolve("big").unwrap();
-        assert_eq!(loaded.meta.config.as_ref(), Some(&cfg));
+        assert_eq!(loaded.meta.lmmir_config(), Some(&cfg));
         // The current writer records int8 scales alongside the config.
         assert_eq!(loaded.meta.format_version(), 4);
         // Weights restored into the exact architecture bit-for-bit.
@@ -496,6 +442,7 @@ mod tests {
 
     #[test]
     fn dynamic_checkpoint_round_trips_through_registry() {
+        use lmm_ir::{DynamicIrConfig, DynamicIrPredictor};
         let cfg = DynamicIrConfig {
             windows: 3,
             widths: vec![4, 8],
@@ -509,7 +456,7 @@ mod tests {
         let reg = ModelRegistry::load(RegistrySpec::single("dyn", &path)).unwrap();
         let loaded = reg.resolve("dyn").unwrap();
         assert_eq!(loaded.meta.model, "DynIR");
-        assert_eq!(loaded.meta.dynamic.as_ref(), Some(&cfg));
+        assert_eq!(loaded.meta.dynamic_config(), Some(&cfg));
         assert_eq!(loaded.model.input_channels(), 3);
         // The recorded trunk plan rebuilds exactly: weights restore
         // bit-for-bit (a quick()-width fallback could not hold them).
@@ -522,22 +469,118 @@ mod tests {
     }
 
     #[test]
+    fn zoo_checkpoints_rebuild_their_exact_architecture() {
+        use lmm_ir::{CfirstNet, CfirstNetConfig, WacaUnet, WacaUnetConfig};
+        // Non-quick() trunks: a fallback reconstruction could not hold the
+        // weights, so a bitwise restore proves the recorded config was used.
+        let ccfg = CfirstNetConfig {
+            widths: vec![4, 8, 16],
+            stem_kernel: 5,
+            input_size: 16,
+            ..CfirstNetConfig::quick()
+        };
+        let wcfg = WacaUnetConfig {
+            widths: vec![4, 8],
+            reduction: 2,
+            input_size: 16,
+            ..WacaUnetConfig::quick()
+        };
+        let cpath = tmp("reg_cfirst.lmmt");
+        let wpath = tmp("reg_waca.lmmt");
+        save_predictor(&CfirstNet::new(ccfg.clone()), &cpath).unwrap();
+        save_predictor(&WacaUnet::new(wcfg.clone()), &wpath).unwrap();
+        let reg = ModelRegistry::load(RegistrySpec {
+            models: vec![
+                ModelSpec {
+                    name: "cfirst".to_string(),
+                    path: cpath.clone(),
+                },
+                ModelSpec {
+                    name: "waca".to_string(),
+                    path: wpath.clone(),
+                },
+            ],
+            default_model: None,
+            quantized: false,
+        })
+        .unwrap();
+        for (name, arch, reference) in [
+            (
+                "cfirst",
+                "CFIRSTNET",
+                Box::new(CfirstNet::new(ccfg.clone())) as Box<dyn IrPredictor>,
+            ),
+            ("waca", "WACA-UNet", Box::new(WacaUnet::new(wcfg.clone()))),
+        ] {
+            let loaded = reg.resolve(name).unwrap();
+            assert_eq!(loaded.meta.model, arch);
+            assert_eq!(loaded.meta.format_version(), 4);
+            let (orig, srv) = (reference.parameters(), loaded.model.parameters());
+            assert_eq!(orig.len(), srv.len(), "{arch} parameter count");
+            for (a, b) in orig.iter().zip(&srv) {
+                assert_eq!(a.value().dims(), b.value().dims(), "{arch} shapes");
+            }
+        }
+        std::fs::remove_file(&cpath).ok();
+        std::fs::remove_file(&wpath).ok();
+    }
+
+    #[test]
+    fn names_differing_only_in_case_do_not_shadow() {
+        // Registry names are byte-exact: "a" and "A" are distinct models and
+        // neither resolution nor canonicalization may collapse them.
+        let pa = tmp("reg_case_lower.lmmt");
+        let pb = tmp("reg_case_upper.lmmt");
+        save_predictor(&iredge(16, 1), &pa).unwrap();
+        save_predictor(&lmm_ir::irpnet(16, 2), &pb).unwrap();
+        let reg = ModelRegistry::load(RegistrySpec {
+            models: vec![
+                ModelSpec {
+                    name: "a".to_string(),
+                    path: pa.clone(),
+                },
+                ModelSpec {
+                    name: "A".to_string(),
+                    path: pb.clone(),
+                },
+            ],
+            default_model: Some("a".to_string()),
+            quantized: false,
+        })
+        .unwrap();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.canonical_name("a"), Some("a"));
+        assert_eq!(reg.canonical_name("A"), Some("A"));
+        assert_eq!(reg.canonical_name(""), Some("a"), "default routes exactly");
+        assert_eq!(reg.resolve("a").unwrap().meta.model, "IREDGe");
+        assert_eq!(reg.resolve("A").unwrap().meta.model, "IRPnet");
+        // An alias that matches neither byte-exactly stays unresolved rather
+        // than case-folding onto one of them.
+        assert!(reg.resolve("a ").is_none());
+        std::fs::remove_file(&pa).ok();
+        std::fs::remove_file(&pb).ok();
+    }
+
+    #[test]
     fn rejects_unknown_architecture_and_channel_mismatch() {
         let meta = CheckpointMeta {
             model: "ResNet".to_string(),
             input_channels: 3,
             input_size: 16,
             config: None,
-            dynamic: None,
             quant_scales: Default::default(),
         };
-        assert!(instantiate(&meta).is_err());
+        let err = instantiate(&meta).map(|_| ()).unwrap_err().to_string();
+        // The "known" list is derived from the enumeration, not maintained
+        // by hand, so new variants appear in it automatically.
+        assert!(err.contains("unknown architecture"), "got {err}");
+        assert!(err.contains("WACA-UNet"), "got {err}");
+        assert!(err.contains("CFIRSTNET"), "got {err}");
         let meta = CheckpointMeta {
             model: "IREDGe".to_string(),
             input_channels: 6,
             input_size: 16,
             config: None,
-            dynamic: None,
             quant_scales: Default::default(),
         };
         assert!(instantiate(&meta).is_err());
